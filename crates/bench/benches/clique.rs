@@ -1,0 +1,46 @@
+//! Criterion bench: the clique protocol's simulation cost and the
+//! host-locking extension's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::prelude::*;
+use netsim::scenarios::star_switch;
+use netsim::Engine;
+use nws::{NwsMsg, NwsSystem, NwsSystemSpec};
+
+fn run_system(k: usize, host_locking: bool, sim_seconds: f64) -> u64 {
+    let net = star_switch(k, Bandwidth::mbps(100.0));
+    let names: Vec<String> = net
+        .hosts
+        .iter()
+        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
+        .collect();
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
+    let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
+    spec.host_locking = host_locking;
+    let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+    sys.run_for(&mut eng, TimeDelta::from_secs(sim_seconds));
+    sys.total_stores()
+}
+
+fn bench_clique_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clique_sim_60s");
+    g.sample_size(10);
+    for k in [3usize, 6, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_system(k, false, 60.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_host_locking_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_locking_60s");
+    g.sample_size(10);
+    g.bench_function("off", |b| b.iter(|| run_system(6, false, 60.0)));
+    g.bench_function("on", |b| b.iter(|| run_system(6, true, 60.0)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_clique_sizes, bench_host_locking_overhead);
+criterion_main!(benches);

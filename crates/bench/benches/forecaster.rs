@@ -1,0 +1,74 @@
+//! Criterion bench: forecaster battery throughput.
+//!
+//! Every stored measurement feeds 18 predictors; the battery must sustain
+//! far more observations per second than sensors generate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nws::forecast::{ExpSmooth, Predictor, SlidingMedian};
+use nws::ForecasterBattery;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn series(n: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(1);
+    (0..n).map(|_| 90.0 + rng.gen_range(-10.0..10.0)).collect()
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("battery_observe_all");
+    for n in [128usize, 512, 2048] {
+        let data = series(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut battery = ForecasterBattery::classic();
+                battery.observe_all(data.iter().copied());
+                battery.forecast()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_predictor_2048");
+    let data = series(2048);
+    g.bench_function("exp_smooth", |b| {
+        b.iter(|| {
+            let mut p = ExpSmooth::new(0.25);
+            for v in &data {
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.bench_function("sliding_median_31", |b| {
+        b.iter(|| {
+            let mut p = SlidingMedian::new(31);
+            for v in &data {
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.finish();
+}
+
+fn bench_query_path_rebuild(c: &mut Criterion) {
+    // A forecaster answering a query replays the fetched history into a
+    // fresh battery: the cost of one query as a function of history size.
+    let mut g = c.benchmark_group("query_rebuild");
+    for n in [64usize, 512] {
+        let data = series(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut battery = ForecasterBattery::classic();
+                battery.observe_all(data.iter().copied());
+                battery.forecast().map(|f| f.value)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_battery, bench_predictors, bench_query_path_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion bench: ENV mapping cost as the platform grows.
+//!
+//! Probe *counts* are covered by exp_naive_cost; this bench tracks the
+//! wall-clock cost of the mapper implementation itself (simulation
+//! included), which bounds how large a platform the tooling can map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use envmap::{EnvConfig, EnvMapper, HostInput};
+use netsim::scenarios::{random_campus, star_hub, star_switch, CampusParams};
+use netsim::units::Bandwidth;
+use netsim::Sim;
+use nws_bench::{gateway_aliases, inside_inputs, map_ens_lyon, outside_inputs};
+
+fn bench_star(c: &mut Criterion) {
+    let mut g = c.benchmark_group("env_map_star");
+    g.sample_size(10);
+    for n in [4usize, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("hub", n), &n, |b, &n| {
+            b.iter(|| {
+                let net = star_hub(n, Bandwidth::mbps(100.0));
+                let inputs: Vec<HostInput> = net
+                    .hosts
+                    .iter()
+                    .map(|h| {
+                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
+                    })
+                    .collect();
+                let master = inputs[0].0.clone();
+                let mut eng = Sim::new(net.topo);
+                EnvMapper::new(EnvConfig::fast())
+                    .map(&mut eng, &inputs, &master, None)
+                    .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("switch", n), &n, |b, &n| {
+            b.iter(|| {
+                let net = star_switch(n, Bandwidth::mbps(100.0));
+                let inputs: Vec<HostInput> = net
+                    .hosts
+                    .iter()
+                    .map(|h| {
+                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
+                    })
+                    .collect();
+                let master = inputs[0].0.clone();
+                let mut eng = Sim::new(net.topo);
+                EnvMapper::new(EnvConfig::fast())
+                    .map(&mut eng, &inputs, &master, None)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_campus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("env_map_campus");
+    g.sample_size(10);
+    for lans in [3usize, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(lans), &lans, |b, &lans| {
+            let params = CampusParams {
+                lans,
+                hosts_per_lan: (3, 5),
+                hub_fraction: 0.5,
+                lan_rates_mbps: vec![100.0],
+                backbone_mbps: 1000.0,
+            };
+            b.iter(|| {
+                let (net, _) = random_campus(7, &params);
+                let inputs: Vec<HostInput> = net
+                    .hosts
+                    .iter()
+                    .map(|h| {
+                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
+                    })
+                    .collect();
+                let master = inputs[0].0.clone();
+                let mut eng = Sim::new(net.topo);
+                EnvMapper::new(EnvConfig::fast())
+                    .map(&mut eng, &inputs, &master, Some("well-known.example.org"))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("env_full_pipeline");
+    g.sample_size(10);
+    // The paper's headline workflow: two runs + merge on ENS-Lyon.
+    g.bench_function("ens_lyon_two_runs_and_merge", |b| {
+        b.iter(map_ens_lyon);
+    });
+    // Merge alone.
+    let m = map_ens_lyon();
+    g.bench_function("merge_only", |b| {
+        b.iter(|| envmap::merge_runs(&m.outside, &m.inside, &gateway_aliases()))
+    });
+    // Input helpers don't dominate (sanity).
+    g.bench_function("input_construction", |b| {
+        b.iter(|| (outside_inputs(), inside_inputs()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_star, bench_campus, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench: deployment planning and validation cost.
+//!
+//! The §5.1 algorithm is linear in the effective tree; validation is
+//! quadratic in measured pairs (path-resource intersection). Both must
+//! stay cheap enough to re-run on every remapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use envdeploy::{plan_deployment, render_config, parse_config, validate_plan, PlannerConfig};
+use envmap::{EnvNet, EnvView, NetKind};
+use nws_bench::map_ens_lyon;
+
+/// A synthetic effective view with `nets` top-level networks of `hosts`
+/// hosts each, alternating shared/switched.
+fn synthetic_view(nets: usize, hosts: usize) -> EnvView {
+    let networks = (0..nets)
+        .map(|i| EnvNet {
+            label: format!("net{i}"),
+            kind: if i % 2 == 0 { NetKind::Shared } else { NetKind::Switched },
+            hosts: (0..hosts).map(|h| format!("h{h}.net{i}.example")).collect(),
+            via: None,
+            router_path: vec![format!("gw{i}.example")],
+            base_bw_mbps: 100.0,
+            local_bw_mbps: Some(100.0),
+            jam_ratio: Some(if i % 2 == 0 { 0.5 } else { 1.0 }),
+            children: vec![],
+        })
+        .collect();
+    EnvView { master: "master.example".to_string(), networks }
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    for (nets, hosts) in [(4usize, 8usize), (16, 8), (64, 8), (16, 32)] {
+        let view = synthetic_view(nets, hosts);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nets}nets_x_{hosts}hosts")),
+            &view,
+            |b, view| b.iter(|| plan_deployment(view, &PlannerConfig::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(10);
+    let m = map_ens_lyon();
+    let plan = plan_deployment(&m.merged, &PlannerConfig::default());
+    g.bench_function("ens_lyon", |b| {
+        b.iter(|| validate_plan(&plan, &m.merged, &m.platform.topo))
+    });
+    g.finish();
+}
+
+fn bench_config_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("manager_config");
+    let view = synthetic_view(16, 8);
+    let plan = plan_deployment(&view, &PlannerConfig::default());
+    let text = render_config(&plan);
+    g.bench_function("render", |b| b.iter(|| render_config(&plan)));
+    g.bench_function("parse", |b| b.iter(|| parse_config(&text).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner, bench_validation, bench_config_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench: the substrate itself — max-min allocation, flow
+//! lifecycle throughput, route computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::fairness::{max_min_allocate, path_resources, FlowDemand};
+use netsim::prelude::*;
+use netsim::routing::RouteTable;
+use netsim::scenarios::{grid_constellation, star_switch, CampusParams};
+use netsim::Sim;
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max_min_allocate");
+    for flows in [8usize, 64, 256] {
+        let net = star_switch(16, Bandwidth::mbps(100.0));
+        let routes = RouteTable::compute(&net.topo);
+        let demands: Vec<FlowDemand> = (0..flows)
+            .map(|i| {
+                let a = net.hosts[i % 16];
+                let b = net.hosts[(i + 7) % 16];
+                let p = routes.path(a, b).unwrap();
+                FlowDemand { resources: path_resources(&net.topo, &p), rate_cap: None }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &demands, |b, demands| {
+            b.iter(|| max_min_allocate(&net.topo, demands))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flow_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_lifecycle");
+    g.sample_size(20);
+    for flows in [16usize, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let net = star_switch(16, Bandwidth::mbps(100.0));
+                let mut sim = Sim::new(net.topo);
+                let ids: Vec<_> = (0..flows)
+                    .map(|i| {
+                        sim.start_probe_flow(
+                            net.hosts[i % 16],
+                            net.hosts[(i + 5) % 16],
+                            Bytes::kib(256),
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                sim.run_until_flows_done(&ids, TimeDelta::from_secs(600.0)).unwrap();
+                sim.stats().bytes_transferred
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_table");
+    g.sample_size(10);
+    for sites in [2usize, 4] {
+        let net = grid_constellation(5, sites, &CampusParams::default());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", net.topo.node_count())),
+            &net.topo,
+            |b, topo| b.iter(|| RouteTable::compute(topo)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probes");
+    g.sample_size(20);
+    let net = star_switch(8, Bandwidth::mbps(100.0));
+    g.bench_function("bandwidth_64k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(net.topo.clone());
+            sim.measure_bandwidth(net.hosts[0], net.hosts[1], Bytes::kib(64)).unwrap()
+        })
+    });
+    g.bench_function("traceroute", |b| {
+        let mut sim = Sim::new(net.topo.clone());
+        b.iter(|| sim.traceroute(net.hosts[0], net.hosts[1]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocator, bench_flow_lifecycle, bench_routing, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E8 — the NWS forecaster battery (paper §2, reference 22): the predictor family
+//! raced on characteristic series, with the dynamic winner's error
+//! compared to every fixed predictor.
+//!
+//! Run: `cargo run -p nws-bench --bin exp_forecast`
+
+use nws::hostload::HostLoadModel;
+use nws::ForecasterBattery;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use nws_bench::{f, Table};
+
+/// Feed a series; return (winner name, winner MSE, best fixed predictor
+/// name, best fixed MSE, LAST's MSE) for comparison.
+fn race(series: &[f64]) -> (String, f64, f64) {
+    let mut battery = ForecasterBattery::classic();
+    for v in series {
+        battery.observe(*v);
+    }
+    let fc = battery.forecast().expect("non-empty series");
+    let table = battery.error_table();
+    let last_mse = table.iter().find(|(n, _, _)| n == "LAST").unwrap().1;
+    (fc.method.clone(), fc.rmse * fc.rmse, last_mse)
+}
+
+fn main() {
+    println!("=== E8: forecaster battery on characteristic series ===\n");
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let n = 2000usize;
+
+    // Series shaped like the signals NWS actually monitors.
+    let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
+
+    // 1. Noisy constant (an idle link's bandwidth).
+    series.push((
+        "noisy constant (idle link)",
+        (0..n).map(|_| 93.0 + rng.gen_range(-4.0..4.0)).collect(),
+    ));
+
+    // 2. Random walk (congested WAN latency drift).
+    let mut x = 50.0f64;
+    series.push((
+        "random walk (drifting latency)",
+        (0..n)
+            .map(|_| {
+                x += rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect(),
+    ));
+
+    // 3. Regime switches (a periodically loaded link).
+    series.push((
+        "regime switches (batch jobs)",
+        (0..n)
+            .map(|i| {
+                let base = if (i / 250) % 2 == 0 { 90.0 } else { 30.0 };
+                base + rng.gen_range(-3.0..3.0)
+            })
+            .collect(),
+    ));
+
+    // 4. Spiky series (cross-traffic bursts).
+    series.push((
+        "spiky (cross-traffic bursts)",
+        (0..n)
+            .map(|i| if i % 40 == 13 { 15.0 } else { 95.0 + rng.gen_range(-2.0..2.0) })
+            .collect(),
+    ));
+
+    // 5. Synthetic CPU availability from the host-load model.
+    let mut load = HostLoadModel::new(4);
+    series.push(("host CPU availability", (0..n).map(|_| load.sample()).collect()));
+
+    // 6. Steady ramp (a queue draining / link saturating) — the case the
+    // Holt level+trend extension exists for.
+    series.push((
+        "steady ramp (trend)",
+        (0..n).map(|i| 5.0 + 0.05 * i as f64 + rng.gen_range(-0.5..0.5)).collect(),
+    ));
+
+    let mut t = Table::new(&[
+        "series",
+        "battery winner",
+        "winner MSE",
+        "LAST MSE",
+        "MSE gain vs LAST",
+    ]);
+    for (name, data) in &series {
+        let (winner, mse, last_mse) = race(data);
+        t.row(vec![
+            name.to_string(),
+            winner,
+            format!("{mse:.4}"),
+            format!("{last_mse:.4}"),
+            format!("{:.2}x", last_mse / mse.max(1e-12)),
+        ]);
+    }
+    t.print();
+
+    println!("\n=== full error table for the host-load series ===\n");
+    let mut battery = ForecasterBattery::classic();
+    let mut load = HostLoadModel::new(4);
+    for _ in 0..n {
+        battery.observe(load.sample());
+    }
+    let mut table = battery.error_table();
+    table.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut t = Table::new(&["predictor", "MSE", "MAE"]);
+    for (name, mse, mae) in table {
+        t.row(vec![name, format!("{mse:.5}"), format!("{mae:.4}")]);
+    }
+    t.print();
+
+    println!(
+        "\nThe dynamic selection never loses to a fixed predictor by construction\n\
+         (it *is* the best-so-far fixed predictor), which is the design argument\n\
+         of the NWS forecasting paper [22]."
+    );
+    let _ = f;
+}

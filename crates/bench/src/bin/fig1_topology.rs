@@ -1,0 +1,77 @@
+//! Figure 1 of the paper: (a) the physical ENS-Lyon topology (ground
+//! truth) and (b) the effective topology ENV recovers from the-doors'
+//! point of view after the firewall merge.
+//!
+//! Run: `cargo run -p nws-bench --bin fig1_topology`
+
+use netsim::topology::{LinkMode, NodeKind};
+use nws_bench::map_ens_lyon;
+
+fn main() {
+    let m = map_ens_lyon();
+
+    println!("=== Figure 1(a): physical topology (ground truth) ===\n");
+    let topo = &m.platform.topo;
+    println!("nodes:");
+    for n in topo.nodes() {
+        let kind = match n.kind {
+            NodeKind::Host => "host",
+            NodeKind::Router => "router",
+            NodeKind::Switch => "switch",
+            NodeKind::Hub => "hub",
+            NodeKind::External => "external",
+        };
+        let ifaces: Vec<String> = n
+            .ifaces
+            .iter()
+            .map(|i| match &i.name {
+                Some(name) => format!("{} ({})", name, i.ip),
+                None => format!("(unnamed) {}", i.ip),
+            })
+            .collect();
+        let fw = if n.forwards && n.kind == NodeKind::Host { " [gateway]" } else { "" };
+        println!("  {:<12} {:<8}{fw} {}", n.label, kind, ifaces.join(", "));
+    }
+    println!("\nlinks:");
+    for l in topo.links() {
+        let a = &topo.node(l.a).label;
+        let b = &topo.node(l.b).label;
+        match l.mode {
+            LinkMode::FullDuplex { capacity_ab, .. } => {
+                println!("  {a:<12} -- {b:<12} {capacity_ab} full-duplex, {}", l.latency)
+            }
+            LinkMode::Shared { medium } => {
+                let med = topo.medium(medium);
+                println!(
+                    "  {a:<12} -- {b:<12} shared medium {} ({})",
+                    med.label, med.capacity
+                )
+            }
+        }
+    }
+
+    println!("\n=== Figure 1(b): effective topology from the-doors (merged ENV view) ===\n");
+    print!("{}", m.merged.render());
+
+    println!("\npaper checkpoints:");
+    let hub2 = m.merged.find_containing("popc0.popc.private").expect("hub2 found");
+    println!(
+        "  - {{myri0, popc0, sci0}} on a shared segment reached at {:.2} Mbps \
+         (paper: 10 Mbps bottleneck): {}",
+        hub2.base_bw_mbps,
+        if (hub2.base_bw_mbps - 10.0).abs() < 1.0 { "OK" } else { "MISMATCH" }
+    );
+    let sci = m.merged.find_containing("sci1.popc.private").expect("sci found");
+    println!(
+        "  - sci cluster switched at {:.2} Mbps (paper GridML: 32.65 Mbps): {}",
+        sci.base_bw_mbps,
+        if (sci.base_bw_mbps - 32.65).abs() < 2.0 { "OK" } else { "MISMATCH" }
+    );
+    let hub3 = m.merged.find_containing("myri1.popc.private").expect("hub3 found");
+    println!(
+        "  - myri1/myri2 on their own hub behind myri0 (local {:.1} vs base {:.1} Mbps): {}",
+        hub3.local_bw_mbps.unwrap_or(0.0),
+        hub3.base_bw_mbps,
+        if hub3.via.as_deref() == Some("myri0.popc.private") { "OK" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 2 of the paper: the structural topology tree built from
+//! per-host traceroutes toward the well-known external destination.
+//!
+//! Run: `cargo run -p nws-bench --bin fig2_structural`
+
+use nws_bench::map_ens_lyon;
+
+fn main() {
+    let m = map_ens_lyon();
+
+    println!("=== Figure 2: structural topology (outside run) ===\n");
+    print!("{}", m.outside.structural.render());
+
+    println!("\npaper checkpoints:");
+    let tree = &m.outside.structural;
+    println!(
+        "  - root is the non-routable 192.168.254.1 (kept on purpose, §4.3): {}",
+        if tree.key == "192.168.254.1" { "OK" } else { "MISMATCH" }
+    );
+    let c13 = tree.children.iter().find(|c| c.key == "140.77.13.1");
+    println!(
+        "  - canaria/moby/the-doors under the anonymous 140.77.13.1: {}",
+        match c13 {
+            Some(n) if n.hosts.len() == 3 => "OK",
+            _ => "MISMATCH",
+        }
+    );
+    let backbone = tree.children.iter().find(|c| c.key.starts_with("routeur-backbone"));
+    let routlhpc_ok = backbone
+        .and_then(|b| b.children.first())
+        .map(|r| r.key.starts_with("routlhpc") && r.hosts.len() == 3)
+        .unwrap_or(false);
+    println!(
+        "  - myri/popc/sci behind routeur-backbone → routlhpc: {}",
+        if routlhpc_ok { "OK" } else { "MISMATCH" }
+    );
+
+    println!("\n=== structural tree of the inside run (traceroutes toward the master) ===\n");
+    print!("{}", m.inside.structural.render());
+}

@@ -1,0 +1,400 @@
+//! The "NWS manager" of paper §5.2: a configuration file shared across all
+//! involved hosts, applied locally on each one.
+//!
+//! "We realized a NWS manager program using a configuration file shared
+//! across all involved hosts and applying the local parts on each hosts.
+//! The actual deployment of NWS is then as easy as dispatching the
+//! configuration file to the hosts (using for example NFS), and running
+//! the manager on each machines."
+//!
+//! The format is a small INI dialect (the original was Perl); it
+//! round-trips through [`render_config`] / [`parse_config`]. On the
+//! simulator, [`apply_plan`] performs what running the manager on every
+//! host performs in reality: starting the right processes with the right
+//! options.
+
+use std::collections::BTreeMap;
+
+use netsim::engine::Engine;
+use netsim::error::{NetError, NetResult};
+use netsim::time::TimeDelta;
+
+use nws::{CliqueSpec, NwsMsg, NwsSystem, NwsSystemSpec, SensorMode, SensorSpec};
+
+use crate::plan::{CliqueRole, DeploymentPlan, PlannedClique};
+
+/// Serialize a plan to the shared manager configuration.
+pub fn render_config(plan: &DeploymentPlan) -> String {
+    let mut s = String::new();
+    s.push_str("# NWS deployment configuration (generated from an ENV mapping)\n");
+    s.push_str("[global]\n");
+    s.push_str(&format!("master = {}\n", plan.master));
+    s.push_str(&format!("nameserver = {}\n", plan.nameserver));
+    s.push_str(&format!("forecaster = {}\n", plan.forecaster));
+    s.push_str(&format!("memories = {}\n", plan.memories.join(", ")));
+    s.push_str(&format!("gap_ms = {}\n", plan.gap.as_millis()));
+    s.push_str(&format!("hosts = {}\n", plan.hosts.join(", ")));
+    s.push('\n');
+    for c in &plan.cliques {
+        s.push_str(&format!("[clique {}]\n", c.name));
+        s.push_str(&format!("role = {}\n", c.role.as_str()));
+        if let Some(net) = &c.network {
+            s.push_str(&format!("network = {net}\n"));
+        }
+        s.push_str(&format!("members = {}\n", c.members.join(", ")));
+        s.push('\n');
+    }
+    for (net, (a, b)) in &plan.representatives {
+        s.push_str(&format!("[representative {net}]\n"));
+        s.push_str(&format!("pair = {a}, {b}\n\n"));
+    }
+    if !plan.memory_of.is_empty() {
+        s.push_str("[memory-assignment]\n");
+        for (host, memory) in &plan.memory_of {
+            s.push_str(&format!("{host} = {memory}\n"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a manager configuration back into a plan.
+pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
+    let mut master = None;
+    let mut nameserver = None;
+    let mut forecaster = None;
+    let mut memories = Vec::new();
+    let mut gap_ms = 500.0f64;
+    let mut hosts = Vec::new();
+    let mut cliques: Vec<PlannedClique> = Vec::new();
+    let mut representatives = BTreeMap::new();
+    let mut memory_of = BTreeMap::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Global,
+        Clique(usize),
+        Representative(String),
+        MemoryAssignment,
+    }
+    let mut section = Section::None;
+
+    let list = |v: &str| -> Vec<String> {
+        v.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect()
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = match inner.split_once(' ') {
+                None if inner == "global" => Section::Global,
+                None if inner == "memory-assignment" => Section::MemoryAssignment,
+                Some(("clique", name)) => {
+                    cliques.push(PlannedClique {
+                        name: name.trim().to_string(),
+                        members: vec![],
+                        role: CliqueRole::Inter,
+                        network: None,
+                    });
+                    Section::Clique(cliques.len() - 1)
+                }
+                Some(("representative", net)) => Section::Representative(net.trim().to_string()),
+                _ => return Err(format!("line {}: unknown section {inner:?}", lineno + 1)),
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        match &section {
+            Section::Global => match key {
+                "master" => master = Some(value.to_string()),
+                "nameserver" => nameserver = Some(value.to_string()),
+                "forecaster" => forecaster = Some(value.to_string()),
+                "memories" => memories = list(value),
+                "gap_ms" => {
+                    gap_ms = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad gap_ms", lineno + 1))?
+                }
+                "hosts" => hosts = list(value),
+                _ => return Err(format!("line {}: unknown global key {key:?}", lineno + 1)),
+            },
+            Section::Clique(i) => {
+                let c = &mut cliques[*i];
+                match key {
+                    "role" => {
+                        c.role = CliqueRole::from_str_opt(value)
+                            .ok_or_else(|| format!("line {}: bad role {value:?}", lineno + 1))?
+                    }
+                    "network" => c.network = Some(value.to_string()),
+                    "members" => c.members = list(value),
+                    _ => return Err(format!("line {}: unknown clique key {key:?}", lineno + 1)),
+                }
+            }
+            Section::Representative(net) => match key {
+                "pair" => {
+                    let pair = list(value);
+                    if pair.len() != 2 {
+                        return Err(format!("line {}: pair needs two hosts", lineno + 1));
+                    }
+                    representatives
+                        .insert(net.clone(), (pair[0].clone(), pair[1].clone()));
+                }
+                _ => return Err(format!("line {}: unknown key {key:?}", lineno + 1)),
+            },
+            Section::MemoryAssignment => {
+                memory_of.insert(key.to_string(), value.to_string());
+            }
+            Section::None => {
+                return Err(format!("line {}: key outside any section", lineno + 1))
+            }
+        }
+    }
+
+    Ok(DeploymentPlan {
+        master: master.ok_or("missing master")?,
+        cliques,
+        nameserver: nameserver.ok_or("missing nameserver")?,
+        memories,
+        forecaster: forecaster.ok_or("missing forecaster")?,
+        representatives,
+        gap: TimeDelta::from_millis(gap_ms),
+        hosts,
+        memory_of,
+    })
+}
+
+/// The local actions the manager performs on one host (paper §5.2:
+/// "applying the local parts on each hosts").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalAction {
+    StartNameServer,
+    StartMemory,
+    StartForecaster,
+    /// Start a sensor joining the named cliques.
+    StartSensor { cliques: Vec<String> },
+}
+
+/// What the manager would do on `host` given the shared configuration.
+pub fn local_actions(plan: &DeploymentPlan, host: &str) -> Vec<LocalAction> {
+    let mut actions = Vec::new();
+    if plan.nameserver == host {
+        actions.push(LocalAction::StartNameServer);
+    }
+    if plan.memories.iter().any(|m| m == host) {
+        actions.push(LocalAction::StartMemory);
+    }
+    if plan.forecaster == host {
+        actions.push(LocalAction::StartForecaster);
+    }
+    let cliques: Vec<String> = plan
+        .cliques
+        .iter()
+        .filter(|c| c.members.iter().any(|m| m == host))
+        .map(|c| c.name.clone())
+        .collect();
+    if !cliques.is_empty() || plan.hosts.iter().any(|h| h == host) {
+        actions.push(LocalAction::StartSensor { cliques });
+    }
+    actions
+}
+
+/// Convert a plan to the deployable NWS system specification.
+pub fn plan_to_spec(plan: &DeploymentPlan) -> NwsSystemSpec {
+    plan_to_spec_with(plan, false)
+}
+
+/// As [`plan_to_spec`], optionally enabling the §6 host-locking extension
+/// (the paper's proposed fix for inter-clique collisions at shared hosts).
+pub fn plan_to_spec_with(plan: &DeploymentPlan, host_locking: bool) -> NwsSystemSpec {
+    let sensors: Vec<SensorSpec> = plan
+        .hosts
+        .iter()
+        .map(|h| SensorSpec {
+            host: h.clone(),
+            mode: SensorMode::Clique,
+            host_sensing: true,
+            memory: Some(plan.memory_for(h).to_string()),
+        })
+        .collect();
+    // Stagger the token gaps so independent cliques do not phase-lock:
+    // with identical periods, a clique overlapping another's medium (the
+    // §6 caveat) would collide on *every* round instead of occasionally.
+    let cliques: Vec<CliqueSpec> = plan
+        .cliques
+        .iter()
+        .enumerate()
+        .map(|(i, c)| CliqueSpec {
+            name: c.name.clone(),
+            members: c.members.clone(),
+            gap: plan.gap * (1.0 + 0.137 * i as f64),
+        })
+        .collect();
+    NwsSystemSpec {
+        nameserver_host: plan.nameserver.clone(),
+        memory_hosts: plan.memories.clone(),
+        forecaster_host: plan.forecaster.clone(),
+        sensors,
+        cliques,
+        probe_bytes: netsim::probes::BANDWIDTH_PROBE_BYTES,
+        series_capacity: nws::Series::DEFAULT_CAPACITY,
+        watchdog: TimeDelta::from_secs(30.0),
+        host_sense_period: TimeDelta::from_secs(10.0),
+        seed: 42,
+        host_locking,
+    }
+}
+
+/// Deploy the plan onto a simulated platform — the manager run on every
+/// host at once.
+pub fn apply_plan(eng: &mut Engine<NwsMsg>, plan: &DeploymentPlan) -> NetResult<NwsSystem> {
+    apply_plan_with(eng, plan, false)
+}
+
+/// As [`apply_plan`], optionally enabling host locking (§6 extension).
+pub fn apply_plan_with(
+    eng: &mut Engine<NwsMsg>,
+    plan: &DeploymentPlan,
+    host_locking: bool,
+) -> NetResult<NwsSystem> {
+    if plan.hosts.is_empty() {
+        return Err(NetError::InvalidTopology("plan covers no hosts".to_string()));
+    }
+    NwsSystem::deploy(eng, &plan_to_spec_with(plan, host_locking))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_plan() -> DeploymentPlan {
+        DeploymentPlan {
+            master: "m.x".into(),
+            cliques: vec![
+                PlannedClique {
+                    name: "local-hub".into(),
+                    members: vec!["a.x".into(), "b.x".into()],
+                    role: CliqueRole::SharedLocal,
+                    network: Some("hub".into()),
+                },
+                PlannedClique {
+                    name: "inter-top".into(),
+                    members: vec!["a.x".into(), "c.x".into()],
+                    role: CliqueRole::Inter,
+                    network: None,
+                },
+            ],
+            nameserver: "m.x".into(),
+            memories: vec!["m.x".into()],
+            forecaster: "m.x".into(),
+            representatives: BTreeMap::from([(
+                "hub".to_string(),
+                ("a.x".to_string(), "b.x".to_string()),
+            )]),
+            gap: TimeDelta::from_millis(250.0),
+            hosts: vec!["a.x".into(), "b.x".into(), "c.x".into()],
+            memory_of: BTreeMap::from([("c.x".to_string(), "m.x".to_string())]),
+        }
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let plan = sample_plan();
+        let text = render_config(&plan);
+        let parsed = parse_config(&text).unwrap();
+        assert_eq!(plan, parsed);
+    }
+
+    #[test]
+    fn config_mentions_paper_concepts() {
+        let text = render_config(&sample_plan());
+        assert!(text.contains("[clique local-hub]"));
+        assert!(text.contains("role = shared-local"));
+        assert!(text.contains("[representative hub]"));
+        assert!(text.contains("pair = a.x, b.x"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_config("key = value").is_err());
+        assert!(parse_config("[weird section]").is_err());
+        assert!(parse_config("[global]\nmaster = m\n[clique c]\nrole = nope\n").is_err());
+        assert!(parse_config("[global]\nnameserver = n\nforecaster = f\n").is_err()); // no master
+        assert!(parse_config("[global]\nbroken line\n").is_err());
+        assert!(parse_config("[representative x]\npair = only-one\n[global]\nmaster=m\nnameserver=n\nforecaster=f\n").is_err());
+    }
+
+    #[test]
+    fn local_actions_per_host() {
+        let plan = sample_plan();
+        let m = local_actions(&plan, "m.x");
+        assert!(m.contains(&LocalAction::StartNameServer));
+        assert!(m.contains(&LocalAction::StartMemory));
+        assert!(m.contains(&LocalAction::StartForecaster));
+
+        let a = local_actions(&plan, "a.x");
+        assert_eq!(
+            a,
+            vec![LocalAction::StartSensor {
+                cliques: vec!["local-hub".to_string(), "inter-top".to_string()]
+            }]
+        );
+
+        let b = local_actions(&plan, "b.x");
+        assert_eq!(b, vec![LocalAction::StartSensor { cliques: vec!["local-hub".to_string()] }]);
+
+        assert!(local_actions(&plan, "stranger.x").is_empty());
+    }
+
+    /// The per-host actions (§5.2) and the global spec must agree: a host
+    /// gets a sensor action iff the spec deploys a sensor there, and its
+    /// clique list matches the cliques it belongs to.
+    #[test]
+    fn local_actions_agree_with_global_spec() {
+        let plan = sample_plan();
+        let spec = plan_to_spec(&plan);
+        let mut all_hosts: Vec<String> = plan.hosts.clone();
+        all_hosts.push(plan.master.clone());
+        all_hosts.push("unrelated.host".to_string());
+        for host in &all_hosts {
+            let actions = local_actions(&plan, host);
+            let has_sensor_action = actions
+                .iter()
+                .any(|a| matches!(a, LocalAction::StartSensor { .. }));
+            let spec_has_sensor = spec.sensors.iter().any(|s| &s.host == host);
+            assert_eq!(has_sensor_action, spec_has_sensor, "host {host}");
+            if let Some(LocalAction::StartSensor { cliques }) = actions
+                .iter()
+                .find(|a| matches!(a, LocalAction::StartSensor { .. }))
+            {
+                let from_spec: Vec<&str> = spec
+                    .cliques
+                    .iter()
+                    .filter(|c| c.members.iter().any(|m| m == host))
+                    .map(|c| c.name.as_str())
+                    .collect();
+                let from_actions: Vec<&str> = cliques.iter().map(|c| c.as_str()).collect();
+                assert_eq!(from_actions, from_spec, "host {host}");
+            }
+            let memory_action = actions.contains(&LocalAction::StartMemory);
+            assert_eq!(memory_action, spec.memory_hosts.contains(host), "host {host}");
+        }
+    }
+
+    #[test]
+    fn spec_carries_cliques_and_sensors() {
+        let plan = sample_plan();
+        let spec = plan_to_spec(&plan);
+        assert_eq!(spec.sensors.len(), 3);
+        assert_eq!(spec.cliques.len(), 2);
+        assert_eq!(spec.nameserver_host, "m.x");
+        assert_eq!(spec.cliques[0].members, vec!["a.x", "b.x"]);
+    }
+}

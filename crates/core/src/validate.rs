@@ -1,0 +1,303 @@
+//! Plan validation against the four constraints of paper §2.3, checked
+//! against ground truth (the simulator topology).
+//!
+//! The collision check is deliberately honest about the paper's own
+//! admitted limitation (§6): a host sitting in two cliques (the paper's
+//! `canaria`) can be probed by both at once, and those experiments share
+//! its physical network. The report separates *intra-clique* safety
+//! (guaranteed by the token ring) from *inter-clique* overlaps (minimised,
+//! not eliminated — "a possibility to lock hosts (and not networks) is
+//! still needed").
+
+use envmap::EnvView;
+use netsim::fairness::{path_resources, Resource as NetResource};
+use netsim::routing::RouteTable;
+use netsim::topology::Topology;
+
+use crate::aggregate::{Estimator, MeasurementSource, StaticSource};
+use crate::plan::DeploymentPlan;
+use nws::{Resource, SeriesKey};
+
+/// Validation outcome.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Clique pairs whose measured paths share no physical resource.
+    pub disjoint_clique_pairs: usize,
+    /// Clique pairs with at least one shared resource: (clique A, clique
+    /// B, example "a→b vs c→d" description). The paper's plan has these
+    /// wherever a host joins two cliques.
+    pub colliding_clique_pairs: Vec<(String, String, String)>,
+    /// Whether every ordered host pair (master included) is estimable.
+    pub complete: bool,
+    pub incomplete_pairs: Vec<(String, String)>,
+    /// Constraint-4 numbers.
+    pub measured_pairs: usize,
+    pub full_mesh_pairs: usize,
+    /// Hosts named by the plan but missing from the platform.
+    pub unresolved_hosts: Vec<String>,
+}
+
+impl PlanReport {
+    /// True when no two cliques can interfere at all — stricter than the
+    /// paper achieves on ENS-Lyon.
+    pub fn strictly_collision_free(&self) -> bool {
+        self.colliding_clique_pairs.is_empty()
+    }
+
+    /// Intrusiveness ratio: measured / full-mesh directed pairs.
+    pub fn intrusiveness(&self) -> f64 {
+        if self.full_mesh_pairs == 0 {
+            return 0.0;
+        }
+        self.measured_pairs as f64 / self.full_mesh_pairs as f64
+    }
+
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "plan report: {} measured / {} full-mesh pairs (intrusiveness {:.1}%)\n",
+            self.measured_pairs,
+            self.full_mesh_pairs,
+            100.0 * self.intrusiveness()
+        ));
+        s.push_str(&format!(
+            "  clique pairs: {} disjoint, {} overlapping\n",
+            self.disjoint_clique_pairs,
+            self.colliding_clique_pairs.len()
+        ));
+        for (a, b, why) in &self.colliding_clique_pairs {
+            s.push_str(&format!("    overlap {a} ↔ {b}: {why}\n"));
+        }
+        s.push_str(&format!(
+            "  completeness: {}\n",
+            if self.complete { "every pair estimable" } else { "INCOMPLETE" }
+        ));
+        for (a, b) in &self.incomplete_pairs {
+            s.push_str(&format!("    no estimate for {a} → {b}\n"));
+        }
+        s
+    }
+}
+
+/// A synthetic measurement source that "has" every pair some clique
+/// measures — models the state after the system has run a full round.
+fn post_round_source(plan: &DeploymentPlan) -> StaticSource {
+    let mut s = StaticSource::default();
+    for c in &plan.cliques {
+        for (a, b) in c.measured_pairs() {
+            s.set(SeriesKey::link(Resource::Bandwidth, &a, &b), 1.0);
+            s.set(SeriesKey::link(Resource::Latency, &a, &b), 1.0);
+        }
+    }
+    s
+}
+
+/// Validate a plan against the effective view it came from and the ground
+/// truth topology.
+pub fn validate_plan(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> PlanReport {
+    let routes = RouteTable::compute(topo);
+
+    // --- constraint 1: collisions between cliques -------------------------
+    // Resource footprint of each clique: union of resources of all its
+    // measured pairs' directed paths.
+    // (clique name, deduped resources, pairs actually routable)
+    type Footprint = (String, Vec<NetResource>, Vec<(String, String)>);
+    let mut footprints: Vec<Footprint> = Vec::new();
+    let mut unresolved = Vec::new();
+    for c in &plan.cliques {
+        let mut resources = Vec::new();
+        let mut pairs = Vec::new();
+        for (a, b) in c.measured_pairs() {
+            let (Some(na), Some(nb)) = (topo.node_by_name(&a), topo.node_by_name(&b)) else {
+                for h in [&a, &b] {
+                    if topo.node_by_name(h).is_none() && !unresolved.contains(h) {
+                        unresolved.push(h.clone());
+                    }
+                }
+                continue;
+            };
+            if let Ok(path) = routes.path(na, nb) {
+                resources.extend(path_resources(topo, &path));
+                pairs.push((a, b));
+            }
+        }
+        resources.sort_unstable();
+        resources.dedup();
+        footprints.push((c.name.clone(), resources, pairs));
+    }
+
+    let mut disjoint = 0usize;
+    let mut colliding = Vec::new();
+    for i in 0..footprints.len() {
+        for j in (i + 1)..footprints.len() {
+            let shared: Vec<&NetResource> = footprints[i]
+                .1
+                .iter()
+                .filter(|r| footprints[j].1.contains(r))
+                .collect();
+            if shared.is_empty() {
+                disjoint += 1;
+            } else {
+                let example = format!(
+                    "{} measured pairs share {} resource(s) with {}",
+                    footprints[i].0,
+                    shared.len(),
+                    footprints[j].0
+                );
+                colliding.push((footprints[i].0.clone(), footprints[j].0.clone(), example));
+            }
+        }
+    }
+
+    // --- constraint 3: completeness ---------------------------------------
+    let source = post_round_source(plan);
+    let estimator = Estimator::new(view, plan);
+    let mut all_hosts = plan.hosts.clone();
+    if !all_hosts.contains(&plan.master) {
+        all_hosts.push(plan.master.clone());
+    }
+    let mut incomplete = Vec::new();
+    for a in &all_hosts {
+        for b in &all_hosts {
+            if a == b {
+                continue;
+            }
+            if estimator.estimate(a, b, &source as &dyn MeasurementSource).is_none() {
+                incomplete.push((a.clone(), b.clone()));
+            }
+        }
+    }
+
+    PlanReport {
+        disjoint_clique_pairs: disjoint,
+        colliding_clique_pairs: colliding,
+        complete: incomplete.is_empty(),
+        incomplete_pairs: incomplete,
+        measured_pairs: plan.measured_pair_count(),
+        full_mesh_pairs: plan.full_mesh_pair_count(),
+        unresolved_hosts: unresolved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_deployment, PlannerConfig};
+    use envmap::{merge_runs, EnvConfig, EnvMapper, HostInput};
+    use gridml::merge::GatewayAlias;
+    use netsim::scenarios::{ens_lyon, star_switch, Calibration};
+    use netsim::units::Bandwidth;
+    use netsim::Sim;
+
+    fn ens_view_and_topo() -> (EnvView, Topology) {
+        let net = ens_lyon(Calibration::Paper);
+        let mut eng = Sim::new(net.topo.clone());
+        let mapper = EnvMapper::new(EnvConfig::fast());
+        let outside: Vec<HostInput> = [
+            "the-doors.ens-lyon.fr",
+            "canaria.ens-lyon.fr",
+            "moby.cri2000.ens-lyon.fr",
+            "myri.ens-lyon.fr",
+            "popc.ens-lyon.fr",
+            "sci.ens-lyon.fr",
+        ]
+        .iter()
+        .map(|s| HostInput::new(s))
+        .collect();
+        let o = mapper
+            .map(&mut eng, &outside, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
+            .unwrap();
+        let inside: Vec<HostInput> = [
+            "popc0.popc.private",
+            "myri0.popc.private",
+            "sci0.popc.private",
+            "myri1.popc.private",
+            "myri2.popc.private",
+            "sci1.popc.private",
+            "sci2.popc.private",
+            "sci3.popc.private",
+            "sci4.popc.private",
+            "sci5.popc.private",
+            "sci6.popc.private",
+        ]
+        .iter()
+        .map(|s| HostInput::new(s))
+        .collect();
+        let i = mapper.map(&mut eng, &inside, "sci0.popc.private", None).unwrap();
+        let view = merge_runs(
+            &o,
+            &i,
+            &[
+                GatewayAlias::new("popc.ens-lyon.fr", "popc0.popc.private"),
+                GatewayAlias::new("myri.ens-lyon.fr", "myri0.popc.private"),
+                GatewayAlias::new("sci.ens-lyon.fr", "sci0.popc.private"),
+            ],
+        );
+        (view, net.topo)
+    }
+
+    #[test]
+    fn ens_lyon_plan_is_complete() {
+        let (view, topo) = ens_view_and_topo();
+        let plan = plan_deployment(&view, &PlannerConfig::default());
+        let report = validate_plan(&plan, &view, &topo);
+        assert!(report.unresolved_hosts.is_empty(), "{:?}", report.unresolved_hosts);
+        assert!(report.complete, "{}", report.render());
+        assert_eq!(report.measured_pairs, plan.measured_pair_count());
+    }
+
+    #[test]
+    fn ens_lyon_plan_reproduces_papers_admitted_overlaps() {
+        // Hosts in two cliques (canaria, myri0, sci0...) make some clique
+        // pairs share a medium — exactly the §6 shortcoming. The report
+        // must surface them without claiming strict collision-freedom.
+        let (view, topo) = ens_view_and_topo();
+        let plan = plan_deployment(&view, &PlannerConfig::default());
+        let report = validate_plan(&plan, &view, &topo);
+        assert!(
+            !report.strictly_collision_free(),
+            "the paper's own plan shape has inter/local overlaps"
+        );
+        // The inter clique is involved in every overlap.
+        for (a, b, _) in &report.colliding_clique_pairs {
+            assert!(
+                a == "inter-top" || b == "inter-top" || a.contains("Hub2") || b.contains("Hub2")
+                    || a.contains("local") || b.contains("local"),
+                "unexpected overlap {a} vs {b}"
+            );
+        }
+        // But most clique pairs are disjoint.
+        assert!(report.disjoint_clique_pairs >= report.colliding_clique_pairs.len());
+    }
+
+    #[test]
+    fn single_switch_plan_is_strictly_collision_free() {
+        // One switched LAN, one clique: nothing to collide with.
+        let net = star_switch(5, Bandwidth::mbps(100.0));
+        let names: Vec<String> = net
+            .hosts
+            .iter()
+            .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
+            .collect();
+        let mut eng = Sim::new(net.topo.clone());
+        let inputs: Vec<HostInput> = names.iter().map(|n| HostInput::new(n)).collect();
+        let run = EnvMapper::new(EnvConfig::fast())
+            .map(&mut eng, &inputs, &names[0], None)
+            .unwrap();
+        let plan = plan_deployment(&run.view, &PlannerConfig::default());
+        let report = validate_plan(&plan, &run.view, &net.topo);
+        assert!(report.strictly_collision_free(), "{}", report.render());
+        assert!(report.complete, "{}", report.render());
+    }
+
+    #[test]
+    fn report_renders() {
+        let (view, topo) = ens_view_and_topo();
+        let plan = plan_deployment(&view, &PlannerConfig::default());
+        let report = validate_plan(&plan, &view, &topo);
+        let s = report.render();
+        assert!(s.contains("intrusiveness"));
+        assert!(s.contains("completeness"));
+        assert!(report.intrusiveness() > 0.0 && report.intrusiveness() < 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The naive-mapping cost model of paper §4.3 ("Master/Slave paradigm").
+//!
+//! "Using exactly the same methodology as ENV for a whole mapping would
+//! require to first drive n∗(n−1) bandwidth tests between each couple of
+//! hosts {a; b}. Then, it would require for each pair of link {a; b} and
+//! {c; d} to conduct experiments to determine whether those network path
+//! are dependent or not. ... Considering that collecting information about
+//! two given links lasts half a minute ..., the whole process would last
+//! about 50 days for 20 hosts."
+//!
+//! With L = n(n−1) directed links, the paper's "about 50 days" corresponds
+//! to the ordered link pairs L·(L−1) at 30 s each (20 hosts → 380·379
+//! experiments ≈ 50.0 days); the L single-link tests add under 4 hours.
+
+/// Cost model for the naive full-mesh mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveCost {
+    pub hosts: usize,
+    /// Directed links to test: n(n−1).
+    pub links: u64,
+    /// Single-link bandwidth tests.
+    pub link_tests: u64,
+    /// Link-interference experiments (ordered pairs of distinct links).
+    pub interference_tests: u64,
+    /// Total wall-clock seconds at the given per-experiment duration.
+    pub total_seconds: f64,
+}
+
+impl NaiveCost {
+    pub fn total_experiments(&self) -> u64 {
+        self.link_tests + self.interference_tests
+    }
+
+    pub fn days(&self) -> f64 {
+        self.total_seconds / 86_400.0
+    }
+}
+
+/// Evaluate the naive model for `hosts` machines at `seconds_per_experiment`
+/// per experiment (the paper uses 30 s: "the network needs to stabilize
+/// between each experiments").
+pub fn naive_cost(hosts: usize, seconds_per_experiment: f64) -> NaiveCost {
+    let n = hosts as u64;
+    let links = n.saturating_mul(n.saturating_sub(1));
+    let interference = links.saturating_mul(links.saturating_sub(1));
+    let total = (links + interference) as f64 * seconds_per_experiment;
+    NaiveCost {
+        hosts,
+        links,
+        link_tests: links,
+        interference_tests: interference,
+        total_seconds: total,
+    }
+}
+
+/// ENV's probe-count model on a single cluster of `k` slave hosts (the
+/// master is separate): k host-to-host tests, C(k,2) pairwise experiments,
+/// C(k,2) internal tests and `jam_repeats` jam experiments.
+pub fn env_experiments_for_cluster(k: u64, jam_repeats: u64) -> u64 {
+    if k == 0 {
+        return 0;
+    }
+    let pairs = k * (k.saturating_sub(1)) / 2;
+    let jams = if k >= 3 { jam_repeats } else { 0 };
+    k + pairs + pairs + jams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's headline number: "about 50 days for 20 hosts".
+    #[test]
+    fn fifty_days_for_twenty_hosts() {
+        let c = naive_cost(20, 30.0);
+        assert_eq!(c.links, 380);
+        assert_eq!(c.interference_tests, 380 * 379);
+        let days = c.days();
+        assert!((days - 50.0).abs() < 1.0, "got {days} days");
+    }
+
+    #[test]
+    fn growth_is_quartic() {
+        let c10 = naive_cost(10, 30.0);
+        let c20 = naive_cost(20, 30.0);
+        // Doubling n multiplies the cost by ~16 (n⁴ scaling).
+        let factor = c20.total_seconds / c10.total_seconds;
+        assert!((14.0..20.0).contains(&factor), "factor {factor}");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(naive_cost(0, 30.0).total_experiments(), 0);
+        assert_eq!(naive_cost(1, 30.0).total_experiments(), 0);
+        let c2 = naive_cost(2, 30.0);
+        assert_eq!(c2.links, 2);
+        assert_eq!(c2.interference_tests, 2);
+    }
+
+    #[test]
+    fn env_cluster_cost_is_quadratic_not_quartic() {
+        // 19 slaves (20 hosts incl. master) in one cluster.
+        let env = env_experiments_for_cluster(19, 5);
+        assert_eq!(env, 19 + 171 + 171 + 5);
+        let naive = naive_cost(20, 30.0).total_experiments();
+        // ENV is ~400 experiments vs ~144k: three orders of magnitude.
+        assert!(naive / env > 300, "naive {naive} / env {env}");
+    }
+
+    #[test]
+    fn env_cluster_edge_cases() {
+        assert_eq!(env_experiments_for_cluster(0, 5), 0);
+        assert_eq!(env_experiments_for_cluster(1, 5), 1);
+        assert_eq!(env_experiments_for_cluster(2, 5), 2 + 1 + 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # envmap — the Effective Network View mapper
+//!
+//! A from-scratch implementation of ENV (Shao, Berman & Wolski), the
+//! application-level network mapper the paper builds its automatic NWS
+//! deployment on. ENV discovers the *effective* topology of a network from
+//! the point of view of a chosen **master**, using only user-level
+//! observations: end-to-end bandwidth probes and traceroute. No SNMP, no
+//! raw sockets, no privileges (paper §3).
+//!
+//! ## Pipeline (paper §4.2)
+//!
+//! **Master-independent phase**
+//! 1. *Lookup* — resolve the provided host names/addresses, group them
+//!    into sites by DNS domain (falling back to the classful network for
+//!    nameless machines, §4.3).
+//! 2. *Host information* — optional per-host properties.
+//! 3. *Structural topology* — every host traceroutes a well-known external
+//!    destination; hosts sharing the same exit path cluster together
+//!    ([`structural`]).
+//!
+//! **Master-dependent phase** ([`refine`]): successive cluster refinements
+//! 4. *Host-to-host bandwidth* — split clusters whose members' bandwidth to
+//!    the master differ by more than 3×.
+//! 5. *Pairwise bandwidth* — concurrent transfers master→A and master→B;
+//!    hosts whose transfers do not interfere (ratio < 1.25) are split.
+//! 6. *Internal bandwidth* — bandwidth between cluster members (the local
+//!    rate can differ from the master rate, e.g. behind a bottleneck).
+//! 7. *Jammed bandwidth* — master→A measured while B↔C runs inside the
+//!    cluster; average ratio < 0.7 ⇒ shared (hub), > 0.9 ⇒ switched,
+//!    in-between ⇒ undetermined (refinement stops).
+//!
+//! Results are an [`EnvView`] tree plus regenerated GridML. Firewalled
+//! platforms are mapped per side and merged ([`merge_runs`]), unifying the
+//! gateways' names exactly as paper §4.3 describes.
+
+pub mod cost;
+pub mod gridml_out;
+pub mod mapper;
+pub mod merge;
+pub mod net;
+pub mod refine;
+pub mod structural;
+pub mod thresholds;
+
+pub use gridml_out::view_from_gridml;
+pub use mapper::{EnvConfig, EnvMapper, EnvRun, HostInput, ProbeStats};
+pub use merge::merge_runs;
+pub use net::{EnvNet, EnvView, NetKind};
+pub use structural::StructNode;
+pub use thresholds::EnvThresholds;

@@ -1,0 +1,264 @@
+//! The mapper's result types: the effective-network tree.
+
+use std::fmt;
+
+/// How a discovered network shares its medium — the crucial bit of layer-2
+/// information the whole paper turns on (§4.2.2.4, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// One shared medium (hub/bus): any two members' transfers collide, so
+    /// one host pair is representative of every pair.
+    Shared,
+    /// Per-port capacity (switch): disjoint pairs are independent, every
+    /// pair must be measurable.
+    Switched,
+    /// The jammed-bandwidth ratio fell between the thresholds; ENV stops
+    /// gathering data about the cluster (§4.2.2.4).
+    Undetermined,
+    /// A single-host cluster — nothing to classify.
+    Single,
+}
+
+impl fmt::Display for NetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetKind::Shared => "shared",
+            NetKind::Switched => "switched",
+            NetKind::Undetermined => "undetermined",
+            NetKind::Single => "single",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One effective network (a refined cluster), possibly with child networks
+/// hanging off gateway members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvNet {
+    /// Display label: the gateway's name when the network hangs behind
+    /// one, otherwise the structural hop or first member (the paper's
+    /// GridML labels the sci switch "sci0").
+    pub label: String,
+    pub kind: NetKind,
+    /// Member host names, sorted.
+    pub hosts: Vec<String>,
+    /// The member of the *parent* network this one is reached through
+    /// (`None` for networks directly visible from the master).
+    pub via: Option<String>,
+    /// Routers between the master and this network, outermost first — the
+    /// hops route asymmetry keeps in the effective view (Figure 1b).
+    pub router_path: Vec<String>,
+    /// Median master↔member bandwidth (ENV_base_BW), in Mbps.
+    pub base_bw_mbps: f64,
+    /// Median member↔member bandwidth (ENV_base_local_BW), when measured.
+    pub local_bw_mbps: Option<f64>,
+    /// Average jammed/base ratio from the jammed experiment, when run.
+    pub jam_ratio: Option<f64>,
+    pub children: Vec<EnvNet>,
+}
+
+impl EnvNet {
+    /// Number of networks in this subtree (including self).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(EnvNet::count).sum::<usize>()
+    }
+
+    /// All host names in this subtree.
+    pub fn hosts_recursive(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.hosts.iter().map(|s| s.as_str()).collect();
+        for c in &self.children {
+            out.extend(c.hosts_recursive());
+        }
+        out
+    }
+
+    /// Depth-first search for the network containing `host` as a direct
+    /// member.
+    pub fn find_containing(&self, host: &str) -> Option<&EnvNet> {
+        if self.hosts.iter().any(|h| h == host) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_containing(host))
+    }
+}
+
+/// A complete effective view: what one ENV run (or a merge of runs)
+/// knows about the platform from `master`'s standpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvView {
+    /// The vantage point.
+    pub master: String,
+    /// Top-level effective networks.
+    pub networks: Vec<EnvNet>,
+}
+
+impl EnvView {
+    pub fn network_count(&self) -> usize {
+        self.networks.iter().map(EnvNet::count).sum()
+    }
+
+    pub fn all_hosts(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for n in &self.networks {
+            out.extend(n.hosts_recursive());
+        }
+        out
+    }
+
+    pub fn find_containing(&self, host: &str) -> Option<&EnvNet> {
+        self.networks.iter().find_map(|n| n.find_containing(host))
+    }
+
+    /// Graphviz (DOT) rendering of the effective tree — a Figure 1(b)-style
+    /// picture via `dot -Tsvg`.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph effective_view {\n  rankdir=TB;\n");
+        let esc = |s: &str| s.replace('"', "\\\"");
+        let _ = writeln!(out, "  master [label=\"{}\",shape=box,style=bold];", esc(&self.master));
+        fn rec(
+            out: &mut String,
+            net: &EnvNet,
+            parent: &str,
+            idx: &mut usize,
+            esc: &dyn Fn(&str) -> String,
+        ) {
+            use std::fmt::Write as _;
+            let id = format!("net{}", *idx);
+            *idx += 1;
+            let fill = match net.kind {
+                NetKind::Shared => "lightyellow",
+                NetKind::Switched => "lightblue",
+                NetKind::Undetermined => "lightgray",
+                NetKind::Single => "white",
+            };
+            let _ = writeln!(
+                out,
+                "  {id} [label=\"{} [{}]\\n{:.1} Mbps\",shape=ellipse,style=filled,fillcolor={fill}];",
+                esc(&net.label),
+                net.kind,
+                net.base_bw_mbps
+            );
+            let via = net.via.as_deref().map(esc).unwrap_or_default();
+            let _ = writeln!(out, "  {parent} -> {id} [label=\"{via}\"];");
+            for h in &net.hosts {
+                let short = h.split('.').next().unwrap_or(h);
+                let _ = writeln!(out, "  \"{}\" [shape=box];", esc(short));
+                let _ = writeln!(out, "  {id} -> \"{}\";", esc(short));
+            }
+            for c in &net.children {
+                rec(out, c, &id, idx, esc);
+            }
+        }
+        let mut idx = 0usize;
+        for n in &self.networks {
+            rec(&mut out, n, "master", &mut idx, &esc);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Pretty ASCII rendering of the tree (used by the figure binaries).
+    pub fn render(&self) -> String {
+        fn rec(out: &mut String, net: &EnvNet, depth: usize) {
+            let pad = "  ".repeat(depth);
+            let via = net
+                .via
+                .as_deref()
+                .map(|v| format!(" via {v}"))
+                .unwrap_or_default();
+            let local = net
+                .local_bw_mbps
+                .map(|l| format!(", local {l:.2} Mbps"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{pad}[{}] {}{} (base {:.2} Mbps{}): {}\n",
+                net.kind,
+                net.label,
+                via,
+                net.base_bw_mbps,
+                local,
+                net.hosts.join(", ")
+            ));
+            for c in &net.children {
+                rec(out, c, depth + 1);
+            }
+        }
+        let mut s = format!("Effective view from {}\n", self.master);
+        for n in &self.networks {
+            rec(&mut s, n, 1);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(label: &str, kind: NetKind, hosts: &[&str]) -> EnvNet {
+        EnvNet {
+            label: label.to_string(),
+            kind,
+            hosts: hosts.iter().map(|s| s.to_string()).collect(),
+            via: None,
+            router_path: vec![],
+            base_bw_mbps: 100.0,
+            local_bw_mbps: None,
+            jam_ratio: None,
+            children: vec![],
+        }
+    }
+
+    #[test]
+    fn tree_navigation() {
+        let mut hub2 = leaf("hub2", NetKind::Shared, &["myri0", "popc0", "sci0"]);
+        let mut sw = leaf("sci0", NetKind::Switched, &["sci1", "sci2"]);
+        sw.via = Some("sci0".to_string());
+        hub2.children.push(sw);
+        let view = EnvView {
+            master: "the-doors".to_string(),
+            networks: vec![leaf("hub1", NetKind::Shared, &["canaria", "moby"]), hub2],
+        };
+        assert_eq!(view.network_count(), 3);
+        assert_eq!(view.all_hosts().len(), 7);
+        assert_eq!(view.find_containing("sci2").unwrap().kind, NetKind::Switched);
+        assert_eq!(view.find_containing("moby").unwrap().label, "hub1");
+        assert!(view.find_containing("ghost").is_none());
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let mut parent = leaf("hub2", NetKind::Shared, &["a"]);
+        parent.children.push(leaf("inner", NetKind::Switched, &["b"]));
+        let view = EnvView { master: "m".to_string(), networks: vec![parent] };
+        let s = view.render();
+        assert!(s.contains("Effective view from m"));
+        assert!(s.contains("  [shared] hub2"));
+        assert!(s.contains("    [switched] inner"));
+    }
+
+    #[test]
+    fn dot_export_contains_networks_and_hosts() {
+        let mut hub2 = leaf("hub2", NetKind::Shared, &["myri0.popc.private", "popc0.popc.private"]);
+        let mut sw = leaf("sci0", NetKind::Switched, &["sci1.popc.private"]);
+        sw.via = Some("sci0.popc.private".to_string());
+        hub2.children.push(sw);
+        let view = EnvView { master: "the-doors".to_string(), networks: vec![hub2] };
+        let dot = view.to_dot();
+        assert!(dot.starts_with("digraph effective_view {"));
+        assert!(dot.contains("the-doors"));
+        assert!(dot.contains("lightyellow"), "shared nets are yellow");
+        assert!(dot.contains("lightblue"), "switched nets are blue");
+        assert!(dot.contains("\"myri0\""), "short host labels");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NetKind::Shared.to_string(), "shared");
+        assert_eq!(NetKind::Switched.to_string(), "switched");
+        assert_eq!(NetKind::Undetermined.to_string(), "undetermined");
+        assert_eq!(NetKind::Single.to_string(), "single");
+    }
+}

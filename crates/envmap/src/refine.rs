@@ -1,0 +1,529 @@
+//! Master-dependent cluster refinement (paper §4.2.2).
+//!
+//! Four successive experiments refine the structural clusters:
+//!
+//! 1. **Host-to-host bandwidth** — measure master↔host alone; split
+//!    clusters whose members' rates differ by more than the 3× threshold.
+//! 2. **Pairwise host bandwidth** — master→A and master→B concurrently;
+//!    if A's rate is not reduced by at least the 1.25× threshold, A is
+//!    independent of B. Connected components of the dependence relation
+//!    become the new clusters.
+//! 3. **Internal host bandwidth** — member↔member rates (the local rate
+//!    can exceed the master rate when a bottleneck sits in front of the
+//!    cluster, like the paper's popc example).
+//! 4. **Jammed bandwidth** — master→A while B↔C runs inside the cluster,
+//!    repeated 5 times; the average jammed/base ratio classifies the
+//!    cluster as shared (< 0.7), switched (> 0.9) or undetermined.
+
+use netsim::prelude::*;
+use netsim::Engine;
+
+use crate::mapper::ProbeStats;
+use crate::net::NetKind;
+use crate::thresholds::EnvThresholds;
+
+/// A host under refinement: its input name and resolved node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefHost {
+    pub name: String,
+    pub node: NodeId,
+}
+
+/// Everything the refinement experiments need to know.
+#[derive(Debug, Clone)]
+pub struct RefineParams {
+    pub thresholds: EnvThresholds,
+    /// Payload of a single bandwidth experiment.
+    pub probe_bytes: Bytes,
+    /// The jamming transfer is this many times larger than the probe so it
+    /// spans the whole measurement.
+    pub jam_flow_factor: u64,
+    /// Pause between experiments ("the network needs to stabilize between
+    /// each experiments", §4.3).
+    pub settle: TimeDelta,
+    /// Number of jammed-bandwidth repetitions (paper: 5).
+    pub jam_repeats: usize,
+    /// Cap on the number of member pairs measured by the internal phase
+    /// (`None` = all pairs, as ENV does; a cap trades accuracy for time on
+    /// large clusters).
+    pub internal_pair_cap: Option<usize>,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        RefineParams {
+            thresholds: EnvThresholds::paper(),
+            probe_bytes: Bytes::mib(1),
+            jam_flow_factor: 4,
+            settle: TimeDelta::from_millis(500.0),
+            jam_repeats: 5,
+            internal_pair_cap: None,
+        }
+    }
+}
+
+/// A refined cluster with its measurements.
+#[derive(Debug, Clone)]
+pub struct RefinedCluster {
+    pub hosts: Vec<RefHost>,
+    pub kind: NetKind,
+    /// Median master↔member bandwidth (Mbps).
+    pub base_bw_mbps: f64,
+    /// Median member↔member bandwidth (Mbps), when measured.
+    pub local_bw_mbps: Option<f64>,
+    /// Average jammed/base ratio, when the jam experiment ran.
+    pub jam_ratio: Option<f64>,
+    /// Whether the pairwise experiment found the members mutually
+    /// dependent (used to classify 2-host clusters).
+    pub pairwise_dependent: bool,
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+fn settle<M>(eng: &mut Engine<M>, params: &RefineParams) {
+    let t = eng.now() + params.settle;
+    eng.run_until(t);
+}
+
+/// Refine one structural cluster into one or more classified clusters.
+///
+/// `master` must not be a member of `hosts`.
+pub fn refine_cluster<M>(
+    eng: &mut Engine<M>,
+    master: NodeId,
+    hosts: &[RefHost],
+    params: &RefineParams,
+    stats: &mut ProbeStats,
+) -> Vec<RefinedCluster> {
+    // ---- phase 1: host-to-host bandwidth --------------------------------
+    let mut rated: Vec<(RefHost, f64)> = Vec::with_capacity(hosts.len());
+    for h in hosts {
+        settle(eng, params);
+        match eng.measure_bandwidth(master, h.node, params.probe_bytes) {
+            Ok(bw) => {
+                stats.bw_probes += 1;
+                rated.push((h.clone(), bw.as_mbps()));
+            }
+            Err(_) => {
+                // Unreachable from the master (e.g. firewalled): the host
+                // cannot be refined from this vantage point; it surfaces as
+                // an unreachable singleton so the caller can report it.
+                rated.push((h.clone(), 0.0));
+            }
+        }
+    }
+
+    // Split by the 3× ratio on the sorted rates (adjacent-ratio chaining:
+    // a gap larger than the threshold starts a new group).
+    rated.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then_with(|| a.0.name.cmp(&b.0.name))
+    });
+    let mut groups: Vec<Vec<(RefHost, f64)>> = Vec::new();
+    for (h, bw) in rated {
+        match groups.last_mut() {
+            Some(g) => {
+                let prev = g.last().expect("groups are non-empty").1;
+                if bw <= 0.0 || prev / bw.max(f64::MIN_POSITIVE) > params.thresholds.h2h_split_ratio
+                {
+                    groups.push(vec![(h, bw)]);
+                } else {
+                    g.push((h, bw));
+                }
+            }
+            None => groups.push(vec![(h, bw)]),
+        }
+    }
+
+    // ---- phases 2–4 per bandwidth group ----------------------------------
+    let mut out = Vec::new();
+    for group in groups {
+        out.extend(refine_group(eng, master, group, params, stats));
+    }
+    out
+}
+
+/// Phases 2–4 on a bandwidth-homogeneous group.
+fn refine_group<M>(
+    eng: &mut Engine<M>,
+    master: NodeId,
+    group: Vec<(RefHost, f64)>,
+    params: &RefineParams,
+    stats: &mut ProbeStats,
+) -> Vec<RefinedCluster> {
+    let k = group.len();
+    if k == 1 {
+        let (h, bw) = group.into_iter().next().expect("k == 1");
+        return vec![RefinedCluster {
+            hosts: vec![h],
+            kind: NetKind::Single,
+            base_bw_mbps: bw,
+            local_bw_mbps: None,
+            jam_ratio: None,
+            pairwise_dependent: false,
+        }];
+    }
+
+    // ---- phase 2: pairwise host bandwidth --------------------------------
+    // dependence graph → connected components
+    let mut dependent = vec![vec![false; k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            settle(eng, params);
+            let results = eng.measure_bandwidth_concurrent(
+                &[(master, group[i].0.node), (master, group[j].0.node)],
+                params.probe_bytes,
+            );
+            stats.concurrent_experiments += 1;
+            let paired_i = results[0].as_ref().map(|b| b.as_mbps()).unwrap_or(0.0);
+            let paired_j = results[1].as_ref().map(|b| b.as_mbps()).unwrap_or(0.0);
+            let ratio_i = if paired_i > 0.0 { group[i].1 / paired_i } else { f64::INFINITY };
+            let ratio_j = if paired_j > 0.0 { group[j].1 / paired_j } else { f64::INFINITY };
+            // A and B interfere when either transfer slowed by ≥ the
+            // threshold (the paper states the rule for A; interference is
+            // symmetric under the fluid model).
+            let dep = ratio_i >= params.thresholds.pairwise_dependent_ratio
+                || ratio_j >= params.thresholds.pairwise_dependent_ratio;
+            dependent[i][j] = dep;
+            dependent[j][i] = dep;
+        }
+    }
+    let components = connected_components(&dependent);
+
+    let mut out = Vec::new();
+    for comp in components {
+        let members: Vec<(RefHost, f64)> = comp.iter().map(|&i| group[i].clone()).collect();
+        out.push(classify_component(eng, master, members, params, stats));
+    }
+    out
+}
+
+/// Phases 3 and 4 on a pairwise-connected component.
+fn classify_component<M>(
+    eng: &mut Engine<M>,
+    master: NodeId,
+    mut members: Vec<(RefHost, f64)>,
+    params: &RefineParams,
+    stats: &mut ProbeStats,
+) -> RefinedCluster {
+    members.sort_by(|a, b| a.0.name.cmp(&b.0.name));
+    let k = members.len();
+    let mut base: Vec<f64> = members.iter().map(|(_, bw)| *bw).collect();
+    let base_bw = median(&mut base);
+
+    if k == 1 {
+        return RefinedCluster {
+            hosts: members.into_iter().map(|(h, _)| h).collect(),
+            kind: NetKind::Single,
+            base_bw_mbps: base_bw,
+            local_bw_mbps: None,
+            jam_ratio: None,
+            pairwise_dependent: false,
+        };
+    }
+
+    // ---- phase 3: internal host bandwidth --------------------------------
+    let mut locals = Vec::new();
+    let mut measured_pairs = 0usize;
+    'outer: for i in 0..k {
+        for j in (i + 1)..k {
+            if let Some(cap) = params.internal_pair_cap {
+                if measured_pairs >= cap {
+                    break 'outer;
+                }
+            }
+            settle(eng, params);
+            if let Ok(bw) =
+                eng.measure_bandwidth(members[i].0.node, members[j].0.node, params.probe_bytes)
+            {
+                stats.bw_probes += 1;
+                locals.push(bw.as_mbps());
+                measured_pairs += 1;
+            }
+        }
+    }
+    let local_bw = if locals.is_empty() { None } else { Some(median(&mut locals)) };
+
+    // ---- phase 4: jammed bandwidth ---------------------------------------
+    let (kind, jam_ratio) = if k >= 3 {
+        let mut ratios = Vec::with_capacity(params.jam_repeats);
+        for r in 0..params.jam_repeats {
+            // Rotate target and jam pair deterministically.
+            let a = r % k;
+            let b = (a + 1) % k;
+            let c = (a + 2) % k;
+            settle(eng, params);
+            // Launch the jam transfer first (sized to outlast the probe),
+            // then measure the master→A bandwidth while it runs — "the
+            // bandwidth to the master is measured while a transfer between
+            // two other hosts of that cluster occurs" (§4.2.2.4).
+            let jam_bytes = Bytes::new(params.probe_bytes.as_u64() * params.jam_flow_factor);
+            let jam = eng.start_probe_flow(members[b].0.node, members[c].0.node, jam_bytes).ok();
+            let probed = eng.measure_bandwidth(master, members[a].0.node, params.probe_bytes);
+            stats.concurrent_experiments += 1;
+            if let Some(jam) = jam {
+                // Let the jam transfer drain before the next experiment.
+                let _ = eng.run_until_flows_done(&[jam], TimeDelta::from_secs(3600.0));
+            }
+            if let Ok(bw) = probed {
+                let b0 = members[a].1;
+                if b0 > 0.0 {
+                    ratios.push(bw.as_mbps() / b0);
+                }
+            }
+        }
+        if ratios.is_empty() {
+            (NetKind::Undetermined, None)
+        } else {
+            let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let kind = if avg < params.thresholds.jam_shared_below {
+                NetKind::Shared
+            } else if avg > params.thresholds.jam_switched_above {
+                NetKind::Switched
+            } else {
+                NetKind::Undetermined
+            };
+            (kind, Some(avg))
+        }
+    } else {
+        // 2-host cluster: the jam experiment needs a third host. The
+        // pairwise dependence already told us the two transfers share a
+        // medium; for deployment purposes both classifications yield the
+        // same 2-host clique, and Figure 1(b) labels such clusters as hubs.
+        (NetKind::Shared, None)
+    };
+
+    RefinedCluster {
+        hosts: members.into_iter().map(|(h, _)| h).collect(),
+        kind,
+        base_bw_mbps: base_bw,
+        local_bw_mbps: local_bw,
+        jam_ratio,
+        pairwise_dependent: true,
+    }
+}
+
+/// Connected components of an undirected boolean adjacency matrix.
+fn connected_components(adj: &[Vec<bool>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut comp = Vec::new();
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for (v, &is_adj) in adj[u].iter().enumerate() {
+                if is_adj && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::scenarios::{star_hub, star_switch};
+    use netsim::Sim;
+
+    fn hosts_of(net: &netsim::scenarios::GeneratedNet, skip_master: bool) -> Vec<RefHost> {
+        net.hosts
+            .iter()
+            .filter(|n| !skip_master || **n != net.master)
+            .map(|n| RefHost {
+                name: format!("h{}", n.index()),
+                node: *n,
+            })
+            .collect()
+    }
+
+    fn quick_params() -> RefineParams {
+        RefineParams {
+            settle: TimeDelta::from_millis(10.0),
+            probe_bytes: Bytes::kib(512),
+            ..RefineParams::default()
+        }
+    }
+
+    #[test]
+    fn hub_cluster_is_shared() {
+        let net = star_hub(5, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let hosts = hosts_of(&net, true);
+        let mut stats = ProbeStats::default();
+        let refined =
+            refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        assert_eq!(refined.len(), 1, "hub must stay one cluster");
+        assert_eq!(refined[0].kind, NetKind::Shared);
+        assert!(refined[0].jam_ratio.unwrap() < 0.7);
+        assert!((refined[0].base_bw_mbps - 100.0).abs() < 5.0);
+        assert!(stats.bw_probes > 0 && stats.concurrent_experiments > 0);
+    }
+
+    #[test]
+    fn switch_cluster_is_switched_and_stays_together() {
+        let net = star_switch(5, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let hosts = hosts_of(&net, true);
+        let mut stats = ProbeStats::default();
+        let refined =
+            refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        // The master's own port makes pairwise transfers interfere, which
+        // keeps the cluster together; the jam test then reveals the switch.
+        assert_eq!(refined.len(), 1, "switch must stay one cluster");
+        assert_eq!(refined[0].kind, NetKind::Switched);
+        assert!(refined[0].jam_ratio.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn mixed_rates_split_by_h2h_threshold() {
+        // Build a switch where two hosts sit behind 10 Mbps ports: ratio
+        // 10 > 3 ⇒ split into two clusters.
+        let mut b = TopologyBuilder::new();
+        let sw = b.switch("sw", Bandwidth::mbps(100.0), Latency::micros(20.0));
+        let master = b.host("m.x", "10.0.0.250");
+        b.attach(master, sw);
+        let mut fast = Vec::new();
+        for i in 0..2 {
+            let h = b.host(&format!("fast{i}.x"), &format!("10.0.1.{}", i + 1));
+            b.attach(h, sw);
+            fast.push(h);
+        }
+        let mut slow = Vec::new();
+        for i in 0..2 {
+            let h = b.host(&format!("slow{i}.x"), &format!("10.0.2.{}", i + 1));
+            b.attach_with_capacity(h, sw, Bandwidth::mbps(10.0));
+            slow.push(h);
+        }
+        let mut eng = Sim::new(b.build().unwrap());
+        let hosts: Vec<RefHost> = fast
+            .iter()
+            .enumerate()
+            .map(|(i, n)| RefHost { name: format!("fast{i}.x"), node: *n })
+            .chain(
+                slow.iter()
+                    .enumerate()
+                    .map(|(i, n)| RefHost { name: format!("slow{i}.x"), node: *n }),
+            )
+            .collect();
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, master, &hosts, &quick_params(), &mut stats);
+        let names: Vec<Vec<&str>> = refined
+            .iter()
+            .map(|c| c.hosts.iter().map(|h| h.name.as_str()).collect())
+            .collect();
+        // The h2h threshold separates fast from slow; the fast pair stays
+        // together (they share the master's port). The slow pair is then
+        // split again by the pairwise test: behind independent 10 Mbps
+        // ports their transfers coexist without interference (both fit in
+        // the master's 100 Mbps port), so ENV correctly declares them
+        // independent.
+        assert_eq!(refined.len(), 3, "{names:?}");
+        assert!(names.contains(&vec!["fast0.x", "fast1.x"]));
+        assert!(names.contains(&vec!["slow0.x"]));
+        assert!(names.contains(&vec!["slow1.x"]));
+    }
+
+    #[test]
+    fn independent_hosts_split_by_pairwise_test() {
+        // Master with two separate point-to-point links to two hosts:
+        // transfers don't interfere ⇒ independent ⇒ separate clusters.
+        let mut b = TopologyBuilder::new();
+        let m = b.host("m.x", "10.0.0.1");
+        b.set_forwards(m, false);
+        let a = b.host("a.x", "10.0.0.2");
+        let c = b.host("c.x", "10.0.0.3");
+        b.link(m, a, Bandwidth::mbps(100.0), Latency::micros(50.0));
+        b.link(m, c, Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let mut eng = Sim::new(b.build().unwrap());
+        let hosts = vec![
+            RefHost { name: "a.x".into(), node: a },
+            RefHost { name: "c.x".into(), node: c },
+        ];
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, m, &hosts, &quick_params(), &mut stats);
+        assert_eq!(refined.len(), 2);
+        assert!(refined.iter().all(|c| c.kind == NetKind::Single));
+    }
+
+    #[test]
+    fn two_host_cluster_classified_shared() {
+        let net = star_hub(3, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let hosts = hosts_of(&net, true);
+        assert_eq!(hosts.len(), 2);
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        assert_eq!(refined.len(), 1);
+        assert_eq!(refined[0].kind, NetKind::Shared);
+        assert_eq!(refined[0].jam_ratio, None);
+        assert!(refined[0].pairwise_dependent);
+    }
+
+    #[test]
+    fn internal_bandwidth_is_measured() {
+        let net = star_hub(4, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let hosts = hosts_of(&net, true);
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        let local = refined[0].local_bw_mbps.unwrap();
+        assert!((local - 100.0).abs() < 5.0, "local = {local}");
+    }
+
+    #[test]
+    fn internal_pair_cap_limits_probes() {
+        let net = star_hub(6, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let hosts = hosts_of(&net, true);
+        let mut p = quick_params();
+        p.internal_pair_cap = Some(2);
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, net.master, &hosts, &p, &mut stats);
+        // 5 h2h probes + 2 capped internal probes.
+        assert_eq!(stats.bw_probes, 5 + 2);
+        assert!(refined[0].local_bw_mbps.is_some());
+    }
+
+    #[test]
+    fn empty_cluster_refines_to_nothing() {
+        let net = star_hub(2, Bandwidth::mbps(100.0));
+        let mut eng = Sim::new(net.topo.clone());
+        let mut stats = ProbeStats::default();
+        let refined = refine_cluster(&mut eng, net.master, &[], &quick_params(), &mut stats);
+        assert!(refined.is_empty());
+    }
+
+    #[test]
+    fn components_helper() {
+        let adj = vec![
+            vec![false, true, false],
+            vec![true, false, false],
+            vec![false, false, false],
+        ];
+        let comps = connected_components(&adj);
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+    }
+}

@@ -1,0 +1,197 @@
+//! GridML serialization, matching the layout of the paper's listings
+//! (§4.2.1.1, §4.2.1.2, §4.2.1.3, §4.2.2.4, §4.3).
+
+use std::fmt::Write as _;
+
+use crate::xml::open_tag;
+use crate::{GridDoc, Machine, Network, Property, Site};
+
+const INDENT: &str = "  ";
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+fn write_property(out: &mut String, depth: usize, p: &Property) {
+    pad(out, depth);
+    let mut attrs: Vec<(&str, &str)> = vec![("name", &p.name), ("value", &p.value)];
+    if let Some(u) = &p.units {
+        attrs.push(("units", u));
+    }
+    let _ = writeln!(out, "{}", open_tag("PROPERTY", &attrs, true));
+}
+
+fn write_machine(out: &mut String, depth: usize, m: &Machine) {
+    pad(out, depth);
+    out.push_str("<MACHINE>\n");
+    // LABEL with ip+name, containing ALIAS children (paper §4.2.1.1).
+    pad(out, depth + 1);
+    let mut attrs: Vec<(&str, &str)> = Vec::new();
+    if let Some(ip) = &m.ip {
+        attrs.push(("ip", ip));
+    }
+    attrs.push(("name", &m.name));
+    if m.aliases.is_empty() {
+        let _ = writeln!(out, "{}", open_tag("LABEL", &attrs, true));
+    } else {
+        let _ = writeln!(out, "{}", open_tag("LABEL", &attrs, false));
+        for a in &m.aliases {
+            pad(out, depth + 2);
+            let _ = writeln!(out, "{}", open_tag("ALIAS", &[("name", a)], true));
+        }
+        pad(out, depth + 1);
+        out.push_str("</LABEL>\n");
+    }
+    for p in &m.properties {
+        write_property(out, depth + 1, p);
+    }
+    pad(out, depth);
+    out.push_str("</MACHINE>\n");
+}
+
+fn write_network(out: &mut String, depth: usize, n: &Network) {
+    pad(out, depth);
+    match n.net_type {
+        Some(t) => {
+            let _ = writeln!(out, "{}", open_tag("NETWORK", &[("type", t.as_str())], false));
+        }
+        None => out.push_str("<NETWORK>\n"),
+    }
+    if n.label_ip.is_some() || n.label_name.is_some() {
+        pad(out, depth + 1);
+        let mut attrs: Vec<(&str, &str)> = Vec::new();
+        if let Some(ip) = &n.label_ip {
+            attrs.push(("ip", ip));
+        }
+        if let Some(name) = &n.label_name {
+            attrs.push(("name", name));
+        }
+        let _ = writeln!(out, "{}", open_tag("LABEL", &attrs, true));
+    }
+    for p in &n.properties {
+        write_property(out, depth + 1, p);
+    }
+    for m in &n.machines {
+        pad(out, depth + 1);
+        let _ = writeln!(out, "{}", open_tag("MACHINE", &[("name", m)], true));
+    }
+    for sub in &n.subnets {
+        write_network(out, depth + 1, sub);
+    }
+    pad(out, depth);
+    out.push_str("</NETWORK>\n");
+}
+
+fn write_site(out: &mut String, depth: usize, s: &Site) {
+    pad(out, depth);
+    let _ = writeln!(out, "{}", open_tag("SITE", &[("domain", &s.domain)], false));
+    if let Some(label) = &s.label {
+        pad(out, depth + 1);
+        let _ = writeln!(out, "{}", open_tag("LABEL", &[("name", label)], true));
+    }
+    for m in &s.machines {
+        write_machine(out, depth + 1, m);
+    }
+    for n in &s.networks {
+        write_network(out, depth + 1, n);
+    }
+    pad(out, depth);
+    out.push_str("</SITE>\n");
+}
+
+impl GridDoc {
+    /// Serialize to GridML (XML) text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<?xml version=\"1.0\"?>\n");
+        out.push_str("<GRID>\n");
+        if let Some(label) = &self.label {
+            pad(&mut out, 1);
+            let _ = writeln!(out, "{}", open_tag("LABEL", &[("name", label)], true));
+        }
+        for s in &self.sites {
+            write_site(&mut out, 1, s);
+        }
+        out.push_str("</GRID>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GridDoc, Machine, Network, NetworkType, Property, Site};
+
+    /// Regenerates the shape of the paper's first listing (§4.2.1.1).
+    #[test]
+    fn lookup_listing_shape() {
+        let mut site = Site::new("ens-lyon.fr");
+        site.label = Some("ENS-LYON-FR".to_string());
+        let mut canaria = Machine::with_ip("canaria.ens-lyon.fr", "140.77.13.229");
+        canaria.aliases.push("canaria".to_string());
+        site.machines.push(canaria);
+        let mut moby = Machine::with_ip("moby.cri2000.ens-lyon.fr", "140.77.13.82");
+        moby.aliases.push("moby".to_string());
+        site.machines.push(moby);
+        let doc = GridDoc { label: None, sites: vec![site] };
+        let xml = doc.to_xml();
+        assert!(xml.starts_with("<?xml version=\"1.0\"?>\n<GRID>\n"));
+        assert!(xml.contains(r#"<SITE domain="ens-lyon.fr">"#));
+        assert!(xml.contains(r#"<LABEL name="ENS-LYON-FR" />"#));
+        assert!(xml.contains(r#"<LABEL ip="140.77.13.229" name="canaria.ens-lyon.fr">"#));
+        assert!(xml.contains(r#"<ALIAS name="canaria" />"#));
+        assert!(xml.ends_with("</GRID>\n"));
+    }
+
+    /// Regenerates the shape of the ENV_Switched listing (§4.2.2.4).
+    #[test]
+    fn switched_network_listing_shape() {
+        let mut net = Network::new(Some(NetworkType::EnvSwitched));
+        net.label_name = Some("sci0".to_string());
+        net.properties.push(Property::with_units("ENV_base_BW", "32.65", "Mbps"));
+        net.properties.push(Property::with_units("ENV_base_local_BW", "32.29", "Mbps"));
+        for i in 1..=6 {
+            net.machines.push(format!("sci{i}.popc.private"));
+        }
+        let mut site = Site::new("popc.private");
+        site.networks.push(net);
+        let xml = GridDoc { label: None, sites: vec![site] }.to_xml();
+        assert!(xml.contains(r#"<NETWORK type="ENV_Switched">"#));
+        assert!(xml.contains(r#"<LABEL name="sci0" />"#));
+        assert!(xml.contains(r#"<PROPERTY name="ENV_base_BW" value="32.65" units="Mbps" />"#));
+        assert!(xml.contains(r#"<MACHINE name="sci1.popc.private" />"#));
+    }
+
+    #[test]
+    fn properties_without_units_omit_attribute() {
+        let mut m = Machine::new("x.y");
+        m.properties.push(Property::new("CPU_model", "Pentium Pro"));
+        let mut site = Site::new("y");
+        site.machines.push(m);
+        let xml = GridDoc { label: None, sites: vec![site] }.to_xml();
+        assert!(xml.contains(r#"<PROPERTY name="CPU_model" value="Pentium Pro" />"#));
+        assert!(!xml.contains("units"));
+    }
+
+    #[test]
+    fn nested_structural_networks_indent() {
+        // The §4.2.1.3 structural listing: nested NETWORK elements.
+        let mut inner = Network::new(None);
+        inner.label_ip = Some("140.77.13.1".to_string());
+        inner.label_name = Some("140.77.13.1".to_string());
+        inner.machines.push("canaria.ens-lyon.fr".to_string());
+        let mut outer = Network::new(Some(NetworkType::Structural));
+        outer.label_ip = Some("192.168.254.1".to_string());
+        outer.label_name = Some("192.168.254.1".to_string());
+        outer.subnets.push(inner);
+        let mut site = Site::new("ens-lyon.fr");
+        site.networks.push(outer);
+        let xml = GridDoc { label: None, sites: vec![site] }.to_xml();
+        assert!(xml.contains(r#"<NETWORK type="Structural">"#));
+        let outer_pos = xml.find(r#"ip="192.168.254.1""#).unwrap();
+        let inner_pos = xml.find(r#"ip="140.77.13.1""#).unwrap();
+        assert!(outer_pos < inner_pos);
+        assert!(xml.matches("</NETWORK>").count() == 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz (DOT) export of topologies — render Figure 1(a)-style pictures
+//! from any platform with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::topology::{LinkMode, NodeKind, Topology};
+
+/// Render the topology as an undirected Graphviz graph. Hosts are boxes,
+/// routers diamonds, hubs/switches ellipses; link labels carry capacity.
+pub fn topology_to_dot(topo: &Topology) -> String {
+    let mut out = String::from("graph topology {\n  overlap=false;\n  splines=true;\n");
+    for n in topo.nodes() {
+        let (shape, style) = match n.kind {
+            NodeKind::Host => ("box", if n.forwards { ",style=bold" } else { "" }),
+            NodeKind::Router => ("diamond", ""),
+            NodeKind::Switch => ("ellipse", ",style=filled,fillcolor=lightblue"),
+            NodeKind::Hub => ("ellipse", ",style=filled,fillcolor=lightyellow"),
+            NodeKind::External => ("doublecircle", ""),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\",shape={shape}{style}];",
+            n.id.index(),
+            escape(&n.label)
+        );
+    }
+    for l in topo.links() {
+        let label = match l.mode {
+            LinkMode::FullDuplex { capacity_ab, .. } => format!("{capacity_ab}"),
+            LinkMode::Shared { medium } => {
+                format!("{} (shared)", topo.medium(medium).capacity)
+            }
+        };
+        let style = if l.up { "" } else { ",style=dashed,color=red" };
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}\"{style}];",
+            l.a.index(),
+            l.b.index(),
+            escape(&label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{ens_lyon, Calibration};
+    use crate::topology::TopologyBuilder;
+    use crate::units::{Bandwidth, Latency};
+
+    #[test]
+    fn renders_all_nodes_and_links() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub0", Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let a = b.host("a.x", "10.0.0.1");
+        b.attach(a, hub);
+        let t = b.build().unwrap();
+        let dot = topology_to_dot(&t);
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("label=\"hub0\""));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("(shared)"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches(" -- ").count(), t.link_count());
+    }
+
+    #[test]
+    fn gateway_hosts_are_bold_and_downed_links_dashed() {
+        let mut b = TopologyBuilder::new();
+        let gw = b.host_multi("gw", &[("gw.a", "10.0.0.1"), ("gw.b", "192.168.0.1")]);
+        b.set_forwards(gw, true);
+        let h = b.host("h.x", "10.0.0.2");
+        let l = b.link(gw, h, Bandwidth::mbps(10.0), Latency::ZERO);
+        let mut t = b.build().unwrap();
+        t.set_link_up(l, false);
+        let dot = topology_to_dot(&t);
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("style=dashed,color=red"));
+    }
+
+    #[test]
+    fn ens_lyon_exports() {
+        let net = ens_lyon(Calibration::Paper);
+        let dot = topology_to_dot(&net.topo);
+        assert!(dot.contains("the-doors"));
+        assert!(dot.contains("SciSwitch"));
+        assert!(dot.contains("Hub2"));
+        // One node line per node.
+        assert_eq!(
+            dot.lines().filter(|l| l.contains("shape=")).count(),
+            net.topo.node_count()
+        );
+    }
+}

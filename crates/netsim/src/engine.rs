@@ -1,0 +1,998 @@
+//! The discrete-event engine: simulated clock, event queue, fluid flows and
+//! actor processes.
+//!
+//! Flows do not schedule their own completion events — their rates change
+//! whenever the active flow set changes. Instead the main loop interleaves
+//! queued events with the earliest flow completion under the *current*
+//! max-min allocation, draining transferred bytes as time advances. This is
+//! the standard fluid-simulation approach and keeps every observable
+//! deterministic: BTreeMap iteration orders flows by id, the queue breaks
+//! time ties by insertion sequence.
+//!
+//! Processes ([`Process`]) are single-threaded actors pinned to a host.
+//! They react to messages, timers and the completion of flows they own,
+//! through a [`Ctx`] handle that exposes the engine's services. The NWS
+//! crate builds its four server kinds (sensor, memory, forecaster, name
+//! server) on this interface.
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+use crate::error::{NetError, NetResult};
+use crate::fairness::{allocate, path_resources, FairnessModel, FlowDemand, Resource};
+use crate::flow::{FlowId, FlowOutcome};
+use crate::routing::RouteTable;
+use crate::time::{SimTime, TimeDelta};
+use crate::topology::{NodeId, Topology};
+use crate::units::{Bandwidth, Bytes, Latency};
+
+/// Identifier of a process (actor) registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index — only meaningful for ids handed out by
+    /// an [`Engine`]; exposed for downstream test fixtures.
+    pub fn from_raw(raw: u32) -> Self {
+        ProcessId(raw)
+    }
+}
+
+/// Identifier of a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Message type for simulations that never exchange messages (probe-only
+/// use). Uninhabited, so dead branches compile away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoMsg {}
+
+/// An actor running on a simulated host.
+///
+/// All callbacks receive a [`Ctx`] for interacting with the engine. Default
+/// implementations ignore the event, so implementors override only what
+/// they need.
+#[allow(unused_variables)]
+pub trait Process<M> {
+    /// Called once when the simulation starts (or when the process is added
+    /// to a running simulation).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {}
+
+    /// A message from another process has been delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ProcessId, msg: M) {}
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {}
+
+    /// A flow started by this process completed (ack received).
+    fn on_flow_complete(&mut self, ctx: &mut Ctx<'_, M>, outcome: &FlowOutcome) {}
+
+    /// A message this process sent could not be delivered (firewall or
+    /// disconnection).
+    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, M>, to: ProcessId, err: &NetError) {}
+}
+
+/// Statistics counters, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    pub events_processed: u64,
+    pub flows_started: u64,
+    pub messages_sent: u64,
+    pub bytes_transferred: f64,
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    src: NodeId,
+    dst: NodeId,
+    resources: Vec<Resource>,
+    rate_cap: Option<Bandwidth>,
+    remaining: f64,
+    bytes: Bytes,
+    rate: f64,
+    started: SimTime,
+    /// One-way forward + return latency, added after drain for the ack.
+    ack_latency: TimeDelta,
+    owner: Option<ProcessId>,
+    tag: u64,
+}
+
+enum EventKind<M> {
+    Start { pid: ProcessId },
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { to: ProcessId, timer: TimerId, tag: u64 },
+    FlowAck { flow: FlowId },
+}
+
+struct QEntry<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QEntry<M> {}
+
+impl<M> Ord for QEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for QEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything in the engine except the boxed processes; split out so a
+/// process callback can borrow the core mutably through [`Ctx`] while its
+/// own box is temporarily detached.
+pub struct Core<M> {
+    topo: Topology,
+    routes: RouteTable,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QEntry<M>>,
+    flows: BTreeMap<FlowId, ActiveFlow>,
+    next_flow: u64,
+    next_timer: u64,
+    finished: HashMap<FlowId, FlowOutcome>,
+    cancelled_timers: HashSet<TimerId>,
+    proc_nodes: Vec<NodeId>,
+    /// TCP window used to cap flow rates at `window / RTT`; `None` models
+    /// well-tuned transfers that are never window-limited.
+    tcp_window: Option<Bytes>,
+    /// The fluid bandwidth-sharing model (ablation hook; max-min default).
+    fairness: FairnessModel,
+    stats: EngineStats,
+    /// Owners of drained-but-not-yet-acked flows, so the ack event can
+    /// notify them. `None` entries are probe flows.
+    owner_of_finished: HashMap<FlowId, Option<ProcessId>>,
+    /// Last scheduled delivery per (sender, receiver): control messages
+    /// between two processes are FIFO, like the TCP connections real NWS
+    /// servers keep open (a short message must not overtake a longer one
+    /// sent earlier).
+    last_delivery: HashMap<(ProcessId, ProcessId), SimTime>,
+}
+
+impl<M> Core<M> {
+    fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QEntry { time, seq, kind });
+    }
+
+    /// Drain bytes from all active flows up to instant `t` and advance the
+    /// clock.
+    fn advance_to(&mut self, t: SimTime) {
+        let dt = t.since(self.now).as_secs();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.remaining -= f.rate * dt;
+                self.stats.bytes_transferred += f.rate * dt;
+            }
+        }
+        self.now = t;
+    }
+
+    /// Recompute the max-min allocation for the current flow set. Must be
+    /// called after every change to the set.
+    fn reallocate(&mut self) {
+        let demands: Vec<FlowDemand> = self
+            .flows
+            .values()
+            .map(|f| FlowDemand { resources: f.resources.clone(), rate_cap: f.rate_cap })
+            .collect();
+        let rates = allocate(&self.topo, &demands, self.fairness);
+        for (f, r) in self.flows.values_mut().zip(rates) {
+            f.rate = r.as_bytes_per_sec();
+        }
+    }
+
+    /// Earliest instant at which some active flow finishes draining, under
+    /// current rates.
+    fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (id, f) in &self.flows {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let t = self.now + TimeDelta::from_secs((f.remaining / f.rate).max(0.0));
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, *id)),
+            }
+        }
+        best
+    }
+
+    fn start_flow_inner(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Bytes,
+        owner: Option<ProcessId>,
+        tag: u64,
+    ) -> NetResult<FlowId> {
+        if bytes == Bytes::ZERO {
+            return Err(NetError::EmptyTransfer);
+        }
+        if src == dst {
+            return Err(NetError::SelfProbe(src));
+        }
+        self.topo.try_node(src)?;
+        self.topo.try_node(dst)?;
+        if !self.topo.allows(src, dst) {
+            return Err(NetError::Firewalled { src, dst });
+        }
+        let path = self.routes.path(src, dst)?;
+        let resources = path_resources(&self.topo, &path);
+        let fwd: Latency = path.latency(&self.topo);
+        let back: Latency = self.routes.path(dst, src)?.latency(&self.topo);
+        let ack_latency = TimeDelta::from_secs(fwd.as_secs() + back.as_secs());
+        let rate_cap = self.tcp_window.map(|w| {
+            let rtt = (fwd.as_secs() + back.as_secs()).max(1e-9);
+            Bandwidth::bytes_per_sec(w.as_f64() / rtt)
+        });
+
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                src,
+                dst,
+                resources,
+                rate_cap,
+                remaining: bytes.as_f64(),
+                bytes,
+                rate: 0.0,
+                started: self.now,
+                ack_latency,
+                owner,
+                tag,
+            },
+        );
+        self.stats.flows_started += 1;
+        self.reallocate();
+        Ok(id)
+    }
+
+    /// Complete a drained flow: record its outcome skeleton and schedule
+    /// the ack event.
+    fn complete_flow(&mut self, id: FlowId) {
+        let f = self.flows.remove(&id).expect("completing unknown flow");
+        let outcome = FlowOutcome {
+            id,
+            src: f.src,
+            dst: f.dst,
+            bytes: f.bytes,
+            tag: f.tag,
+            started: f.started,
+            drained: self.now,
+            acked: self.now + f.ack_latency, // finalized on ack delivery
+        };
+        self.finished.insert(id, outcome);
+        let ack_at = self.now + f.ack_latency;
+        // Stash the owner in the event via the finished map; FlowAck will
+        // look it up.
+        self.owner_of_finished.insert(id, f.owner);
+        self.push_event(ack_at, EventKind::FlowAck { flow: id });
+        self.reallocate();
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    pub fn process_node(&self, pid: ProcessId) -> NodeId {
+        self.proc_nodes[pid.index()]
+    }
+
+    /// The recorded outcome of a completed flow, if it has been acked.
+    pub fn outcome(&self, id: FlowId) -> Option<&FlowOutcome> {
+        self.finished.get(&id)
+    }
+}
+
+/// The simulation engine. Generic over the message type `M` exchanged by
+/// processes; use [`NoMsg`] (alias [`Sim`]) when only probes are needed.
+pub struct Engine<M> {
+    core: Core<M>,
+    procs: Vec<Option<Box<dyn Process<M>>>>,
+}
+
+/// Probe-only simulator alias.
+pub type Sim = Engine<NoMsg>;
+
+/// Handle given to process callbacks for interacting with the engine.
+pub struct Ctx<'a, M> {
+    core: &'a mut Core<M>,
+    me: ProcessId,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The host this process runs on.
+    pub fn my_node(&self) -> NodeId {
+        self.core.proc_nodes[self.me.index()]
+    }
+
+    pub fn topo(&self) -> &Topology {
+        &self.core.topo
+    }
+
+    pub fn node_of(&self, pid: ProcessId) -> NodeId {
+        self.core.proc_nodes[pid.index()]
+    }
+
+    /// Send a control message to another process. Delivery takes the
+    /// one-way path latency plus serialization at the path bottleneck;
+    /// control messages are small and do not compete with bulk flows.
+    pub fn send(&mut self, to: ProcessId, bytes: Bytes, msg: M) -> NetResult<()> {
+        let src = self.my_node();
+        let dst = *self
+            .core
+            .proc_nodes
+            .get(to.index())
+            .ok_or(NetError::UnknownProcess(to.0))?;
+        self.core.stats.messages_sent += 1;
+        let mut at = if src == dst {
+            self.core.now
+        } else {
+            if !self.core.topo.allows(src, dst) {
+                return Err(NetError::Firewalled { src, dst });
+            }
+            let path = self.core.routes.path(src, dst)?;
+            let lat = path.latency(&self.core.topo).as_secs();
+            let bw = path.bottleneck(&self.core.topo).as_bytes_per_sec().max(1.0);
+            self.core.now + TimeDelta::from_secs(lat + bytes.as_f64() / bw)
+        };
+        // FIFO per process pair: model the ordered TCP connection.
+        if let Some(prev) = self.core.last_delivery.get(&(self.me, to)) {
+            if *prev > at {
+                at = *prev;
+            }
+        }
+        self.core.last_delivery.insert((self.me, to), at);
+        self.core.push_event(at, EventKind::Deliver { from: self.me, to, msg });
+        Ok(())
+    }
+
+    /// Start a bulk transfer owned by this process; `on_flow_complete`
+    /// fires when the ack returns.
+    pub fn start_flow(&mut self, dst: NodeId, bytes: Bytes, tag: u64) -> NetResult<FlowId> {
+        let src = self.my_node();
+        self.core.start_flow_inner(src, dst, bytes, Some(self.me), tag)
+    }
+
+    /// Arm a one-shot timer; `on_timer` fires with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: TimeDelta, tag: u64) -> TimerId {
+        let timer = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let at = self.core.now + delay;
+        self.core.push_event(at, EventKind::Timer { to: self.me, timer, tag });
+        timer
+    }
+
+    /// Cancel a pending timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.core.cancelled_timers.insert(timer);
+    }
+
+    /// Measured RTT estimate from the routing tables (a cheap local
+    /// computation, *not* a probe — sensors use flows for real probes).
+    pub fn static_rtt(&self, dst: NodeId) -> NetResult<TimeDelta> {
+        let src = self.my_node();
+        let fwd = self.core.routes.path(src, dst)?.latency(&self.core.topo);
+        let back = self.core.routes.path(dst, src)?.latency(&self.core.topo);
+        Ok(TimeDelta::from_secs(fwd.as_secs() + back.as_secs()))
+    }
+}
+
+impl<M> Engine<M> {
+    /// Build an engine over a validated topology. Routes are computed once
+    /// here; call [`Engine::recompute_routes`] after link state changes.
+    pub fn new(topo: Topology) -> Self {
+        let routes = RouteTable::compute(&topo);
+        Engine {
+            core: Core {
+                topo,
+                routes,
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                flows: BTreeMap::new(),
+                next_flow: 0,
+                next_timer: 0,
+                finished: HashMap::new(),
+                cancelled_timers: HashSet::new(),
+                proc_nodes: Vec::new(),
+                tcp_window: None,
+                fairness: FairnessModel::default(),
+                stats: EngineStats::default(),
+                owner_of_finished: HashMap::new(),
+                last_delivery: HashMap::new(),
+            },
+            procs: Vec::new(),
+        }
+    }
+
+    /// Cap flow rates at `window / RTT` (TCP window modelling). `None`
+    /// disables the cap (default).
+    pub fn set_tcp_window(&mut self, window: Option<Bytes>) {
+        self.core.tcp_window = window;
+    }
+
+    /// Select the bandwidth-sharing model (ablation hook; max-min default).
+    pub fn set_fairness_model(&mut self, model: FairnessModel) {
+        self.core.fairness = model;
+    }
+
+    /// Register a process on a host. Its `on_start` runs when the engine
+    /// next processes events.
+    pub fn add_process(&mut self, node: NodeId, proc_: Box<dyn Process<M>>) -> ProcessId {
+        let pid = ProcessId(self.core.proc_nodes.len() as u32);
+        self.core.proc_nodes.push(node);
+        self.procs.push(Some(proc_));
+        let now = self.core.now;
+        self.core.push_event(now, EventKind::Start { pid });
+        pid
+    }
+
+    /// Start an ownerless flow (used by the probe API).
+    pub fn start_probe_flow(&mut self, src: NodeId, dst: NodeId, bytes: Bytes) -> NetResult<FlowId> {
+        self.core.start_flow_inner(src, dst, bytes, None, 0)
+    }
+
+    /// Kill a process: it stops receiving events immediately (failure
+    /// injection — e.g. a crashed NWS sensor whose clique must recover its
+    /// token). Messages and timers addressed to it are silently dropped.
+    pub fn kill_process(&mut self, pid: ProcessId) {
+        if let Some(slot) = self.procs.get_mut(pid.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Whether a process is still alive.
+    pub fn process_alive(&self, pid: ProcessId) -> bool {
+        self.procs.get(pid.index()).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    pub fn topo(&self) -> &Topology {
+        &self.core.topo
+    }
+
+    /// Mutable topology access for failure injection; routes must be
+    /// recomputed afterwards.
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.core.topo
+    }
+
+    pub fn recompute_routes(&mut self) {
+        self.core.routes = RouteTable::compute(&self.core.topo);
+    }
+
+    pub fn routes(&self) -> &RouteTable {
+        &self.core.routes
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.core.stats
+    }
+
+    pub fn outcome(&self, id: FlowId) -> Option<&FlowOutcome> {
+        self.core.finished.get(&id)
+    }
+
+    pub fn active_flow_count(&self) -> usize {
+        self.core.flows.len()
+    }
+
+    pub fn process_node(&self, pid: ProcessId) -> NodeId {
+        self.core.proc_nodes[pid.index()]
+    }
+
+    /// Instantaneous allocated rate of an active flow (for tests).
+    pub fn flow_rate(&self, id: FlowId) -> Option<Bandwidth> {
+        self.core.flows.get(&id).map(|f| Bandwidth::bytes_per_sec(f.rate))
+    }
+
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        match kind {
+            EventKind::Start { pid } => {
+                self.with_proc(pid, |p, ctx| p.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { to, timer, tag } => {
+                if self.core.cancelled_timers.remove(&timer) {
+                    return;
+                }
+                self.with_proc(to, |p, ctx| p.on_timer(ctx, tag));
+            }
+            EventKind::FlowAck { flow } => {
+                // Finalize the ack timestamp, then notify the owner.
+                if let Some(o) = self.core.finished.get_mut(&flow) {
+                    o.acked = self.core.now;
+                }
+                if let Some(Some(owner)) = self.core.owner_of_finished.remove(&flow) {
+                    let outcome = self.core.finished[&flow].clone();
+                    self.with_proc(owner, |p, ctx| p.on_flow_complete(ctx, &outcome));
+                }
+            }
+        }
+    }
+
+    fn with_proc<F>(&mut self, pid: ProcessId, f: F)
+    where
+        F: FnOnce(&mut dyn Process<M>, &mut Ctx<'_, M>),
+    {
+        let Some(slot) = self.procs.get_mut(pid.index()) else { return };
+        let Some(mut proc_) = slot.take() else { return };
+        {
+            let mut ctx = Ctx { core: &mut self.core, me: pid };
+            f(proc_.as_mut(), &mut ctx);
+        }
+        self.procs[pid.index()] = Some(proc_);
+    }
+
+    /// Process one step (the earliest event or flow completion). Returns
+    /// false when nothing remains.
+    fn step(&mut self, limit: SimTime) -> bool {
+        let t_ev = self.core.queue.peek().map(|e| e.time);
+        let t_flow = self.core.next_completion();
+        match (t_ev, t_flow) {
+            (None, None) => false,
+            (ev, flow) => {
+                let tf = flow.map(|(t, _)| t);
+                // Flow completions win ties so capacity frees before
+                // same-instant events run.
+                let use_flow = match (tf, ev) {
+                    (Some(tf), Some(te)) => tf <= te,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if use_flow {
+                    let (t, id) = flow.expect("checked above");
+                    if t > limit {
+                        self.core.advance_to(limit);
+                        return false;
+                    }
+                    self.core.advance_to(t);
+                    self.core.complete_flow(id);
+                } else {
+                    let te = ev.expect("checked above");
+                    if te > limit {
+                        self.core.advance_to(limit);
+                        return false;
+                    }
+                    self.core.advance_to(te);
+                    let entry = self.core.queue.pop().expect("peeked above");
+                    self.core.stats.events_processed += 1;
+                    self.dispatch(entry.kind);
+                }
+                true
+            }
+        }
+    }
+
+    /// Run until the clock reaches `until` (events at exactly `until` are
+    /// processed).
+    pub fn run_until(&mut self, until: SimTime) {
+        while self.step(until) {}
+        if self.core.now < until {
+            self.core.advance_to(until);
+        }
+    }
+
+    /// Run until no events or flows remain. Errors if the horizon passes
+    /// first (a liveness guard against runaway simulations).
+    pub fn run_until_quiescent(&mut self, horizon: TimeDelta) -> NetResult<SimTime> {
+        let limit = self.core.now + horizon;
+        while self.step(limit) {}
+        if self.core.queue.is_empty() && self.core.flows.is_empty() {
+            Ok(self.core.now)
+        } else {
+            Err(NetError::HorizonExceeded { horizon_secs: horizon.as_secs() })
+        }
+    }
+
+    /// Run until all listed flows have been acked (their outcomes are
+    /// available). Other events keep being processed meanwhile.
+    pub fn run_until_flows_done(&mut self, flows: &[FlowId], horizon: TimeDelta) -> NetResult<()> {
+        let limit = self.core.now + horizon;
+        loop {
+            let all_done = flows.iter().all(|f| {
+                self.core.finished.contains_key(f)
+                    && !self.core.owner_of_finished.contains_key(f)
+            });
+            if all_done {
+                return Ok(());
+            }
+            if !self.step(limit) {
+                return Err(NetError::HorizonExceeded { horizon_secs: horizon.as_secs() });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use crate::units::Latency;
+
+    fn two_hosts_hub() -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        b.attach(a, hub);
+        b.attach(c, hub);
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn single_flow_completes_with_correct_duration() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        let f = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f], TimeDelta::from_secs(60.0)).unwrap();
+        let o = e.outcome(f).unwrap();
+        // 1 MiB at 12.5 MB/s = 0.0839 s, plus 4*50us latency.
+        let expect = 1024.0 * 1024.0 / 12_500_000.0 + 4.0 * 50e-6;
+        assert!((o.duration().as_secs() - expect).abs() < 1e-6);
+        assert!(o.throughput().as_mbps() > 99.0 && o.throughput().as_mbps() < 100.0);
+    }
+
+    #[test]
+    fn concurrent_hub_flows_halve() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(10.0));
+        let hosts: Vec<NodeId> = (0..4)
+            .map(|i| {
+                let h = b.host(&format!("h{i}.x"), &format!("10.0.0.{}", i + 1));
+                b.attach(h, hub);
+                h
+            })
+            .collect();
+        let mut e: Sim = Engine::new(b.build().unwrap());
+        let f1 = e.start_probe_flow(hosts[0], hosts[1], Bytes::mib(1)).unwrap();
+        let f2 = e.start_probe_flow(hosts[2], hosts[3], Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f1, f2], TimeDelta::from_secs(60.0)).unwrap();
+        let bw1 = e.outcome(f1).unwrap().throughput().as_mbps();
+        let bw2 = e.outcome(f2).unwrap().throughput().as_mbps();
+        assert!((bw1 - 50.0).abs() < 1.0, "got {bw1}");
+        assert!((bw2 - 50.0).abs() < 1.0, "got {bw2}");
+    }
+
+    #[test]
+    fn staggered_flows_share_then_speed_up() {
+        // Start one flow; halfway through, start a second; the first's
+        // total duration reflects the shared phase.
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        let f1 = e.start_probe_flow(a, c, Bytes::mib(10)).unwrap();
+        e.run_until(SimTime::from_secs(0.4)); // ~48% drained
+        let f2 = e.start_probe_flow(c, a, Bytes::mib(10)).unwrap();
+        e.run_until_flows_done(&[f1, f2], TimeDelta::from_secs(60.0)).unwrap();
+        let d1 = e.outcome(f1).unwrap().duration().as_secs();
+        let d2 = e.outcome(f2).unwrap().duration().as_secs();
+        // Alone, 10 MiB takes ~0.839 s. f1: 0.4 s alone, then shares.
+        assert!(d1 > 0.9, "f1 must be slowed by sharing, got {d1}");
+        assert!(d2 > d1 - 0.4, "f2 shares its whole life, got {d2}");
+    }
+
+    #[test]
+    fn firewall_blocks_flow() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(10.0));
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        b.attach(a, hub);
+        b.attach(c, hub);
+        b.firewall_deny_between(&[a], &[c]);
+        let mut e: Sim = Engine::new(b.build().unwrap());
+        assert!(matches!(
+            e.start_probe_flow(a, c, Bytes::kib(64)),
+            Err(NetError::Firewalled { .. })
+        ));
+    }
+
+    #[test]
+    fn self_and_empty_flows_rejected() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        assert!(matches!(e.start_probe_flow(a, a, Bytes::kib(1)), Err(NetError::SelfProbe(_))));
+        assert!(matches!(e.start_probe_flow(a, c, Bytes::ZERO), Err(NetError::EmptyTransfer)));
+    }
+
+    #[test]
+    fn tcp_window_caps_throughput() {
+        // 1 ms each way → RTT 2 ms... here: hub port latency 1 ms, two
+        // ports each way → one-way 2 ms, RTT 4 ms. 64 KiB window / 4 ms =
+        // 16 MiB/s ≈ 134 Mbps... use a smaller window to make the cap bind:
+        // 8 KiB / 4 ms = 2 MiB/s ≈ 16.8 Mbps < 100 Mbps.
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::millis(1.0));
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        b.attach(a, hub);
+        b.attach(c, hub);
+        let mut e: Sim = Engine::new(b.build().unwrap());
+        e.set_tcp_window(Some(Bytes::kib(8)));
+        let f = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f], TimeDelta::from_secs(60.0)).unwrap();
+        let bw = e.outcome(f).unwrap().throughput().as_mbps();
+        assert!(bw < 20.0, "window cap should bind, got {bw} Mbps");
+    }
+
+    #[test]
+    fn quiescence_and_horizon() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        let _ = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        let end = e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert!(end.as_secs() > 0.0);
+        // With an absurdly small horizon the guard trips.
+        let mut e2: Sim = Engine::new(two_hosts_hub().0);
+        let a2 = e2.topo().node_by_label("a").unwrap();
+        let c2 = e2.topo().node_by_label("c").unwrap();
+        let _ = e2.start_probe_flow(a2, c2, Bytes::mib(100)).unwrap();
+        assert!(matches!(
+            e2.run_until_quiescent(TimeDelta::from_millis(1.0)),
+            Err(NetError::HorizonExceeded { .. })
+        ));
+    }
+
+    // --- actor tests -----------------------------------------------------
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    /// Replies Pong(n+1) to every Ping(n).
+    struct Echo;
+
+    impl Process<TestMsg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, from: ProcessId, msg: TestMsg) {
+            if let TestMsg::Ping(n) = msg {
+                ctx.send(from, Bytes::new(8), TestMsg::Pong(n + 1)).unwrap();
+            }
+        }
+    }
+
+    /// Sends a Ping on start, records the Pong arrival time.
+    struct Pinger {
+        peer: Option<ProcessId>,
+        got: std::rc::Rc<std::cell::RefCell<Option<(u32, SimTime)>>>,
+    }
+
+    impl Process<TestMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            if let Some(p) = self.peer {
+                ctx.send(p, Bytes::new(8), TestMsg::Ping(41)).unwrap();
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: ProcessId, msg: TestMsg) {
+            if let TestMsg::Pong(n) = msg {
+                *self.got.borrow_mut() = Some((n, ctx.now()));
+            }
+        }
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let echo = e.add_process(c, Box::new(Echo));
+        let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let _pinger = e.add_process(a, Box::new(Pinger { peer: Some(echo), got: got.clone() }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        let (n, at) = got.borrow().expect("pong must arrive");
+        assert_eq!(n, 42);
+        // Two port latencies each way = 4 * 50 us, plus serialization.
+        assert!(at.as_secs() >= 200e-6);
+        assert!(at.as_secs() < 1e-3);
+    }
+
+    /// Fires a timer chain: 3 timers of 1 s each, then quiesces.
+    struct TimerChain {
+        fired: std::rc::Rc<std::cell::RefCell<Vec<(u64, SimTime)>>>,
+    }
+
+    impl Process<TestMsg> for TimerChain {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.set_timer(TimeDelta::from_secs(1.0), 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, tag: u64) {
+            self.fired.borrow_mut().push((tag, ctx.now()));
+            if tag < 3 {
+                ctx.set_timer(TimeDelta::from_secs(1.0), tag + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (t, a, _) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        e.add_process(a, Box::new(TimerChain { fired: fired.clone() }));
+        e.run_until_quiescent(TimeDelta::from_secs(60.0)).unwrap();
+        let fired = fired.borrow();
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[0].0, 1);
+        assert!((fired[0].1.as_secs() - 1.0).abs() < 1e-9);
+        assert!((fired[2].1.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    /// Cancels its own timer before it can fire.
+    struct Canceller {
+        fired: std::rc::Rc<std::cell::RefCell<bool>>,
+    }
+
+    impl Process<TestMsg> for Canceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let t = ctx.set_timer(TimeDelta::from_secs(1.0), 7);
+            ctx.cancel_timer(t);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, TestMsg>, _tag: u64) {
+            *self.fired.borrow_mut() = true;
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let (t, a, _) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let fired = std::rc::Rc::new(std::cell::RefCell::new(false));
+        e.add_process(a, Box::new(Canceller { fired: fired.clone() }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert!(!*fired.borrow());
+    }
+
+    /// Starts a flow from its host and records the observed throughput.
+    struct FlowOwner {
+        dst: NodeId,
+        seen: std::rc::Rc<std::cell::RefCell<Option<Bandwidth>>>,
+    }
+
+    impl Process<TestMsg> for FlowOwner {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.start_flow(self.dst, Bytes::kib(64), 9).unwrap();
+        }
+        fn on_flow_complete(&mut self, _ctx: &mut Ctx<'_, TestMsg>, outcome: &FlowOutcome) {
+            assert_eq!(outcome.tag, 9);
+            *self.seen.borrow_mut() = Some(outcome.throughput());
+        }
+    }
+
+    #[test]
+    fn process_owned_flow_reports_completion() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(None));
+        e.add_process(a, Box::new(FlowOwner { dst: c, seen: seen.clone() }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        let bw = seen.borrow().expect("flow must complete");
+        assert!(bw.as_mbps() > 80.0, "got {}", bw.as_mbps());
+    }
+
+    /// Two back-to-back sends between one process pair must arrive in
+    /// order even when the second is smaller (models TCP's FIFO stream).
+    struct Burst {
+        to: ProcessId,
+    }
+    impl Process<TestMsg> for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            // Large then small: without per-pair FIFO the small one wins.
+            ctx.send(self.to, Bytes::kib(512), TestMsg::Ping(1)).unwrap();
+            ctx.send(self.to, Bytes::new(8), TestMsg::Ping(2)).unwrap();
+        }
+    }
+    struct OrderCheck {
+        seen: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+    }
+    impl Process<TestMsg> for OrderCheck {
+        fn on_message(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: ProcessId, msg: TestMsg) {
+            if let TestMsg::Ping(n) = msg {
+                self.seen.borrow_mut().push(n);
+            }
+        }
+    }
+
+    #[test]
+    fn messages_between_pair_are_fifo() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        e.add_process(a, Box::new(Burst { to: rx }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert_eq!(*seen.borrow(), vec![1, 2], "sends must not be reordered");
+    }
+
+    #[test]
+    fn send_to_unknown_process_errors() {
+        let (t, a, _) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        struct BadSender;
+        impl Process<TestMsg> for BadSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                let err = ctx
+                    .send(ProcessId::from_raw(4040), Bytes::new(8), TestMsg::Ping(0))
+                    .unwrap_err();
+                assert!(matches!(err, NetError::UnknownProcess(4040)));
+            }
+        }
+        e.add_process(a, Box::new(BadSender));
+        e.run_until_quiescent(TimeDelta::from_secs(1.0)).unwrap();
+    }
+
+    #[test]
+    fn killed_process_stops_receiving() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        let tx = e.add_process(a, Box::new(Burst { to: rx }));
+        assert!(e.process_alive(rx));
+        e.kill_process(rx);
+        assert!(!e.process_alive(rx));
+        assert!(e.process_alive(tx));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert!(seen.borrow().is_empty(), "dead processes receive nothing");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        let f = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f], TimeDelta::from_secs(10.0)).unwrap();
+        let s = e.stats();
+        assert_eq!(s.flows_started, 1);
+        assert!(s.bytes_transferred >= 1024.0 * 1024.0 * 0.99);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the simulator.
+
+use std::fmt;
+
+use crate::topology::NodeId;
+
+/// Result alias used across the crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors that the simulator can report to its users.
+///
+/// These mirror the failures the paper's tools must cope with: unreachable
+/// (firewalled) destinations, unknown names, malformed topologies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// No route exists between the two nodes (disconnected or firewalled).
+    Unreachable { src: NodeId, dst: NodeId },
+    /// A firewall rule forbids the communication.
+    Firewalled { src: NodeId, dst: NodeId },
+    /// Node id out of range for this topology.
+    UnknownNode(NodeId),
+    /// Process id not registered with the engine.
+    UnknownProcess(u32),
+    /// A DNS lookup failed.
+    NameNotFound(String),
+    /// The topology under construction is invalid.
+    InvalidTopology(String),
+    /// A flow or probe was given an empty/zero-byte payload where one is
+    /// required.
+    EmptyTransfer,
+    /// A probe was attempted from a node to itself.
+    SelfProbe(NodeId),
+    /// The simulation ran past its configured horizon without the awaited
+    /// condition becoming true.
+    HorizonExceeded { horizon_secs: f64 },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable { src, dst } => {
+                write!(f, "no route from node {src:?} to node {dst:?}")
+            }
+            NetError::Firewalled { src, dst } => {
+                write!(f, "firewall forbids traffic from node {src:?} to node {dst:?}")
+            }
+            NetError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            NetError::UnknownProcess(p) => write!(f, "unknown process id {p}"),
+            NetError::NameNotFound(n) => write!(f, "name not found: {n}"),
+            NetError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            NetError::EmptyTransfer => write!(f, "transfer size must be > 0 bytes"),
+            NetError::SelfProbe(n) => write!(f, "cannot probe from node {n:?} to itself"),
+            NetError::HorizonExceeded { horizon_secs } => {
+                write!(f, "simulation horizon of {horizon_secs}s exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::NameNotFound("nowhere.example".into());
+        assert!(e.to_string().contains("nowhere.example"));
+        let e = NetError::HorizonExceeded { horizon_secs: 10.0 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,557 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! Every active flow occupies a set of *resources*: one per directed
+//! full-duplex link it crosses, or the single shared medium of each hub it
+//! crosses (counted **once** per flow — a hub is one collision domain, so a
+//! flow entering and leaving a hub consumes the medium once, and flows in
+//! opposite directions contend, which is what makes ENV's jammed-bandwidth
+//! test distinguish hubs from switches).
+//!
+//! Progressive filling raises all unfrozen flows' rates together; whenever a
+//! resource saturates, the flows crossing it freeze at their current rate.
+//! A flow may additionally carry a rate cap (e.g. a TCP-window/RTT bound),
+//! modelled as a private resource.
+
+use std::collections::HashMap;
+
+use crate::routing::Path;
+use crate::topology::{LinkId, LinkMode, MediumId, Topology};
+use crate::units::Bandwidth;
+
+/// A capacity-constrained entity flows compete for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// One direction of a full-duplex link. `from_a` is true for the a→b
+    /// direction.
+    LinkDir { link: LinkId, from_a: bool },
+    /// The half-duplex shared medium of a hub.
+    Medium(MediumId),
+}
+
+impl Resource {
+    /// The resource's capacity in the given topology.
+    pub fn capacity(self, topo: &Topology) -> Bandwidth {
+        match self {
+            Resource::LinkDir { link, from_a } => match topo.link(link).mode {
+                LinkMode::FullDuplex { capacity_ab, capacity_ba } => {
+                    if from_a {
+                        capacity_ab
+                    } else {
+                        capacity_ba
+                    }
+                }
+                LinkMode::Shared { medium } => topo.medium(medium).capacity,
+            },
+            Resource::Medium(m) => topo.medium(m).capacity,
+        }
+    }
+}
+
+/// The deduplicated resource set of a directed path.
+pub fn path_resources(topo: &Topology, path: &Path) -> Vec<Resource> {
+    let mut out: Vec<Resource> = Vec::with_capacity(path.links.len());
+    for (i, l) in path.links.iter().enumerate() {
+        let link = topo.link(*l);
+        let r = match link.mode {
+            LinkMode::FullDuplex { .. } => {
+                Resource::LinkDir { link: *l, from_a: path.nodes[i] == link.a }
+            }
+            LinkMode::Shared { medium } => Resource::Medium(medium),
+        };
+        out.push(r);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One flow's demand as seen by the allocator.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    pub resources: Vec<Resource>,
+    /// Optional per-flow rate ceiling (TCP window / application limit).
+    pub rate_cap: Option<Bandwidth>,
+}
+
+/// How concurrent flows share capacity — the fluid model underlying every
+/// observable. Max-min is the default (and what TCP approximates over a
+/// LAN); the naive equal-share model exists as an ablation target: ENV's
+/// ratio thresholds must classify identically under both (DESIGN.md,
+/// design decision 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessModel {
+    /// Progressive filling: the unique allocation where no flow can grow
+    /// without shrinking a slower one.
+    #[default]
+    MaxMin,
+    /// Each flow gets the minimum over its resources of `capacity / users`,
+    /// with every flow counted on every resource it crosses — simpler and
+    /// pessimistic (capacity freed by remotely-bottlenecked flows is not
+    /// redistributed).
+    BottleneckEqualShare,
+}
+
+/// Allocate under the chosen fluid model.
+pub fn allocate(topo: &Topology, flows: &[FlowDemand], model: FairnessModel) -> Vec<Bandwidth> {
+    match model {
+        FairnessModel::MaxMin => max_min_allocate(topo, flows),
+        FairnessModel::BottleneckEqualShare => equal_share_allocate(topo, flows),
+    }
+}
+
+/// The naive equal-share model (see [`FairnessModel::BottleneckEqualShare`]).
+pub fn equal_share_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth> {
+    let mut users: HashMap<Resource, u32> = HashMap::new();
+    for f in flows {
+        for r in &f.resources {
+            *users.entry(*r).or_insert(0) += 1;
+        }
+    }
+    flows
+        .iter()
+        .map(|f| {
+            let mut rate = f
+                .rate_cap
+                .map(|c| c.as_bytes_per_sec())
+                .unwrap_or(f64::INFINITY);
+            for r in &f.resources {
+                let share = r.capacity(topo).as_bytes_per_sec() / users[r] as f64;
+                rate = rate.min(share);
+            }
+            debug_assert!(rate.is_finite(), "flow without resources or cap");
+            Bandwidth::bytes_per_sec(rate)
+        })
+        .collect()
+}
+
+/// Compute the max-min fair allocation for the given flows.
+///
+/// Panics (debug) if a flow has neither resources nor a rate cap — such a
+/// flow has unbounded rate and should be special-cased by the caller
+/// (same-host transfers never reach the allocator).
+pub fn max_min_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth> {
+    let n = flows.len();
+    let mut rate = vec![0.0f64; n];
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // remaining capacity and unfrozen-flow count per resource
+    let mut remaining: HashMap<Resource, f64> = HashMap::new();
+    let mut users: HashMap<Resource, u32> = HashMap::new();
+    for f in flows {
+        debug_assert!(
+            !f.resources.is_empty() || f.rate_cap.is_some(),
+            "flow without resources or cap has unbounded rate"
+        );
+        for r in &f.resources {
+            remaining.entry(*r).or_insert_with(|| r.capacity(topo).as_bytes_per_sec());
+            *users.entry(*r).or_insert(0) += 1;
+        }
+    }
+
+    let mut frozen = vec![false; n];
+    let mut unfrozen = n;
+
+    // Each iteration freezes at least one flow, so this terminates in <= n
+    // rounds; each round is O(total resource references).
+    while unfrozen > 0 {
+        // The uniform rate increment all unfrozen flows can still take.
+        let mut delta = f64::INFINITY;
+        for (r, rem) in &remaining {
+            let u = users[r];
+            if u > 0 {
+                delta = delta.min(*rem / u as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if let Some(cap) = f.rate_cap {
+                delta = delta.min(cap.as_bytes_per_sec() - rate[i]);
+            }
+        }
+        debug_assert!(delta.is_finite(), "unfrozen flow with no binding constraint");
+        let delta = delta.max(0.0);
+
+        // Apply the increment.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rate[i] += delta;
+            for r in &f.resources {
+                // Each unfrozen user consumed `delta` from the resource.
+                // Subtract once per user below instead of here to keep the
+                // bookkeeping O(refs): handled by the loop structure — we
+                // subtract here, per reference, which is exactly once per
+                // (flow, resource) pair.
+                *remaining.get_mut(r).expect("resource was registered") -= delta;
+            }
+        }
+
+        // Freeze flows on saturated resources or at their cap.
+        const EPS: f64 = 1e-7;
+        let mut to_freeze = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let saturated = f
+                .resources
+                .iter()
+                .any(|r| remaining[r] <= EPS * r.capacity(topo).as_bytes_per_sec().max(1.0));
+            let capped = f
+                .rate_cap
+                .map(|c| rate[i] + EPS >= c.as_bytes_per_sec())
+                .unwrap_or(false);
+            if saturated || capped {
+                to_freeze.push(i);
+            }
+        }
+        if to_freeze.is_empty() {
+            // delta was 0 without progress — numerically stuck; freeze all
+            // remaining flows to guarantee termination.
+            for froze in frozen.iter_mut() {
+                *froze = true;
+            }
+            break;
+        }
+        for i in to_freeze {
+            frozen[i] = true;
+            unfrozen -= 1;
+            for r in &flows[i].resources {
+                *users.get_mut(r).expect("registered") -= 1;
+            }
+        }
+    }
+
+    rate.into_iter().map(Bandwidth::bytes_per_sec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+    use crate::topology::{NodeId, TopologyBuilder};
+    use crate::units::Latency;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::mbps(x)
+    }
+
+    struct Net {
+        topo: Topology,
+        routes: RouteTable,
+    }
+
+    impl Net {
+        fn demand(&self, src: NodeId, dst: NodeId) -> FlowDemand {
+            let p = self.routes.path(src, dst).unwrap();
+            FlowDemand { resources: path_resources(&self.topo, &p), rate_cap: None }
+        }
+    }
+
+    fn hub_net(n_hosts: usize, rate: f64) -> (Net, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", mbps(rate), Latency::micros(10.0));
+        let hosts: Vec<NodeId> = (0..n_hosts)
+            .map(|i| {
+                let h = b.host(&format!("h{i}.x"), &format!("10.0.0.{}", i + 1));
+                b.attach(h, hub);
+                h
+            })
+            .collect();
+        let topo = b.build().unwrap();
+        let routes = RouteTable::compute(&topo);
+        (Net { topo, routes }, hosts)
+    }
+
+    fn switch_net(n_hosts: usize, rate: f64) -> (Net, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.switch("sw", mbps(rate), Latency::micros(10.0));
+        let hosts: Vec<NodeId> = (0..n_hosts)
+            .map(|i| {
+                let h = b.host(&format!("h{i}.x"), &format!("10.0.0.{}", i + 1));
+                b.attach(h, sw);
+                h
+            })
+            .collect();
+        let topo = b.build().unwrap();
+        let routes = RouteTable::compute(&topo);
+        (Net { topo, routes }, hosts)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck() {
+        let (net, h) = hub_net(2, 100.0);
+        let rates = max_min_allocate(&net.topo, &[net.demand(h[0], h[1])]);
+        assert!((rates[0].as_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hub_flows_share_one_medium() {
+        // Two disjoint pairs on one hub still halve each other — the
+        // behaviour NWS's clique protocol exists to avoid (paper §2.3).
+        let (net, h) = hub_net(4, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[2], h[3])];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 50.0).abs() < 1e-6);
+        assert!((rates[1].as_mbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hub_medium_counted_once_per_flow() {
+        // A single flow through a hub crosses two ports but must still get
+        // the full medium rate, not half.
+        let (net, h) = hub_net(2, 100.0);
+        let d = net.demand(h[0], h[1]);
+        assert_eq!(d.resources.len(), 1, "medium must be deduplicated");
+        let rates = max_min_allocate(&net.topo, &[d]);
+        assert!((rates[0].as_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_flows_are_independent() {
+        let (net, h) = switch_net(4, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[2], h[3])];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 100.0).abs() < 1e-6);
+        assert!((rates[1].as_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_flows_share_common_port() {
+        // Both flows leave the same source host: its single port is the
+        // bottleneck — the effect that keeps ENV's pairwise test from
+        // splitting switched clusters.
+        let (net, h) = switch_net(3, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[0], h[2])];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 50.0).abs() < 1e-6);
+        assert!((rates[1].as_mbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_directions_share_hub_but_not_switch() {
+        let (net, h) = hub_net(2, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[1], h[0])];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 50.0).abs() < 1e-6, "hub is half-duplex");
+
+        let (net, h) = switch_net(2, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[1], h[0])];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 100.0).abs() < 1e-6, "switch is full-duplex");
+        assert!((rates[1].as_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_cap_binds() {
+        let (net, h) = switch_net(2, 100.0);
+        let mut d = net.demand(h[0], h[1]);
+        d.rate_cap = Some(mbps(7.0));
+        let rates = max_min_allocate(&net.topo, &[d]);
+        assert!((rates[0].as_mbps() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity_to_others() {
+        let (net, h) = switch_net(3, 100.0);
+        let mut capped = net.demand(h[0], h[1]);
+        capped.rate_cap = Some(mbps(10.0));
+        let open = net.demand(h[0], h[2]);
+        // Both flows share h0's egress port (100 Mbps): the capped flow
+        // takes 10, the other grows to 90.
+        let rates = max_min_allocate(&net.topo, &[capped, open]);
+        assert!((rates[0].as_mbps() - 10.0).abs() < 1e-6);
+        assert!((rates[1].as_mbps() - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_line_network_max_min() {
+        // a —10M— r1 —10M— r2 —10M— c with flows a→r2-side host etc.
+        // Use 3 hosts in a line via two routers; long flow shares both
+        // links with two short flows → long flow gets 5, shorts get 5 then
+        // fill to... classic parking-lot: all get 5 on the contended link;
+        // short flow on the other link also 5 since both links carry
+        // (long, one short).
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a.x", "10.0.0.1");
+        let m = b.host("m.x", "10.0.0.2");
+        let c = b.host("c.x", "10.0.0.3");
+        let r1 = b.router("r1.x", "10.0.1.1");
+        let r2 = b.router("r2.x", "10.0.1.2");
+        b.link(a, r1, mbps(100.0), Latency::ZERO);
+        b.link(r1, r2, mbps(10.0), Latency::ZERO);
+        b.link(r2, c, mbps(100.0), Latency::ZERO);
+        b.link(r1, m, mbps(100.0), Latency::ZERO);
+        let topo = b.build().unwrap();
+        let routes = RouteTable::compute(&topo);
+        let net = Net { topo, routes };
+        // Flow 1: a→c (crosses r1-r2). Flow 2: m→c (crosses r1-r2 too).
+        // Flow 3: a→m (does not cross the bottleneck).
+        let flows =
+            vec![net.demand(a, c), net.demand(m, c), net.demand(a, m)];
+        let rates = max_min_allocate(&net.topo, &flows);
+        assert!((rates[0].as_mbps() - 5.0).abs() < 1e-6);
+        assert!((rates[1].as_mbps() - 5.0).abs() < 1e-6);
+        // Flow 3 shares a→r1 with flow 1 (which froze at 5): gets 95.
+        assert!((rates[2].as_mbps() - 95.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (net, _) = hub_net(2, 100.0);
+        assert!(max_min_allocate(&net.topo, &[]).is_empty());
+        assert!(equal_share_allocate(&net.topo, &[]).is_empty());
+    }
+
+    #[test]
+    fn equal_share_matches_max_min_on_single_bottleneck() {
+        // On one shared hub the two models agree exactly.
+        let (net, h) = hub_net(4, 100.0);
+        let flows = vec![net.demand(h[0], h[1]), net.demand(h[2], h[3])];
+        let mm = max_min_allocate(&net.topo, &flows);
+        let es = equal_share_allocate(&net.topo, &flows);
+        for (a, b) in mm.iter().zip(&es) {
+            assert!((a.as_mbps() - b.as_mbps()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn equal_share_is_pessimistic_on_parking_lot() {
+        // Classic difference: a flow bottlenecked elsewhere still "uses"
+        // its share under equal-share, so the co-located flow gets less
+        // than max-min would grant it.
+        let (net, h) = switch_net(3, 100.0);
+        let mut capped = net.demand(h[0], h[1]);
+        capped.rate_cap = Some(mbps(10.0));
+        let open = net.demand(h[0], h[2]);
+        let flows = vec![capped, open];
+        let mm = max_min_allocate(&net.topo, &flows);
+        let es = equal_share_allocate(&net.topo, &flows);
+        assert!((mm[1].as_mbps() - 90.0).abs() < 1e-6, "max-min redistributes");
+        assert!((es[1].as_mbps() - 50.0).abs() < 1e-6, "equal share does not");
+        // The model selector dispatches correctly.
+        let via_enum = allocate(&net.topo, &flows, FairnessModel::BottleneckEqualShare);
+        assert_eq!(es, via_enum);
+    }
+
+    #[cfg(test)]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A platform mixing one hub and one switch behind a router.
+        fn mixed_net(n_each: usize, rate: f64) -> (Net, Vec<NodeId>) {
+            let mut b = TopologyBuilder::new();
+            let hub = b.hub("hub", mbps(rate), Latency::micros(10.0));
+            let sw = b.switch("sw", mbps(rate), Latency::micros(10.0));
+            let r = b.router("r.x", "10.9.0.1");
+            b.attach(r, hub);
+            b.attach(r, sw);
+            let mut hosts = Vec::new();
+            for i in 0..n_each {
+                let h = b.host(&format!("hh{i}.x"), &format!("10.1.0.{}", i + 1));
+                b.attach(h, hub);
+                hosts.push(h);
+            }
+            for i in 0..n_each {
+                let h = b.host(&format!("sh{i}.x"), &format!("10.2.0.{}", i + 1));
+                b.attach(h, sw);
+                hosts.push(h);
+            }
+            let topo = b.build().unwrap();
+            let routes = RouteTable::compute(&topo);
+            (Net { topo, routes }, hosts)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Mixed hub+switch platforms keep the same invariants, and the
+            /// hub medium is never oversubscribed by cross-device flows.
+            #[test]
+            fn max_min_invariants_mixed(
+                n_each in 2usize..5,
+                pairs in proptest::collection::vec((0usize..10, 0usize..10), 1..10),
+                rate in 10.0f64..500.0,
+            ) {
+                let (net, hosts) = mixed_net(n_each, rate);
+                let n = hosts.len();
+                let flows: Vec<FlowDemand> = pairs
+                    .iter()
+                    .filter_map(|(s, d)| {
+                        let s = s % n;
+                        let d = d % n;
+                        (s != d).then(|| net.demand(hosts[s], hosts[d]))
+                    })
+                    .collect();
+                prop_assume!(!flows.is_empty());
+                let rates = max_min_allocate(&net.topo, &flows);
+
+                let mut usage: std::collections::HashMap<Resource, f64> =
+                    std::collections::HashMap::new();
+                for (f, r) in flows.iter().zip(&rates) {
+                    prop_assert!(r.as_bytes_per_sec() > 0.0, "starved flow");
+                    for res in &f.resources {
+                        *usage.entry(*res).or_insert(0.0) += r.as_bytes_per_sec();
+                    }
+                }
+                for (res, used) in &usage {
+                    let cap = res.capacity(&net.topo).as_bytes_per_sec();
+                    prop_assert!(*used <= cap * (1.0 + 1e-6),
+                        "{res:?} oversubscribed");
+                }
+            }
+
+            /// On a random star switch with random flows, no resource is
+            /// oversubscribed and every flow is bottlenecked somewhere.
+            #[test]
+            fn max_min_invariants(
+                n_hosts in 2usize..8,
+                pairs in proptest::collection::vec((0usize..8, 0usize..8), 1..12),
+                rate in 10.0f64..1000.0,
+            ) {
+                let (net, hosts) = switch_net(n_hosts, rate);
+                let flows: Vec<FlowDemand> = pairs
+                    .iter()
+                    .filter_map(|(s, d)| {
+                        let s = s % n_hosts;
+                        let d = d % n_hosts;
+                        (s != d).then(|| net.demand(hosts[s], hosts[d]))
+                    })
+                    .collect();
+                prop_assume!(!flows.is_empty());
+                let rates = max_min_allocate(&net.topo, &flows);
+
+                // No resource oversubscribed.
+                let mut usage: std::collections::HashMap<Resource, f64> =
+                    std::collections::HashMap::new();
+                for (f, r) in flows.iter().zip(&rates) {
+                    for res in &f.resources {
+                        *usage.entry(*res).or_insert(0.0) += r.as_bytes_per_sec();
+                    }
+                }
+                for (res, used) in &usage {
+                    let cap = res.capacity(&net.topo).as_bytes_per_sec();
+                    prop_assert!(*used <= cap * (1.0 + 1e-6),
+                        "resource {res:?} oversubscribed: {used} > {cap}");
+                }
+
+                // Every flow is bottlenecked: it crosses some resource
+                // whose capacity is (nearly) fully used.
+                for (f, r) in flows.iter().zip(&rates) {
+                    prop_assert!(r.as_bytes_per_sec() > 0.0);
+                    let bottlenecked = f.resources.iter().any(|res| {
+                        let cap = res.capacity(&net.topo).as_bytes_per_sec();
+                        usage[res] >= cap * (1.0 - 1e-6)
+                    });
+                    prop_assert!(bottlenecked, "flow has slack everywhere");
+                }
+            }
+        }
+    }
+}

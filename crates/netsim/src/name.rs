@@ -1,0 +1,138 @@
+//! A miniature DNS: forward and reverse resolution plus machine aliases.
+//!
+//! The ENV structural phase groups hosts into sites by domain name; when a
+//! machine has no name, the paper's patched ENV falls back to the classful
+//! network of its address ([`crate::ip::Ipv4::class_domain`]). The firewall
+//! merge (paper §4.3) relies on knowing that several names — one per side of
+//! the firewall — designate the same machine; those are recorded here as
+//! aliases.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ip::Ipv4;
+
+/// Forward (name→address) and reverse (address→name) resolution tables.
+#[derive(Debug, Clone, Default)]
+pub struct Dns {
+    by_name: HashMap<String, Ipv4>,
+    by_ip: HashMap<Ipv4, String>,
+    aliases: HashMap<String, BTreeSet<String>>,
+}
+
+impl Dns {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` ⇔ `ip`. The first name registered for an address
+    /// becomes its canonical reverse-resolution result.
+    pub fn register(&mut self, name: &str, ip: Ipv4) {
+        self.by_name.insert(name.to_string(), ip);
+        self.by_ip.entry(ip).or_insert_with(|| name.to_string());
+    }
+
+    /// Record that `alias` names the same machine as `name`.
+    pub fn add_alias(&mut self, name: &str, alias: &str) {
+        self.aliases.entry(name.to_string()).or_default().insert(alias.to_string());
+    }
+
+    /// Forward lookup.
+    pub fn lookup(&self, name: &str) -> Option<Ipv4> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup. `None` models a PTR record that does not exist —
+    /// the "machines without hostname" case of paper §4.3.
+    pub fn reverse(&self, ip: Ipv4) -> Option<&str> {
+        self.by_ip.get(&ip).map(|s| s.as_str())
+    }
+
+    /// All other names known to designate the same machine as `name`.
+    pub fn aliases_of(&self, name: &str) -> Vec<String> {
+        self.aliases
+            .get(name)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The DNS domain of a name: everything after the first dot. Returns
+    /// `None` for dotless names.
+    pub fn domain_of(name: &str) -> Option<&str> {
+        name.split_once('.').map(|(_, d)| d)
+    }
+
+    /// The site grouping key ENV uses for a host: its DNS domain when the
+    /// address reverse-resolves, otherwise the classful pseudo-domain.
+    pub fn site_of(&self, ip: Ipv4) -> String {
+        match self.reverse(ip).and_then(Self::domain_of) {
+            Some(d) => d.to_string(),
+            None => ip.class_domain(),
+        }
+    }
+
+    /// Number of registered forward entries.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_reverse() {
+        let mut d = Dns::new();
+        let ip = Ipv4::new(140, 77, 13, 229);
+        d.register("canaria.ens-lyon.fr", ip);
+        assert_eq!(d.lookup("canaria.ens-lyon.fr"), Some(ip));
+        assert_eq!(d.reverse(ip), Some("canaria.ens-lyon.fr"));
+        assert_eq!(d.lookup("nothere"), None);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn first_name_is_canonical() {
+        let mut d = Dns::new();
+        let ip = Ipv4::new(10, 0, 0, 1);
+        d.register("first.x", ip);
+        d.register("second.x", ip);
+        assert_eq!(d.reverse(ip), Some("first.x"));
+        assert_eq!(d.lookup("second.x"), Some(ip));
+    }
+
+    #[test]
+    fn aliases() {
+        let mut d = Dns::new();
+        d.register("popc.ens-lyon.fr", Ipv4::new(140, 77, 12, 52));
+        d.register("popc0.popc.private", Ipv4::new(192, 168, 81, 51));
+        d.add_alias("popc.ens-lyon.fr", "popc0.popc.private");
+        assert_eq!(
+            d.aliases_of("popc.ens-lyon.fr"),
+            vec!["popc0.popc.private".to_string()]
+        );
+        assert!(d.aliases_of("unknown").is_empty());
+    }
+
+    #[test]
+    fn domain_extraction() {
+        assert_eq!(Dns::domain_of("moby.cri2000.ens-lyon.fr"), Some("cri2000.ens-lyon.fr"));
+        assert_eq!(Dns::domain_of("localhost"), None);
+    }
+
+    #[test]
+    fn site_grouping_falls_back_to_ip_class() {
+        let mut d = Dns::new();
+        let named = Ipv4::new(140, 77, 13, 229);
+        d.register("canaria.ens-lyon.fr", named);
+        assert_eq!(d.site_of(named), "ens-lyon.fr");
+        // Unnamed private address → classful pseudo-domain (paper §4.3).
+        let unnamed = Ipv4::new(192, 168, 81, 60);
+        assert_eq!(d.site_of(unnamed), "net-192.168.81");
+    }
+}

@@ -1,0 +1,859 @@
+//! Network topology: nodes (hosts, gateways, routers, switches, hubs),
+//! interfaces, links and shared mediums, plus the [`TopologyBuilder`].
+//!
+//! The model distinguishes the two layer-2 technologies whose difference is
+//! the *whole point* of the paper's ENV mapping phase:
+//!
+//! * a **hub** is a single half-duplex collision domain: every flow that
+//!   traverses any of its ports consumes the one shared medium, so
+//!   concurrent transfers interfere;
+//! * a **switch** gives each attached device a full-duplex port link with
+//!   its own capacity; concurrent transfers through disjoint ports do not
+//!   interfere (the backplane is ideal).
+//!
+//! Routers are layer-3 devices: they appear in traceroutes (unless
+//! configured to drop probes) and can be named or anonymous. Hosts may have
+//! several interfaces (the paper's firewall gateways `popc0`, `myri0`,
+//! `sci0` are dual-homed with a name on each side) and may be configured to
+//! forward traffic, which makes them layer-3 hops like real gateways.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{NetError, NetResult};
+use crate::firewall::Firewall;
+use crate::ip::Ipv4;
+use crate::name::Dns;
+use crate::units::{Bandwidth, Latency};
+
+/// Identifier of a node in a [`Topology`]. Indexes are dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+/// Identifier of a shared medium (one per hub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MediumId(pub(crate) u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index — only meaningful for ids belonging to a
+    /// [`Topology`]; exposed for downstream test fixtures.
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl LinkId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MediumId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role a node plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An end host (may forward if configured as a gateway).
+    Host,
+    /// A layer-3 router: traceroute-visible hop.
+    Router,
+    /// A layer-2 switch: invisible to traceroute, per-port capacity.
+    Switch,
+    /// A layer-2 hub: invisible to traceroute, one shared medium.
+    Hub,
+    /// A stand-in for "the rest of the Internet" — the well-known external
+    /// traceroute destination used by ENV's structural phase.
+    External,
+}
+
+/// A network interface: an address plus an optional DNS name.
+#[derive(Debug, Clone)]
+pub struct Iface {
+    pub ip: Ipv4,
+    /// Fully-qualified domain name registered in DNS, if the machine has
+    /// one (the paper patches ENV for machines *without* hostnames).
+    pub name: Option<String>,
+}
+
+/// A node of the topology.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub id: NodeId,
+    pub kind: NodeKind,
+    /// Human-readable label for debugging and figure rendering (for a host
+    /// this is usually its short name; for an anonymous router its IP).
+    pub label: String,
+    pub ifaces: Vec<Iface>,
+    /// Whether this node forwards traffic for third parties. Routers,
+    /// switches and hubs always do; hosts only if they are gateways.
+    pub forwards: bool,
+    /// Whether this node answers traceroute probes with an ICMP
+    /// time-exceeded. Some routers silently drop them (paper §4.3).
+    pub responds_to_traceroute: bool,
+}
+
+impl Node {
+    /// The node's primary address, if it has any interface.
+    pub fn primary_ip(&self) -> Option<Ipv4> {
+        self.ifaces.first().map(|i| i.ip)
+    }
+
+    /// True for layer-3 hops: routers, and hosts that forward (gateways).
+    pub fn is_l3_hop(&self) -> bool {
+        matches!(self.kind, NodeKind::Router)
+            || (matches!(self.kind, NodeKind::Host) && self.forwards)
+    }
+
+    /// True for transparent layer-2 devices.
+    pub fn is_l2(&self) -> bool {
+        matches!(self.kind, NodeKind::Switch | NodeKind::Hub)
+    }
+}
+
+/// How a link's capacity is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkMode {
+    /// Independent capacity in each direction.
+    FullDuplex {
+        capacity_ab: Bandwidth,
+        capacity_ba: Bandwidth,
+    },
+    /// The link is a port on a hub: its capacity is the hub's shared
+    /// medium, consumed once per flow regardless of direction.
+    Shared { medium: MediumId },
+}
+
+/// A point-to-point attachment between two nodes.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pub id: LinkId,
+    pub a: NodeId,
+    pub b: NodeId,
+    /// Index into `a`'s / `b`'s interface list used by this link; lets
+    /// traceroute report per-interface router addresses.
+    pub a_iface: usize,
+    pub b_iface: usize,
+    pub latency: Latency,
+    pub mode: LinkMode,
+    /// Routing weight in the a→b (resp. b→a) direction. Asymmetric weights
+    /// produce the asymmetric routes of paper §4.3.
+    pub weight_ab: f64,
+    pub weight_ba: f64,
+    /// Links can be administratively downed for failure injection.
+    pub up: bool,
+}
+
+impl Link {
+    /// The opposite endpoint of `n` on this link, if `n` is an endpoint.
+    pub fn peer(&self, n: NodeId) -> Option<NodeId> {
+        if self.a == n {
+            Some(self.b)
+        } else if self.b == n {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Directed routing weight from `from` across this link.
+    pub fn weight_from(&self, from: NodeId) -> f64 {
+        if self.a == from {
+            self.weight_ab
+        } else {
+            self.weight_ba
+        }
+    }
+
+    /// Capacity in the direction starting at `from`.
+    pub fn capacity_from(&self, from: NodeId, mediums: &[Medium]) -> Bandwidth {
+        match self.mode {
+            LinkMode::FullDuplex { capacity_ab, capacity_ba } => {
+                if self.a == from {
+                    capacity_ab
+                } else {
+                    capacity_ba
+                }
+            }
+            LinkMode::Shared { medium } => mediums[medium.index()].capacity,
+        }
+    }
+}
+
+/// A hub's half-duplex shared medium.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    pub id: MediumId,
+    pub capacity: Bandwidth,
+    pub label: String,
+}
+
+/// An immutable, validated network topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    mediums: Vec<Medium>,
+    /// Per-node list of (link, neighbour).
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    dns: Dns,
+    firewall: Firewall,
+}
+
+impl Topology {
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn try_node(&self, id: NodeId) -> NetResult<&Node> {
+        self.nodes.get(id.index()).ok_or(NetError::UnknownNode(id))
+    }
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    pub fn medium(&self, id: MediumId) -> &Medium {
+        &self.mediums[id.index()]
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    pub fn mediums(&self) -> impl Iterator<Item = &Medium> {
+        self.mediums.iter()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All end hosts (kind `Host`).
+    pub fn hosts(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Host)
+    }
+
+    pub fn neighbours(&self, n: NodeId) -> &[(LinkId, NodeId)] {
+        &self.adjacency[n.index()]
+    }
+
+    pub fn dns(&self) -> &Dns {
+        &self.dns
+    }
+
+    pub fn firewall(&self) -> &Firewall {
+        &self.firewall
+    }
+
+    /// Find a node by label (exact match).
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.label == label).map(|n| n.id)
+    }
+
+    /// Find the node owning an interface with the given DNS name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.ifaces.iter().any(|i| i.name.as_deref() == Some(name)))
+            .map(|n| n.id)
+    }
+
+    /// Find the node owning an interface with the given address.
+    pub fn node_by_ip(&self, ip: Ipv4) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .find(|n| n.ifaces.iter().any(|i| i.ip == ip))
+            .map(|n| n.id)
+    }
+
+    /// The interface of node `n` bound to link `l` (used by traceroute to
+    /// report the address facing the previous hop).
+    pub fn iface_on_link(&self, n: NodeId, l: LinkId) -> Option<&Iface> {
+        let link = self.link(l);
+        let idx = if link.a == n {
+            link.a_iface
+        } else if link.b == n {
+            link.b_iface
+        } else {
+            return None;
+        };
+        self.node(n).ifaces.get(idx)
+    }
+
+    /// Whether the firewall permits traffic from `src` to `dst`.
+    pub fn allows(&self, src: NodeId, dst: NodeId) -> bool {
+        self.firewall.allows(src, dst)
+    }
+
+    /// Administratively bring a link up or down (failure injection). Routes
+    /// must be recomputed afterwards.
+    pub fn set_link_up(&mut self, l: LinkId, up: bool) {
+        self.links[l.index()].up = up;
+    }
+
+    pub(crate) fn mediums_internal(&self) -> &[Medium] {
+        &self.mediums
+    }
+}
+
+/// Defaults recorded for an infrastructure node so `attach` can create
+/// port links without repeating parameters.
+#[derive(Debug, Clone, Copy)]
+struct InfraSpec {
+    capacity: Bandwidth,
+    latency: Latency,
+    medium: Option<MediumId>,
+}
+
+/// Incremental constructor for [`Topology`].
+///
+/// ```
+/// use netsim::prelude::*;
+///
+/// let mut b = TopologyBuilder::new();
+/// let sw = b.switch("sw", Bandwidth::mbps(100.0), Latency::micros(20.0));
+/// let h1 = b.host("h1.example.net", "10.0.0.1");
+/// let h2 = b.host("h2.example.net", "10.0.0.2");
+/// b.attach(h1, sw);
+/// b.attach(h2, sw);
+/// let topo = b.build().unwrap();
+/// assert_eq!(topo.hosts().count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    mediums: Vec<Medium>,
+    infra: HashMap<NodeId, InfraSpec>,
+    firewall: Firewall,
+    extra_aliases: Vec<(String, String)>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let mut node = node;
+        node.id = id;
+        self.nodes.push(node);
+        id
+    }
+
+    /// A named host with a single interface. Panics on malformed `ip`
+    /// (builder inputs are programmer-provided constants).
+    pub fn host(&mut self, fqdn: &str, ip: &str) -> NodeId {
+        let ip: Ipv4 = ip.parse().unwrap_or_else(|e| panic!("{e}"));
+        let short = fqdn.split('.').next().unwrap_or(fqdn).to_string();
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Host,
+            label: short,
+            ifaces: vec![Iface { ip, name: Some(fqdn.to_string()) }],
+            forwards: false,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// A host with an address but no DNS name (paper §4.3, "Machines
+    /// without hostname").
+    pub fn host_unnamed(&mut self, ip: &str) -> NodeId {
+        let ip: Ipv4 = ip.parse().unwrap_or_else(|e| panic!("{e}"));
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Host,
+            label: ip.to_string(),
+            ifaces: vec![Iface { ip, name: None }],
+            forwards: false,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// A multi-homed host: one interface per `(fqdn, ip)` pair. Used for
+    /// the paper's firewall gateways which carry a name on each side.
+    pub fn host_multi(&mut self, label: &str, ifaces: &[(&str, &str)]) -> NodeId {
+        let ifaces = ifaces
+            .iter()
+            .map(|(name, ip)| Iface {
+                ip: ip.parse().unwrap_or_else(|e| panic!("{e}")),
+                name: Some((*name).to_string()),
+            })
+            .collect();
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Host,
+            label: label.to_string(),
+            ifaces,
+            forwards: false,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// A named router.
+    pub fn router(&mut self, fqdn: &str, ip: &str) -> NodeId {
+        let ip: Ipv4 = ip.parse().unwrap_or_else(|e| panic!("{e}"));
+        let short = fqdn.split('.').next().unwrap_or(fqdn).to_string();
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Router,
+            label: short,
+            ifaces: vec![Iface { ip, name: Some(fqdn.to_string()) }],
+            forwards: true,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// A router whose address does not reverse-resolve (traceroute shows
+    /// the bare IP, as for 192.168.254.1 in the paper's Figure 2).
+    pub fn router_unnamed(&mut self, ip: &str) -> NodeId {
+        let ip: Ipv4 = ip.parse().unwrap_or_else(|e| panic!("{e}"));
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Router,
+            label: ip.to_string(),
+            ifaces: vec![Iface { ip, name: None }],
+            forwards: true,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// Mark a router (or gateway host) as silently dropping traceroute
+    /// probes (paper §4.3 "Dropped traceroute").
+    pub fn set_traceroute_silent(&mut self, n: NodeId) {
+        self.nodes[n.index()].responds_to_traceroute = false;
+    }
+
+    /// Make a host forward traffic (a gateway). Gateways are layer-3 hops.
+    pub fn set_forwards(&mut self, n: NodeId, forwards: bool) {
+        self.nodes[n.index()].forwards = forwards;
+    }
+
+    /// A layer-2 switch whose ports default to the given capacity/latency.
+    pub fn switch(&mut self, label: &str, port_capacity: Bandwidth, port_latency: Latency) -> NodeId {
+        let id = self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Switch,
+            label: label.to_string(),
+            ifaces: vec![],
+            forwards: true,
+            responds_to_traceroute: false,
+        });
+        self.infra.insert(
+            id,
+            InfraSpec { capacity: port_capacity, latency: port_latency, medium: None },
+        );
+        id
+    }
+
+    /// A layer-2 hub: one shared half-duplex medium of the given capacity.
+    pub fn hub(&mut self, label: &str, capacity: Bandwidth, port_latency: Latency) -> NodeId {
+        let medium = MediumId(self.mediums.len() as u32);
+        self.mediums.push(Medium { id: medium, capacity, label: label.to_string() });
+        let id = self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::Hub,
+            label: label.to_string(),
+            ifaces: vec![],
+            forwards: true,
+            responds_to_traceroute: false,
+        });
+        self.infra.insert(
+            id,
+            InfraSpec { capacity, latency: port_latency, medium: Some(medium) },
+        );
+        id
+    }
+
+    /// The external traceroute destination ("the Internet").
+    pub fn external(&mut self, fqdn: &str, ip: &str) -> NodeId {
+        let ip: Ipv4 = ip.parse().unwrap_or_else(|e| panic!("{e}"));
+        self.push_node(Node {
+            id: NodeId(0),
+            kind: NodeKind::External,
+            label: fqdn.to_string(),
+            ifaces: vec![Iface { ip, name: Some(fqdn.to_string()) }],
+            forwards: false,
+            responds_to_traceroute: true,
+        })
+    }
+
+    /// Attach `node` (via its interface 0) to a hub or switch.
+    pub fn attach(&mut self, node: NodeId, infra: NodeId) -> LinkId {
+        self.attach_iface(node, 0, infra)
+    }
+
+    /// Attach `node` via a specific interface index to a hub or switch.
+    pub fn attach_iface(&mut self, node: NodeId, iface: usize, infra: NodeId) -> LinkId {
+        let spec = *self
+            .infra
+            .get(&infra)
+            .unwrap_or_else(|| panic!("attach target {infra} is not a hub or switch"));
+        let mode = match spec.medium {
+            Some(m) => LinkMode::Shared { medium: m },
+            None => LinkMode::FullDuplex {
+                capacity_ab: spec.capacity,
+                capacity_ba: spec.capacity,
+            },
+        };
+        self.push_link(node, iface, infra, 0, spec.latency, mode, 1.0, 1.0)
+    }
+
+    /// Attach with an overridden port capacity (e.g. a slower uplink port).
+    pub fn attach_with_capacity(
+        &mut self,
+        node: NodeId,
+        infra: NodeId,
+        capacity: Bandwidth,
+    ) -> LinkId {
+        let spec = *self
+            .infra
+            .get(&infra)
+            .unwrap_or_else(|| panic!("attach target {infra} is not a hub or switch"));
+        let mode = match spec.medium {
+            // Hub ports always share the medium; a per-port capacity on a
+            // hub is not physically meaningful, so it is ignored.
+            Some(m) => LinkMode::Shared { medium: m },
+            None => LinkMode::FullDuplex { capacity_ab: capacity, capacity_ba: capacity },
+        };
+        self.push_link(node, 0, infra, 0, spec.latency, mode, 1.0, 1.0)
+    }
+
+    /// A symmetric point-to-point full-duplex link.
+    pub fn link(&mut self, a: NodeId, b: NodeId, capacity: Bandwidth, latency: Latency) -> LinkId {
+        self.push_link(
+            a,
+            0,
+            b,
+            0,
+            latency,
+            LinkMode::FullDuplex { capacity_ab: capacity, capacity_ba: capacity },
+            1.0,
+            1.0,
+        )
+    }
+
+    /// A point-to-point link with distinct capacities per direction.
+    pub fn link_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_ab: Bandwidth,
+        capacity_ba: Bandwidth,
+        latency: Latency,
+    ) -> LinkId {
+        self.push_link(
+            a,
+            0,
+            b,
+            0,
+            latency,
+            LinkMode::FullDuplex { capacity_ab, capacity_ba },
+            1.0,
+            1.0,
+        )
+    }
+
+    /// A link specifying the interface index used on each endpoint.
+    pub fn link_ifaces(
+        &mut self,
+        a: NodeId,
+        a_iface: usize,
+        b: NodeId,
+        b_iface: usize,
+        capacity: Bandwidth,
+        latency: Latency,
+    ) -> LinkId {
+        self.push_link(
+            a,
+            a_iface,
+            b,
+            b_iface,
+            latency,
+            LinkMode::FullDuplex { capacity_ab: capacity, capacity_ba: capacity },
+            1.0,
+            1.0,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_link(
+        &mut self,
+        a: NodeId,
+        a_iface: usize,
+        b: NodeId,
+        b_iface: usize,
+        latency: Latency,
+        mode: LinkMode,
+        weight_ab: f64,
+        weight_ba: f64,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            a_iface,
+            b_iface,
+            latency,
+            mode,
+            weight_ab,
+            weight_ba,
+            up: true,
+        });
+        id
+    }
+
+    /// Override a link's directed routing weights. A large weight in one
+    /// direction steers routes away, producing asymmetric routing.
+    pub fn set_weights(&mut self, link: LinkId, weight_ab: f64, weight_ba: f64) {
+        let l = &mut self.links[link.index()];
+        l.weight_ab = weight_ab;
+        l.weight_ba = weight_ba;
+    }
+
+    /// Forbid all traffic between the two host sets, in both directions
+    /// (the paper's firewalled `popc.private` domain). Gateways simply are
+    /// not listed.
+    pub fn firewall_deny_between(&mut self, a: &[NodeId], b: &[NodeId]) {
+        self.firewall.deny_between(a, b);
+    }
+
+    /// Register an additional DNS alias (`alias` resolves like `canonical`).
+    pub fn dns_alias(&mut self, alias: &str, canonical: &str) {
+        self.extra_aliases.push((alias.to_string(), canonical.to_string()));
+    }
+
+    /// Validate and freeze the topology.
+    pub fn build(self) -> NetResult<Topology> {
+        let TopologyBuilder { nodes, links, mediums, infra: _, firewall, extra_aliases } = self;
+
+        for l in &links {
+            for (n, iface) in [(l.a, l.a_iface), (l.b, l.b_iface)] {
+                let node = nodes
+                    .get(n.index())
+                    .ok_or(NetError::InvalidTopology(format!("link {l:?} references {n}")))?;
+                if !node.ifaces.is_empty() && iface >= node.ifaces.len() {
+                    return Err(NetError::InvalidTopology(format!(
+                        "link {:?} uses interface {iface} of {} which has only {}",
+                        l.id,
+                        node.label,
+                        node.ifaces.len()
+                    )));
+                }
+            }
+            if l.a == l.b {
+                return Err(NetError::InvalidTopology(format!("self-link on {}", l.a)));
+            }
+        }
+
+        // Duplicate addresses are a construction bug.
+        let mut seen = HashMap::new();
+        for n in &nodes {
+            for i in &n.ifaces {
+                if let Some(prev) = seen.insert(i.ip, n.label.clone()) {
+                    return Err(NetError::InvalidTopology(format!(
+                        "address {} assigned to both {} and {}",
+                        i.ip, prev, n.label
+                    )));
+                }
+            }
+        }
+
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for l in &links {
+            adjacency[l.a.index()].push((l.id, l.b));
+            adjacency[l.b.index()].push((l.id, l.a));
+        }
+
+        let mut dns = Dns::new();
+        for n in &nodes {
+            let names: Vec<&str> =
+                n.ifaces.iter().filter_map(|i| i.name.as_deref()).collect();
+            for i in &n.ifaces {
+                if let Some(name) = &i.name {
+                    dns.register(name, i.ip);
+                    // All names of one machine are aliases of each other —
+                    // the information the firewall merge needs (§4.3).
+                    for other in &names {
+                        if *other != name.as_str() {
+                            dns.add_alias(name, other);
+                        }
+                    }
+                }
+            }
+        }
+        for (alias, canonical) in &extra_aliases {
+            let ip = dns
+                .lookup(canonical)
+                .ok_or_else(|| NetError::NameNotFound(canonical.clone()))?;
+            dns.register(alias, ip);
+            dns.add_alias(canonical, alias);
+            dns.add_alias(alias, canonical);
+        }
+
+        Ok(Topology { nodes, links, mediums, adjacency, dns, firewall })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(x: f64) -> Bandwidth {
+        Bandwidth::mbps(x)
+    }
+
+    #[test]
+    fn build_hub_topology() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub0", mbps(100.0), Latency::micros(50.0));
+        let h1 = b.host("a.example.net", "10.0.0.1");
+        let h2 = b.host("b.example.net", "10.0.0.2");
+        let l1 = b.attach(h1, hub);
+        b.attach(h2, hub);
+        let t = b.build().unwrap();
+
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.mediums().count(), 1);
+        match t.link(l1).mode {
+            LinkMode::Shared { medium } => {
+                assert!((t.medium(medium).capacity.as_mbps() - 100.0).abs() < 1e-9)
+            }
+            _ => panic!("hub port should be shared"),
+        }
+        assert_eq!(t.neighbours(hub).len(), 2);
+        assert_eq!(t.node_by_name("a.example.net"), Some(h1));
+        assert_eq!(t.node_by_label("a"), Some(h1));
+    }
+
+    #[test]
+    fn build_switch_topology() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.switch("sw0", mbps(100.0), Latency::micros(20.0));
+        let h1 = b.host("a.example.net", "10.0.0.1");
+        let l = b.attach(h1, sw);
+        let t = b.build().unwrap();
+        match t.link(l).mode {
+            LinkMode::FullDuplex { capacity_ab, capacity_ba } => {
+                assert!((capacity_ab.as_mbps() - 100.0).abs() < 1e-9);
+                assert!((capacity_ba.as_mbps() - 100.0).abs() < 1e-9);
+            }
+            _ => panic!("switch port should be full duplex"),
+        }
+        assert_eq!(t.mediums().count(), 0);
+    }
+
+    #[test]
+    fn multi_homed_gateway_names_are_aliases() {
+        let mut b = TopologyBuilder::new();
+        let gw = b.host_multi(
+            "popc0",
+            &[("popc.ens-lyon.fr", "140.77.12.52"), ("popc0.popc.private", "192.168.81.51")],
+        );
+        b.set_forwards(gw, true);
+        let t = b.build().unwrap();
+        assert_eq!(t.node_by_name("popc.ens-lyon.fr"), Some(gw));
+        assert_eq!(t.node_by_name("popc0.popc.private"), Some(gw));
+        assert!(t.node(gw).is_l3_hop());
+        let aliases = t.dns().aliases_of("popc.ens-lyon.fr");
+        assert!(aliases.contains(&"popc0.popc.private".to_string()));
+    }
+
+    #[test]
+    fn duplicate_ip_rejected() {
+        let mut b = TopologyBuilder::new();
+        b.host("a.x", "10.0.0.1");
+        b.host("b.x", "10.0.0.1");
+        assert!(matches!(b.build(), Err(NetError::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn bad_iface_index_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        b.link_ifaces(a, 3, c, 0, mbps(10.0), Latency::ZERO);
+        assert!(matches!(b.build(), Err(NetError::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a.x", "10.0.0.1");
+        b.link(a, a, mbps(10.0), Latency::ZERO);
+        assert!(matches!(b.build(), Err(NetError::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn unnamed_host_uses_ip_label() {
+        let mut b = TopologyBuilder::new();
+        let h = b.host_unnamed("192.168.81.60");
+        let t = b.build().unwrap();
+        assert_eq!(t.node(h).label, "192.168.81.60");
+        assert!(t.node(h).ifaces[0].name.is_none());
+    }
+
+    #[test]
+    fn extra_alias_resolves() {
+        let mut b = TopologyBuilder::new();
+        b.host("a.example.net", "10.0.0.1");
+        b.dns_alias("alias.example.net", "a.example.net");
+        let t = b.build().unwrap();
+        assert_eq!(
+            t.dns().lookup("alias.example.net"),
+            Some("10.0.0.1".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn alias_to_unknown_name_fails_build() {
+        let mut b = TopologyBuilder::new();
+        b.host("a.example.net", "10.0.0.1");
+        b.dns_alias("x", "missing.example.net");
+        assert!(matches!(b.build(), Err(NetError::NameNotFound(_))));
+    }
+
+    #[test]
+    fn link_peer_and_weights() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        let l = b.link(a, c, mbps(10.0), Latency::ZERO);
+        b.set_weights(l, 1.0, 100.0);
+        let t = b.build().unwrap();
+        let link = t.link(l);
+        assert_eq!(link.peer(a), Some(c));
+        assert_eq!(link.peer(c), Some(a));
+        assert!((link.weight_from(a) - 1.0).abs() < 1e-12);
+        assert!((link.weight_from(c) - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,192 @@
+//! The NWS measurement clique: a token ring guaranteeing mutually
+//! exclusive network experiments (paper §2.3, Wolski/Gaidioz/Tourancheau,
+//! the paper's reference 23).
+//!
+//! "Only the host having the token at a given time is granted to launch
+//! network measurements on the links involved in that clique. Mechanisms
+//! to handle network errors and leader elections are also introduced."
+//!
+//! Implementation notes:
+//!
+//! * The token's sequence number increments at **every hop**; a member
+//!   accepts a token only when its sequence exceeds everything it has
+//!   seen, which kills duplicates after a regeneration race.
+//! * Every member arms a watchdog sized to a full round (scaled by its
+//!   ring index so the earliest member usually wins the regeneration
+//!   race). When it fires, the member fabricates a fresh token with a
+//!   sequence jump large enough that the stale token can never catch up.
+
+use netsim::engine::ProcessId;
+use netsim::time::TimeDelta;
+use netsim::topology::NodeId;
+
+/// One sensor's view of one clique it belongs to.
+#[derive(Debug, Clone)]
+pub struct CliqueMembership {
+    /// Clique name (unique per deployment plan).
+    pub clique: String,
+    /// Ring order: (sensor pid, host name, host node) per member.
+    pub members: Vec<(ProcessId, String, NodeId)>,
+    /// This sensor's position in the ring.
+    pub me_idx: usize,
+    /// Pause between finishing experiments and passing the token on —
+    /// controls measurement frequency (paper §2.3 scalability).
+    pub gap: TimeDelta,
+    /// Expected full-round duration; the watchdog base.
+    pub watchdog_base: TimeDelta,
+    /// Highest token sequence seen.
+    pub last_seq: u64,
+    /// Rounds completed (token passages through member 0).
+    pub rounds_seen: u64,
+}
+
+impl CliqueMembership {
+    pub fn new(
+        clique: &str,
+        members: Vec<(ProcessId, String, NodeId)>,
+        me: ProcessId,
+        gap: TimeDelta,
+        watchdog_base: TimeDelta,
+    ) -> Self {
+        let me_idx = members
+            .iter()
+            .position(|(p, _, _)| *p == me)
+            .expect("sensor must be a member of its own clique");
+        CliqueMembership {
+            clique: clique.to_string(),
+            members,
+            me_idx,
+            gap,
+            watchdog_base,
+            last_seq: 0,
+            rounds_seen: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The next member in ring order.
+    pub fn next_member(&self) -> ProcessId {
+        self.members[(self.me_idx + 1) % self.members.len()].0
+    }
+
+    /// Whether passing to the next member completes a round (the token
+    /// re-enters member 0).
+    pub fn pass_completes_round(&self) -> bool {
+        (self.me_idx + 1).is_multiple_of(self.members.len())
+    }
+
+    /// The other members, in ring order starting after this sensor — the
+    /// experiment targets while holding the token.
+    pub fn peers(&self) -> Vec<(String, NodeId)> {
+        let k = self.members.len();
+        (1..k)
+            .map(|off| {
+                let (_, name, node) = &self.members[(self.me_idx + off) % k];
+                (name.clone(), *node)
+            })
+            .collect()
+    }
+
+    /// Token acceptance rule: strictly newer sequences only.
+    pub fn accepts(&self, seq: u64) -> bool {
+        seq > self.last_seq
+    }
+
+    /// Watchdog delay for this member: a full round plus an index-scaled
+    /// stagger so regeneration races have a deterministic likely winner.
+    pub fn watchdog_delay(&self) -> TimeDelta {
+        self.watchdog_base * (1.0 + 0.25 * self.me_idx as f64)
+    }
+
+    /// Sequence for a regenerated token: far enough ahead that the lost
+    /// token (at most `len` hops stale) can never be accepted again.
+    pub fn regen_seq(&self) -> u64 {
+        self.last_seq + self.members.len() as u64 + self.me_idx as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership(k: usize, me: usize) -> CliqueMembership {
+        let members: Vec<(ProcessId, String, NodeId)> = (0..k)
+            .map(|i| {
+                (
+                    ProcessId::from_raw(i as u32),
+                    format!("h{i}.x"),
+                    NodeId::from_raw(i as u32),
+                )
+            })
+            .collect();
+        CliqueMembership::new(
+            "c0",
+            members,
+            ProcessId::from_raw(me as u32),
+            TimeDelta::from_secs(1.0),
+            TimeDelta::from_secs(10.0),
+        )
+    }
+
+    #[test]
+    fn ring_order_and_peers() {
+        let m = membership(4, 1);
+        assert_eq!(m.me_idx, 1);
+        assert_eq!(m.next_member(), ProcessId::from_raw(2));
+        let peers = m.peers();
+        assert_eq!(peers.len(), 3);
+        assert_eq!(peers[0].0, "h2.x");
+        assert_eq!(peers[2].0, "h0.x");
+        assert!(!m.pass_completes_round());
+        let last = membership(4, 3);
+        assert_eq!(last.next_member(), ProcessId::from_raw(0));
+        assert!(last.pass_completes_round());
+    }
+
+    #[test]
+    fn acceptance_is_strictly_monotonic() {
+        let mut m = membership(3, 0);
+        assert!(m.accepts(1));
+        m.last_seq = 5;
+        assert!(!m.accepts(5));
+        assert!(!m.accepts(4));
+        assert!(m.accepts(6));
+    }
+
+    #[test]
+    fn watchdogs_stagger_by_index() {
+        let m0 = membership(3, 0);
+        let m1 = membership(3, 1);
+        let m2 = membership(3, 2);
+        assert!(m0.watchdog_delay() < m1.watchdog_delay());
+        assert!(m1.watchdog_delay() < m2.watchdog_delay());
+    }
+
+    #[test]
+    fn regen_outruns_stale_token() {
+        let mut m = membership(5, 2);
+        m.last_seq = 40;
+        // A stale token is at most len-1 hops ahead of what we saw.
+        assert!(m.regen_seq() > 40 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "member of its own clique")]
+    fn non_member_rejected() {
+        let members = vec![(ProcessId::from_raw(0), "a".to_string(), NodeId::from_raw(0))];
+        let _ = CliqueMembership::new(
+            "c",
+            members,
+            ProcessId::from_raw(9),
+            TimeDelta::from_secs(1.0),
+            TimeDelta::from_secs(1.0),
+        );
+    }
+}

@@ -1,0 +1,647 @@
+//! The NWS forecaster battery: "statistical forecasters allowing to ...
+//! predict the future evolutions" (paper §2).
+//!
+//! The real NWS runs a family of cheap predictors side by side on every
+//! series; at each step every predictor guesses the next value, its error
+//! is accumulated, and the *battery* reports the prediction of whichever
+//! predictor currently has the lowest cumulative error (dynamic predictor
+//! selection, Wolski et al., the paper's reference 22). We implement the
+//! classic family:
+//!
+//! * `LAST` — last value;
+//! * `RUN_AVG` — running mean of everything seen;
+//! * `SW_AVG(k)` — sliding-window mean, several window sizes;
+//! * `MEDIAN(k)` — sliding-window median;
+//! * `TRIM_MEAN(k, α)` — sliding trimmed mean;
+//! * `EXP_SMOOTH(g)` — exponential smoothing, several gains;
+//! * `ADAPT_AVG` — mean over an adaptive window that resets on jumps;
+//! * `HOLT(α,β)` — Holt's linear level+trend method (extrapolates ramps).
+//!
+//! Selection can minimise MSE or MAE; both winners are reported.
+
+use std::collections::VecDeque;
+
+/// A single prediction method.
+pub trait Predictor {
+    /// Feed the next observed value.
+    fn observe(&mut self, value: f64);
+    /// Predict the next value, if enough data has been seen.
+    fn predict(&self) -> Option<f64>;
+    fn name(&self) -> &str;
+}
+
+/// Last observed value.
+#[derive(Debug, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+    fn name(&self) -> &str {
+        "LAST"
+    }
+}
+
+/// Running mean of all observations.
+#[derive(Debug, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl Predictor for RunningMean {
+    fn observe(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn predict(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+    fn name(&self) -> &str {
+        "RUN_AVG"
+    }
+}
+
+/// Sliding-window mean.
+#[derive(Debug)]
+pub struct SlidingMean {
+    window: VecDeque<f64>,
+    k: usize,
+    sum: f64,
+    name: String,
+}
+
+impl SlidingMean {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        SlidingMean { window: VecDeque::with_capacity(k), k, sum: 0.0, name: format!("SW_AVG({k})") }
+    }
+}
+
+impl Predictor for SlidingMean {
+    fn observe(&mut self, value: f64) {
+        if self.window.len() == self.k {
+            self.sum -= self.window.pop_front().expect("non-empty");
+        }
+        self.window.push_back(value);
+        self.sum += value;
+    }
+    fn predict(&self) -> Option<f64> {
+        (!self.window.is_empty()).then(|| self.sum / self.window.len() as f64)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Sliding-window median.
+#[derive(Debug)]
+pub struct SlidingMedian {
+    window: VecDeque<f64>,
+    k: usize,
+    name: String,
+}
+
+impl SlidingMedian {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        SlidingMedian { window: VecDeque::with_capacity(k), k, name: format!("MEDIAN({k})") }
+    }
+}
+
+impl Predictor for SlidingMedian {
+    fn observe(&mut self, value: f64) {
+        if self.window.len() == self.k {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.window.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len();
+        Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Sliding trimmed mean: drop the `trim` smallest and largest fractions.
+#[derive(Debug)]
+pub struct TrimmedMean {
+    window: VecDeque<f64>,
+    k: usize,
+    trim: f64,
+    name: String,
+}
+
+impl TrimmedMean {
+    pub fn new(k: usize, trim: f64) -> Self {
+        assert!(k > 0 && (0.0..0.5).contains(&trim));
+        TrimmedMean {
+            window: VecDeque::with_capacity(k),
+            k,
+            trim,
+            name: format!("TRIM_MEAN({k},{trim})"),
+        }
+    }
+}
+
+impl Predictor for TrimmedMean {
+    fn observe(&mut self, value: f64) {
+        if self.window.len() == self.k {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = self.window.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cut = ((v.len() as f64) * self.trim).floor() as usize;
+        let kept = &v[cut..v.len() - cut];
+        if kept.is_empty() {
+            return Some(v[v.len() / 2]);
+        }
+        Some(kept.iter().sum::<f64>() / kept.len() as f64)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Exponential smoothing with gain `g`.
+#[derive(Debug)]
+pub struct ExpSmooth {
+    state: Option<f64>,
+    gain: f64,
+    name: String,
+}
+
+impl ExpSmooth {
+    pub fn new(gain: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gain));
+        ExpSmooth { state: None, gain, name: format!("EXP_SMOOTH({gain})") }
+    }
+}
+
+impl Predictor for ExpSmooth {
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            Some(s) => s + self.gain * (value - s),
+            None => value,
+        });
+    }
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Holt's linear method: exponentially smoothed level plus trend — the
+/// only battery member that extrapolates a slope, so it wins on steadily
+/// ramping series (e.g. a link saturating as a long transfer grows).
+#[derive(Debug)]
+pub struct HoltLinear {
+    level: Option<f64>,
+    trend: f64,
+    alpha: f64,
+    beta: f64,
+    name: String,
+}
+
+impl HoltLinear {
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta));
+        HoltLinear { level: None, trend: 0.0, alpha, beta, name: format!("HOLT({alpha},{beta})") }
+    }
+}
+
+impl Predictor for HoltLinear {
+    fn observe(&mut self, value: f64) {
+        match self.level {
+            None => self.level = Some(value),
+            Some(prev_level) => {
+                let level = self.alpha * value + (1.0 - self.alpha) * (prev_level + self.trend);
+                self.trend = self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(level);
+            }
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        self.level.map(|l| l + self.trend)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Mean over an adaptive window that resets when a value jumps by more
+/// than `jump` relative to the current mean — tracks regime changes faster
+/// than a fixed window.
+#[derive(Debug)]
+pub struct AdaptiveMean {
+    window: Vec<f64>,
+    jump: f64,
+}
+
+impl AdaptiveMean {
+    pub fn new(jump: f64) -> Self {
+        assert!(jump > 0.0);
+        AdaptiveMean { window: Vec::new(), jump }
+    }
+}
+
+impl Predictor for AdaptiveMean {
+    fn observe(&mut self, value: f64) {
+        if let Some(mean) = self.predict() {
+            let denom = mean.abs().max(1e-12);
+            if ((value - mean).abs() / denom) > self.jump {
+                self.window.clear();
+            }
+        }
+        self.window.push(value);
+        // Bound memory: an adaptive window longer than 256 points behaves
+        // like the running mean anyway.
+        if self.window.len() > 256 {
+            self.window.remove(0);
+        }
+    }
+    fn predict(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+    }
+    fn name(&self) -> &str {
+        "ADAPT_AVG"
+    }
+}
+
+/// A produced forecast with its provenance and error estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// The reported prediction (from the MSE winner).
+    pub value: f64,
+    /// Name of the predictor that produced it.
+    pub method: String,
+    /// Root of the winner's cumulative mean squared error.
+    pub rmse: f64,
+    /// The MAE winner's prediction (NWS reports both).
+    pub mae_value: f64,
+    pub mae_method: String,
+    pub mae: f64,
+    /// Number of observations behind this forecast.
+    pub samples: u64,
+}
+
+/// The racing battery: every predictor forecasts each next value, errors
+/// accumulate, the current winner answers queries.
+pub struct ForecasterBattery {
+    predictors: Vec<Box<dyn Predictor + Send>>,
+    sq_err: Vec<f64>,
+    abs_err: Vec<f64>,
+    n_scored: Vec<u64>,
+    samples: u64,
+}
+
+impl Default for ForecasterBattery {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+impl ForecasterBattery {
+    /// The classic NWS family.
+    pub fn classic() -> Self {
+        let predictors: Vec<Box<dyn Predictor + Send>> = vec![
+            Box::new(LastValue::default()),
+            Box::new(RunningMean::default()),
+            Box::new(SlidingMean::new(5)),
+            Box::new(SlidingMean::new(11)),
+            Box::new(SlidingMean::new(21)),
+            Box::new(SlidingMean::new(31)),
+            Box::new(SlidingMedian::new(5)),
+            Box::new(SlidingMedian::new(11)),
+            Box::new(SlidingMedian::new(21)),
+            Box::new(SlidingMedian::new(31)),
+            Box::new(TrimmedMean::new(31, 0.3)),
+            Box::new(ExpSmooth::new(0.05)),
+            Box::new(ExpSmooth::new(0.1)),
+            Box::new(ExpSmooth::new(0.25)),
+            Box::new(ExpSmooth::new(0.5)),
+            Box::new(ExpSmooth::new(0.75)),
+            Box::new(ExpSmooth::new(0.9)),
+            Box::new(AdaptiveMean::new(0.5)),
+            Box::new(HoltLinear::new(0.5, 0.3)),
+            Box::new(HoltLinear::new(0.8, 0.5)),
+        ];
+        Self::with_predictors(predictors)
+    }
+
+    pub fn with_predictors(predictors: Vec<Box<dyn Predictor + Send>>) -> Self {
+        let n = predictors.len();
+        assert!(n > 0, "battery needs at least one predictor");
+        ForecasterBattery {
+            predictors,
+            sq_err: vec![0.0; n],
+            abs_err: vec![0.0; n],
+            n_scored: vec![0; n],
+            samples: 0,
+        }
+    }
+
+    /// Feed one observation: score every predictor's standing prediction
+    /// against it, then update them.
+    pub fn observe(&mut self, value: f64) {
+        for (i, p) in self.predictors.iter_mut().enumerate() {
+            if let Some(pred) = p.predict() {
+                let e = pred - value;
+                self.sq_err[i] += e * e;
+                self.abs_err[i] += e.abs();
+                self.n_scored[i] += 1;
+            }
+            p.observe(value);
+        }
+        self.samples += 1;
+    }
+
+    /// Replay a whole history (used by forecasters answering queries).
+    pub fn observe_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.observe(v);
+        }
+    }
+
+    fn winner_by(&self, errs: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in self.predictors.iter().enumerate() {
+            if p.predict().is_none() {
+                continue;
+            }
+            // Mean error; unscored predictors rank last among available.
+            let mean = if self.n_scored[i] > 0 {
+                errs[i] / self.n_scored[i] as f64
+            } else {
+                f64::INFINITY
+            };
+            match best {
+                Some((_, b)) if b <= mean => {}
+                _ => best = Some((i, mean)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// The current forecast, if any data has been seen.
+    pub fn forecast(&self) -> Option<Forecast> {
+        let mse_i = self.winner_by(&self.sq_err)?;
+        let mae_i = self.winner_by(&self.abs_err)?;
+        let mse_mean = if self.n_scored[mse_i] > 0 {
+            self.sq_err[mse_i] / self.n_scored[mse_i] as f64
+        } else {
+            0.0
+        };
+        let mae_mean = if self.n_scored[mae_i] > 0 {
+            self.abs_err[mae_i] / self.n_scored[mae_i] as f64
+        } else {
+            0.0
+        };
+        Some(Forecast {
+            value: self.predictors[mse_i].predict().expect("winner has prediction"),
+            method: self.predictors[mse_i].name().to_string(),
+            rmse: mse_mean.sqrt(),
+            mae_value: self.predictors[mae_i].predict().expect("winner has prediction"),
+            mae_method: self.predictors[mae_i].name().to_string(),
+            mae: mae_mean,
+            samples: self.samples,
+        })
+    }
+
+    /// Cumulative mean squared error of every predictor, by name — the
+    /// data behind experiment E8.
+    pub fn error_table(&self) -> Vec<(String, f64, f64)> {
+        self.predictors
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let n = self.n_scored[i].max(1) as f64;
+                (p.name().to_string(), self.sq_err[i] / n, self.abs_err[i] / n)
+            })
+            .collect()
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn last_value_tracks() {
+        let mut p = LastValue::default();
+        assert_eq!(p.predict(), None);
+        p.observe(3.0);
+        p.observe(7.0);
+        assert_eq!(p.predict(), Some(7.0));
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut p = RunningMean::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            p.observe(v);
+        }
+        assert!((p.predict().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_mean_window() {
+        let mut p = SlidingMean::new(2);
+        for v in [1.0, 2.0, 10.0] {
+            p.observe(v);
+        }
+        assert!((p.predict().unwrap() - 6.0).abs() < 1e-12);
+        assert_eq!(p.name(), "SW_AVG(2)");
+    }
+
+    #[test]
+    fn sliding_median_odd_even() {
+        let mut p = SlidingMedian::new(3);
+        p.observe(5.0);
+        assert_eq!(p.predict(), Some(5.0));
+        p.observe(1.0);
+        assert_eq!(p.predict(), Some(3.0)); // even window: midpoint
+        p.observe(9.0);
+        assert_eq!(p.predict(), Some(5.0));
+        p.observe(7.0); // window = [1, 9, 7]
+        assert_eq!(p.predict(), Some(7.0));
+    }
+
+    #[test]
+    fn trimmed_mean_ignores_outliers() {
+        let mut p = TrimmedMean::new(5, 0.2);
+        for v in [10.0, 10.0, 10.0, 10.0, 1000.0] {
+            p.observe(v);
+        }
+        // One value trimmed from each end: mean of [10, 10, 10].
+        assert!((p.predict().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_smooth_converges() {
+        let mut p = ExpSmooth::new(0.5);
+        p.observe(0.0);
+        for _ in 0..20 {
+            p.observe(10.0);
+        }
+        assert!((p.predict().unwrap() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn holt_tracks_linear_trend() {
+        let mut p = HoltLinear::new(0.5, 0.3);
+        for i in 0..100 {
+            p.observe(10.0 + 2.0 * i as f64);
+        }
+        // Next value would be 10 + 2*100 = 210; Holt should be close.
+        let pred = p.predict().unwrap();
+        assert!((pred - 210.0).abs() < 2.0, "holt predicted {pred}");
+    }
+
+    #[test]
+    fn battery_prefers_holt_on_ramps() {
+        let mut battery = ForecasterBattery::classic();
+        for i in 0..400 {
+            battery.observe(5.0 + 0.5 * i as f64);
+        }
+        let f = battery.forecast().unwrap();
+        assert!(
+            f.method.starts_with("HOLT"),
+            "ramping series should crown Holt, got {} ({:?})",
+            f.method,
+            battery.error_table().iter().take(3).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adaptive_mean_resets_on_jump() {
+        let mut p = AdaptiveMean::new(0.5);
+        for _ in 0..50 {
+            p.observe(100.0);
+        }
+        // Regime change: 100 → 10.
+        p.observe(10.0);
+        p.observe(10.0);
+        let pred = p.predict().unwrap();
+        assert!((pred - 10.0).abs() < 1e-9, "adaptive mean should reset, got {pred}");
+    }
+
+    #[test]
+    fn battery_picks_last_value_for_random_walk() {
+        // On a random walk the last value is the optimal predictor; the
+        // battery must figure that out.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut battery = ForecasterBattery::classic();
+        let mut x = 50.0;
+        for _ in 0..500 {
+            x += rng.gen_range(-1.0..1.0);
+            battery.observe(x);
+        }
+        let f = battery.forecast().unwrap();
+        assert_eq!(f.method, "LAST", "rmse table: {:?}", battery.error_table());
+        assert!((f.value - x).abs() < 1e-9);
+        assert_eq!(f.samples, 500);
+    }
+
+    #[test]
+    fn battery_picks_averaging_for_noisy_constant() {
+        // White noise around a constant: means beat LAST by ~√2 in RMSE.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut battery = ForecasterBattery::classic();
+        for _ in 0..800 {
+            battery.observe(20.0 + rng.gen_range(-5.0..5.0));
+        }
+        let f = battery.forecast().unwrap();
+        assert_ne!(f.method, "LAST");
+        assert!((f.value - 20.0).abs() < 1.0, "forecast {f:?}");
+    }
+
+    #[test]
+    fn battery_adapts_to_regime_change() {
+        let mut battery = ForecasterBattery::classic();
+        for _ in 0..200 {
+            battery.observe(100.0);
+        }
+        for _ in 0..50 {
+            battery.observe(10.0);
+        }
+        let f = battery.forecast().unwrap();
+        assert!(
+            (f.value - 10.0).abs() < 5.0,
+            "forecast should track the new regime, got {}",
+            f.value
+        );
+    }
+
+    #[test]
+    fn empty_battery_has_no_forecast() {
+        let battery = ForecasterBattery::classic();
+        assert!(battery.forecast().is_none());
+        assert_eq!(battery.samples(), 0);
+    }
+
+    #[test]
+    fn single_observation_forecasts() {
+        let mut battery = ForecasterBattery::classic();
+        battery.observe(42.0);
+        let f = battery.forecast().unwrap();
+        assert!((f.value - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_table_covers_all_predictors() {
+        let mut battery = ForecasterBattery::classic();
+        battery.observe_all([1.0, 2.0, 3.0]);
+        let table = battery.error_table();
+        assert_eq!(table.len(), 20);
+        assert!(table.iter().any(|(n, _, _)| n == "LAST"));
+        assert!(table.iter().any(|(n, _, _)| n == "ADAPT_AVG"));
+    }
+
+    #[test]
+    fn mse_and_mae_winners_can_differ() {
+        // Occasional large spikes: MAE is robust to them, MSE punishes
+        // them; with enough data the winners' reported values both stay
+        // near the base level.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut battery = ForecasterBattery::classic();
+        for i in 0..600 {
+            let v = if i % 50 == 49 { 500.0 } else { 10.0 + rng.gen_range(-1.0..1.0) };
+            battery.observe(v);
+        }
+        let f = battery.forecast().unwrap();
+        assert!(f.rmse > 0.0 && f.mae > 0.0);
+        assert!(f.value < 120.0, "MSE winner {} = {}", f.method, f.value);
+        assert!(f.mae_value < 120.0, "MAE winner {} = {}", f.mae_method, f.mae_value);
+    }
+}

@@ -1,0 +1,207 @@
+//! The NWS memory server: "store the results on disk for further use"
+//! (paper §2.1).
+//!
+//! Sensors `Store` measurements here; forecasters `Fetch` histories. On
+//! the first store of a series the memory registers itself as that
+//! series' home with the name server, which is how the forecaster's
+//! directory lookup (step 2 of §2.1) finds the right memory.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use netsim::engine::{Ctx, Process, ProcessId};
+
+use crate::msg::{NwsMsg, SeriesKey, ServerKind};
+use crate::series::Series;
+
+/// The stored series, shared with the harness for direct inspection.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    pub series: BTreeMap<SeriesKey, Series>,
+    pub stores: u64,
+    pub fetches: u64,
+}
+
+impl MemoryStore {
+    pub fn series_len(&self, key: &SeriesKey) -> usize {
+        self.series.get(key).map(Series::len).unwrap_or(0)
+    }
+}
+
+/// Shared handle onto a memory server's store.
+pub type MemoryHandle = Rc<RefCell<MemoryStore>>;
+
+/// The memory server process.
+pub struct MemoryServer {
+    name: String,
+    ns: ProcessId,
+    capacity: usize,
+    store: MemoryHandle,
+}
+
+impl MemoryServer {
+    pub fn new(name: &str, ns: ProcessId, capacity: usize) -> (Self, MemoryHandle) {
+        let store = Rc::new(RefCell::new(MemoryStore::default()));
+        (
+            MemoryServer { name: name.to_string(), ns, capacity, store: store.clone() },
+            store,
+        )
+    }
+}
+
+impl Process<NwsMsg> for MemoryServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        let reg = NwsMsg::Register { name: self.name.clone(), kind: ServerKind::Memory };
+        let size = reg.wire_size();
+        let _ = ctx.send(self.ns, size, reg);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
+        match msg {
+            NwsMsg::Store { key, t, value } => {
+                let mut st = self.store.borrow_mut();
+                st.stores += 1;
+                let is_new = !st.series.contains_key(&key);
+                st.series
+                    .entry(key.clone())
+                    .or_insert_with(|| Series::new(self.capacity))
+                    .push(t, value);
+                drop(st);
+                if is_new {
+                    let reg = NwsMsg::RegisterSeries { key, memory: ctx.me() };
+                    let size = reg.wire_size();
+                    let _ = ctx.send(self.ns, size, reg);
+                }
+            }
+            NwsMsg::Fetch { key } => {
+                let points = {
+                    let mut st = self.store.borrow_mut();
+                    st.fetches += 1;
+                    st.series.get(&key).map(Series::to_pairs).unwrap_or_default()
+                };
+                let reply = NwsMsg::FetchReply { key, points };
+                let size = reply.wire_size();
+                let _ = ctx.send(from, size, reply);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Resource;
+    use crate::registry::NameServer;
+    use netsim::prelude::*;
+    use netsim::Engine;
+
+    type GotPoints = Rc<RefCell<Option<Vec<(f64, f64)>>>>;
+
+    fn net3() -> (Engine<NwsMsg>, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let hosts: Vec<NodeId> = (0..3)
+            .map(|i| {
+                let h = b.host(&format!("h{i}.x"), &format!("10.0.0.{}", i + 1));
+                b.attach(h, hub);
+                h
+            })
+            .collect();
+        (Engine::new(b.build().unwrap()), hosts)
+    }
+
+    /// Stores three values, then fetches them back.
+    struct StoreFetch {
+        memory: ProcessId,
+        got: GotPoints,
+    }
+
+    impl Process<NwsMsg> for StoreFetch {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+            let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+            for (t, v) in [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0)] {
+                let m = NwsMsg::Store { key: key.clone(), t, value: v };
+                let size = m.wire_size();
+                ctx.send(self.memory, size, m).unwrap();
+            }
+            let f = NwsMsg::Fetch { key };
+            let size = f.wire_size();
+            ctx.send(self.memory, size, f).unwrap();
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, _f: ProcessId, msg: NwsMsg) {
+            if let NwsMsg::FetchReply { points, .. } = msg {
+                *self.got.borrow_mut() = Some(points);
+            }
+        }
+    }
+
+    #[test]
+    fn store_then_fetch() {
+        let (mut eng, hosts) = net3();
+        let (ns, ns_state) = NameServer::new();
+        let ns_pid = eng.add_process(hosts[0], Box::new(ns));
+        let (mem, store) = MemoryServer::new("mem0", ns_pid, 128);
+        let mem_pid = eng.add_process(hosts[1], Box::new(mem));
+        let got = Rc::new(RefCell::new(None));
+        eng.add_process(hosts[2], Box::new(StoreFetch { memory: mem_pid, got: got.clone() }));
+        eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+
+        let points = got.borrow().clone().expect("fetch replied");
+        assert_eq!(points, vec![(1.0, 90.0), (2.0, 95.0), (3.0, 92.0)]);
+        assert_eq!(store.borrow().stores, 3);
+        assert_eq!(store.borrow().fetches, 1);
+        // The series was registered with the name server exactly once.
+        let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+        assert_eq!(ns_state.borrow().series.get(&key), Some(&mem_pid));
+        // The memory registered itself as a server too.
+        assert!(ns_state.borrow().servers.contains_key("mem0"));
+    }
+
+    #[test]
+    fn fetch_of_unknown_series_is_empty() {
+        let (mut eng, hosts) = net3();
+        let (ns, _) = NameServer::new();
+        let ns_pid = eng.add_process(hosts[0], Box::new(ns));
+        let (mem, _store) = MemoryServer::new("mem0", ns_pid, 128);
+        let mem_pid = eng.add_process(hosts[1], Box::new(mem));
+
+        struct FetchOnly {
+            memory: ProcessId,
+            got: GotPoints,
+        }
+        impl Process<NwsMsg> for FetchOnly {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+                let f = NwsMsg::Fetch { key: SeriesKey::host(Resource::CpuLoad, "nope") };
+                let size = f.wire_size();
+                ctx.send(self.memory, size, f).unwrap();
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, NwsMsg>, _f: ProcessId, msg: NwsMsg) {
+                if let NwsMsg::FetchReply { points, .. } = msg {
+                    *self.got.borrow_mut() = Some(points);
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(None));
+        eng.add_process(hosts[2], Box::new(FetchOnly { memory: mem_pid, got: got.clone() }));
+        eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert_eq!(got.borrow().clone().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn capacity_bounds_series() {
+        let (mut eng, hosts) = net3();
+        let (ns, _) = NameServer::new();
+        let ns_pid = eng.add_process(hosts[0], Box::new(ns));
+        let (mem, store) = MemoryServer::new("mem0", ns_pid, 2);
+        let mem_pid = eng.add_process(hosts[1], Box::new(mem));
+        let got = Rc::new(RefCell::new(None));
+        eng.add_process(hosts[2], Box::new(StoreFetch { memory: mem_pid, got: got.clone() }));
+        eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        // Capacity 2: only the last two of three stores survive.
+        assert_eq!(got.borrow().clone().unwrap(), vec![(2.0, 95.0), (3.0, 92.0)]);
+        let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+        assert_eq!(store.borrow().series_len(&key), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! The NWS wire messages exchanged between processes.
+//!
+//! The real NWS has a binary TCP protocol; we reproduce the *conversations*
+//! (who asks whom for what, §2.1) rather than the encoding. Message sizes
+//! passed to the simulator approximate the real payloads so control traffic
+//! has realistic latency.
+
+use netsim::units::Bytes;
+
+use crate::forecast::Forecast;
+
+/// What a series measures — the NWS resource kinds of §2 (network link
+/// characteristics plus host resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// End-to-end throughput (Mbps), 64 KiB timed transfer.
+    Bandwidth,
+    /// Small-message round-trip time (ms), 4-byte transfer.
+    Latency,
+    /// TCP connect-disconnect time (ms).
+    ConnectTime,
+    /// CPU availability fraction on a host (synthetic host-load model).
+    CpuLoad,
+    /// Free memory fraction on a host (synthetic).
+    FreeMemory,
+}
+
+impl Resource {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Resource::Bandwidth => "bandwidthTcp",
+            Resource::Latency => "latencyTcp",
+            Resource::ConnectTime => "connectTimeTcp",
+            Resource::CpuLoad => "availableCpu",
+            Resource::FreeMemory => "freeMemory",
+        }
+    }
+
+    /// Whether this resource concerns a host pair (true) or a single host.
+    pub fn is_link_resource(self) -> bool {
+        matches!(self, Resource::Bandwidth | Resource::Latency | Resource::ConnectTime)
+    }
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Identity of one measurement series: a resource on a link (src→dst) or a
+/// host (dst == src).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    pub resource: Resource,
+    pub src: String,
+    pub dst: String,
+}
+
+impl SeriesKey {
+    pub fn link(resource: Resource, src: &str, dst: &str) -> Self {
+        debug_assert!(resource.is_link_resource());
+        SeriesKey { resource, src: src.to_string(), dst: dst.to_string() }
+    }
+
+    pub fn host(resource: Resource, host: &str) -> Self {
+        debug_assert!(!resource.is_link_resource());
+        SeriesKey { resource, src: host.to_string(), dst: host.to_string() }
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.src == self.dst {
+            write!(f, "{}:{}", self.resource, self.src)
+        } else {
+            write!(f, "{}:{}/{}", self.resource, self.src, self.dst)
+        }
+    }
+}
+
+/// The kinds of NWS server processes (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    NameServer,
+    Memory,
+    Sensor,
+    Forecaster,
+}
+
+/// Messages between NWS processes.
+#[derive(Debug, Clone)]
+pub enum NwsMsg {
+    // ---- name server directory -----------------------------------------
+    /// A server announces itself (step Δ of Figure §2.1).
+    Register { name: String, kind: ServerKind },
+    /// A series announces which memory server stores it.
+    RegisterSeries { key: SeriesKey, memory: netsim::ProcessId },
+    /// Where is the memory in charge of `key`? (step 2)
+    WhereIs { key: SeriesKey },
+    WhereIsReply { key: SeriesKey, memory: Option<netsim::ProcessId> },
+
+    // ---- memory ----------------------------------------------------------
+    /// A sensor stores one measurement.
+    Store { key: SeriesKey, t: f64, value: f64 },
+    /// A forecaster fetches the history of a series (step 3).
+    Fetch { key: SeriesKey },
+    FetchReply { key: SeriesKey, points: Vec<(f64, f64)> },
+
+    // ---- clique token ring (paper §2.3, [23]) -----------------------------
+    /// The measurement token: only the holder may run experiments.
+    Token { clique: String, seq: u64, round: u64 },
+
+    // ---- host-level measurement locks (the paper's §6 proposal:
+    // "a possibility to lock hosts (and not networks) is still needed") ----
+    /// A token holder asks a peer for permission to probe it.
+    LockRequest,
+    /// The peer is free and grants the probe.
+    LockGrant,
+    /// The holder finished probing the peer.
+    LockRelease,
+
+    // ---- client query path (steps 1 and 4) --------------------------------
+    Query { key: SeriesKey },
+    QueryReply { key: SeriesKey, forecast: Option<Forecast> },
+}
+
+impl NwsMsg {
+    /// Approximate wire size of the message, for latency modelling.
+    pub fn wire_size(&self) -> Bytes {
+        let b = match self {
+            NwsMsg::Register { name, .. } => 64 + name.len(),
+            NwsMsg::RegisterSeries { .. } => 128,
+            NwsMsg::WhereIs { .. } | NwsMsg::WhereIsReply { .. } => 96,
+            NwsMsg::Store { .. } => 64,
+            NwsMsg::Fetch { .. } => 64,
+            NwsMsg::FetchReply { points, .. } => 64 + 16 * points.len(),
+            NwsMsg::Token { .. } => 32,
+            NwsMsg::LockRequest | NwsMsg::LockGrant | NwsMsg::LockRelease => 16,
+            NwsMsg::Query { .. } => 64,
+            NwsMsg::QueryReply { .. } => 128,
+        };
+        Bytes::new(b as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_key_display() {
+        let k = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+        assert_eq!(k.to_string(), "bandwidthTcp:a.x/b.x");
+        let h = SeriesKey::host(Resource::CpuLoad, "a.x");
+        assert_eq!(h.to_string(), "availableCpu:a.x");
+    }
+
+    #[test]
+    fn resource_classification() {
+        assert!(Resource::Bandwidth.is_link_resource());
+        assert!(Resource::Latency.is_link_resource());
+        assert!(Resource::ConnectTime.is_link_resource());
+        assert!(!Resource::CpuLoad.is_link_resource());
+        assert!(!Resource::FreeMemory.is_link_resource());
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_history() {
+        let small = NwsMsg::FetchReply {
+            key: SeriesKey::host(Resource::CpuLoad, "a"),
+            points: vec![],
+        };
+        let big = NwsMsg::FetchReply {
+            key: SeriesKey::host(Resource::CpuLoad, "a"),
+            points: vec![(0.0, 0.0); 100],
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(
+            NwsMsg::Token { clique: "c".into(), seq: 0, round: 0 }.wire_size(),
+            Bytes::new(32)
+        );
+    }
+
+    #[test]
+    fn key_ordering_is_total() {
+        let a = SeriesKey::link(Resource::Bandwidth, "a", "b");
+        let b = SeriesKey::link(Resource::Latency, "a", "b");
+        assert!(a < b || b < a);
+    }
+}

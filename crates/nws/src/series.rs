@@ -1,0 +1,135 @@
+//! Measurement time series: what memory servers store on disk in real NWS.
+//!
+//! A bounded ring of `(timestamp, value)` points, newest last. The bound
+//! mirrors NWS's fixed-size circular files.
+
+use std::collections::VecDeque;
+
+/// One measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    pub t: f64,
+    pub value: f64,
+}
+
+/// A bounded measurement history.
+#[derive(Debug, Clone)]
+pub struct Series {
+    points: VecDeque<SeriesPoint>,
+    capacity: usize,
+}
+
+impl Series {
+    /// NWS's default circular-file size is a few hundred entries.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "series capacity must be positive");
+        Series { points: VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    pub fn push(&mut self, t: f64, value: f64) {
+        debug_assert!(t.is_finite() && value.is_finite());
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(SeriesPoint { t, value });
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.back().copied()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = SeriesPoint> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Points as `(t, value)` pairs (the FetchReply payload).
+    pub fn to_pairs(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.t, p.value)).collect()
+    }
+
+    /// Mean measurement interval, if at least two points exist — the
+    /// observable behind the clique-frequency experiment (E2).
+    pub fn mean_interval(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let first = self.points.front().expect("non-empty").t;
+        let last = self.points.back().expect("non-empty").t;
+        Some((last - first) / (self.points.len() - 1) as f64)
+    }
+
+    /// Mean of the values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64)
+    }
+}
+
+impl Default for Series {
+    fn default() -> Self {
+        Series::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = Series::new(8);
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last().unwrap().value, 20.0);
+        assert_eq!(s.to_pairs(), vec![(1.0, 10.0), (2.0, 20.0)]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut s = Series::new(3);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_pairs(), vec![(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]);
+    }
+
+    #[test]
+    fn mean_interval() {
+        let mut s = Series::new(16);
+        assert_eq!(s.mean_interval(), None);
+        for i in 0..5 {
+            s.push(i as f64 * 2.0, 1.0);
+        }
+        assert!((s.mean_interval().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_value() {
+        let mut s = Series::new(16);
+        assert_eq!(s.mean(), None);
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert!((s.mean().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Series::new(0);
+    }
+}

@@ -1,0 +1,660 @@
+//! Deployment and wiring of a whole NWS system, plus the forecaster and
+//! client processes completing the query path of paper §2.1.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use netsim::engine::{Ctx, Engine, Process, ProcessId};
+use netsim::prelude::*;
+
+use crate::clique::CliqueMembership;
+use crate::forecast::{Forecast, ForecasterBattery};
+use crate::memory::{MemoryHandle, MemoryServer};
+use crate::msg::{NwsMsg, SeriesKey, ServerKind};
+use crate::registry::{NameServer, RegistryHandle};
+use crate::sensor::{FreeRun, HostSense, Sensor, SensorConfig};
+use crate::series::Series;
+
+/// The forecaster process: answers `Query` by locating the series' memory
+/// through the name server (step 2), fetching the history (step 3),
+/// running the battery and replying (step 4).
+pub struct ForecasterServer {
+    name: String,
+    ns: ProcessId,
+    /// Clients waiting per key, with the lookup/fetch state implied by
+    /// message arrivals.
+    waiting: BTreeMap<SeriesKey, VecDeque<ProcessId>>,
+}
+
+impl ForecasterServer {
+    pub fn new(name: &str, ns: ProcessId) -> Self {
+        ForecasterServer { name: name.to_string(), ns, waiting: BTreeMap::new() }
+    }
+}
+
+impl Process<NwsMsg> for ForecasterServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        let reg = NwsMsg::Register { name: self.name.clone(), kind: ServerKind::Forecaster };
+        let size = reg.wire_size();
+        let _ = ctx.send(self.ns, size, reg);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
+        match msg {
+            NwsMsg::Query { key } => {
+                let first = !self.waiting.contains_key(&key);
+                self.waiting.entry(key.clone()).or_default().push_back(from);
+                if first {
+                    let q = NwsMsg::WhereIs { key };
+                    let size = q.wire_size();
+                    let _ = ctx.send(self.ns, size, q);
+                }
+            }
+            NwsMsg::WhereIsReply { key, memory } => match memory {
+                Some(mem) => {
+                    let f = NwsMsg::Fetch { key };
+                    let size = f.wire_size();
+                    let _ = ctx.send(mem, size, f);
+                }
+                None => {
+                    // Unknown series: answer every waiting client with None.
+                    if let Some(clients) = self.waiting.remove(&key) {
+                        for c in clients {
+                            let r = NwsMsg::QueryReply { key: key.clone(), forecast: None };
+                            let size = r.wire_size();
+                            let _ = ctx.send(c, size, r);
+                        }
+                    }
+                }
+            },
+            NwsMsg::FetchReply { key, points } => {
+                let forecast = if points.is_empty() {
+                    None
+                } else {
+                    let mut battery = ForecasterBattery::classic();
+                    battery.observe_all(points.iter().map(|(_, v)| *v));
+                    battery.forecast()
+                };
+                if let Some(clients) = self.waiting.remove(&key) {
+                    for c in clients {
+                        let r = NwsMsg::QueryReply {
+                            key: key.clone(),
+                            forecast: forecast.clone(),
+                        };
+                        let size = r.wire_size();
+                        let _ = ctx.send(c, size, r);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A one-shot client: queries one series and stashes the reply.
+pub struct Client {
+    forecaster: ProcessId,
+    key: SeriesKey,
+    result: Rc<RefCell<Option<Option<Forecast>>>>,
+}
+
+impl Process<NwsMsg> for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        let q = NwsMsg::Query { key: self.key.clone() };
+        let size = q.wire_size();
+        let _ = ctx.send(self.forecaster, size, q);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, _from: ProcessId, msg: NwsMsg) {
+        if let NwsMsg::QueryReply { forecast, .. } = msg {
+            *self.result.borrow_mut() = Some(forecast);
+        }
+    }
+}
+
+/// How a sensor coordinates its measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorMode {
+    /// Clique-coordinated (normal NWS operation).
+    Clique,
+    /// Uncoordinated periodic probes of the given host names — the
+    /// collision-prone configuration of experiment E1.
+    FreeRunning { targets: Vec<String>, period: TimeDelta },
+}
+
+/// One sensor to deploy.
+#[derive(Debug, Clone)]
+pub struct SensorSpec {
+    /// Host (DNS name) the sensor runs on; also its series identity.
+    pub host: String,
+    pub mode: SensorMode,
+    /// Sample CPU/memory too.
+    pub host_sensing: bool,
+    /// Which memory host this sensor stores to (`None` = the first memory
+    /// in the system spec). Hierarchical plans point firewalled hosts at
+    /// the memory on their gateway.
+    pub memory: Option<String>,
+}
+
+impl SensorSpec {
+    pub fn clique_member(host: &str) -> Self {
+        SensorSpec {
+            host: host.to_string(),
+            mode: SensorMode::Clique,
+            host_sensing: false,
+            memory: None,
+        }
+    }
+}
+
+/// One measurement clique (paper §2.3).
+#[derive(Debug, Clone)]
+pub struct CliqueSpec {
+    pub name: String,
+    /// Member host names; ring order is the list order.
+    pub members: Vec<String>,
+    /// Pause between a member's experiments and the token pass.
+    pub gap: TimeDelta,
+}
+
+/// A full NWS deployment description (what the paper's §5 planner emits).
+#[derive(Debug, Clone)]
+pub struct NwsSystemSpec {
+    pub nameserver_host: String,
+    pub memory_hosts: Vec<String>,
+    pub forecaster_host: String,
+    pub sensors: Vec<SensorSpec>,
+    pub cliques: Vec<CliqueSpec>,
+    /// Bandwidth probe payload (NWS default 64 KiB).
+    pub probe_bytes: Bytes,
+    pub series_capacity: usize,
+    /// Watchdog base: how long a member waits for the token before
+    /// regenerating it.
+    pub watchdog: TimeDelta,
+    pub host_sense_period: TimeDelta,
+    pub seed: u64,
+    /// Enable the §6 host-locking extension on every sensor.
+    pub host_locking: bool,
+}
+
+impl NwsSystemSpec {
+    pub fn minimal(nameserver: &str, hosts: &[&str]) -> Self {
+        NwsSystemSpec {
+            nameserver_host: nameserver.to_string(),
+            memory_hosts: vec![nameserver.to_string()],
+            forecaster_host: nameserver.to_string(),
+            sensors: hosts.iter().map(|h| SensorSpec::clique_member(h)).collect(),
+            cliques: vec![CliqueSpec {
+                name: "clique0".to_string(),
+                members: hosts.iter().map(|h| h.to_string()).collect(),
+                gap: TimeDelta::from_millis(500.0),
+            }],
+            probe_bytes: netsim::probes::BANDWIDTH_PROBE_BYTES,
+            series_capacity: Series::DEFAULT_CAPACITY,
+            watchdog: TimeDelta::from_secs(30.0),
+            host_sense_period: TimeDelta::from_secs(10.0),
+            seed: 42,
+            host_locking: false,
+        }
+    }
+}
+
+/// A deployed NWS system: process ids plus shared-state handles for
+/// inspection by tests, benches and the deployment validator.
+pub struct NwsSystem {
+    pub nameserver: ProcessId,
+    pub registry: RegistryHandle,
+    /// memory host name → (pid, store handle)
+    pub memories: BTreeMap<String, (ProcessId, MemoryHandle)>,
+    pub forecaster: ProcessId,
+    /// sensor host name → pid
+    pub sensors: BTreeMap<String, ProcessId>,
+    /// Node used to run ad-hoc query clients.
+    client_node: NodeId,
+}
+
+impl NwsSystem {
+    /// Deploy the system described by `spec` onto the engine's platform.
+    /// Host names are resolved against the platform DNS.
+    pub fn deploy(eng: &mut Engine<NwsMsg>, spec: &NwsSystemSpec) -> NetResult<NwsSystem> {
+        let resolve = |eng: &Engine<NwsMsg>, name: &str| -> NetResult<NodeId> {
+            eng.topo()
+                .node_by_name(name)
+                .or_else(|| {
+                    name.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip))
+                })
+                .ok_or_else(|| NetError::NameNotFound(name.to_string()))
+        };
+
+        // Name server.
+        let ns_node = resolve(eng, &spec.nameserver_host)?;
+        let (ns, registry) = NameServer::new();
+        let ns_pid = eng.add_process(ns_node, Box::new(ns));
+
+        // Memory servers.
+        let mut memories = BTreeMap::new();
+        for (i, host) in spec.memory_hosts.iter().enumerate() {
+            let node = resolve(eng, host)?;
+            let (mem, handle) =
+                MemoryServer::new(&format!("memory{i}@{host}"), ns_pid, spec.series_capacity);
+            let pid = eng.add_process(node, Box::new(mem));
+            memories.insert(host.clone(), (pid, handle));
+        }
+        let default_memory = memories
+            .get(&spec.memory_hosts[0])
+            .map(|(p, _)| *p)
+            .ok_or_else(|| NetError::NameNotFound("no memory hosts".to_string()))?;
+
+        // Forecaster.
+        let fc_node = resolve(eng, &spec.forecaster_host)?;
+        let fc_pid = eng.add_process(
+            fc_node,
+            Box::new(ForecasterServer::new(&format!("forecaster@{}", spec.forecaster_host), ns_pid)),
+        );
+
+        // Sensors: first allocate pids in spec order (two passes so cliques
+        // can reference every member's pid).
+        let mut sensor_nodes = BTreeMap::new();
+        for s in &spec.sensors {
+            sensor_nodes.insert(s.host.clone(), resolve(eng, &s.host)?);
+        }
+        // Predict pids: engine assigns sequentially; rather than predicting
+        // we add placeholder-free in dependency order — memberships need
+        // pids, so compute them after adding. To keep it simple we add
+        // sensors one by one and collect pids, then construct memberships
+        // and hand them over via a second registration pass... Instead:
+        // precompute the pid each sensor WILL get (engine pids are dense
+        // and sequential), which the Engine API guarantees.
+        let first_sensor_pid = ns_pid.index() as u32
+            + 1
+            + memories.len() as u32
+            + 1;
+        let sensor_pid_of = |idx: usize| ProcessId::from_raw(first_sensor_pid + idx as u32);
+
+        let mut sensors = BTreeMap::new();
+        for (idx, s) in spec.sensors.iter().enumerate() {
+            let node = sensor_nodes[&s.host];
+            let my_pid = sensor_pid_of(idx);
+            // Memberships for every clique this host belongs to.
+            let mut memberships = Vec::new();
+            for c in &spec.cliques {
+                if !c.members.contains(&s.host) {
+                    continue;
+                }
+                let ring: Vec<(ProcessId, String, NodeId)> = c
+                    .members
+                    .iter()
+                    .map(|m| {
+                        let midx = spec
+                            .sensors
+                            .iter()
+                            .position(|ss| &ss.host == m)
+                            .unwrap_or_else(|| panic!("clique member {m} has no sensor"));
+                        (sensor_pid_of(midx), m.clone(), sensor_nodes[m])
+                    })
+                    .collect();
+                memberships.push(CliqueMembership::new(
+                    &c.name,
+                    ring,
+                    my_pid,
+                    c.gap,
+                    spec.watchdog,
+                ));
+            }
+
+            let sensor_memory = match &s.memory {
+                Some(mh) => {
+                    memories
+                        .get(mh)
+                        .map(|(p, _)| *p)
+                        .ok_or_else(|| NetError::NameNotFound(format!("memory host {mh}")))?
+                }
+                None => default_memory,
+            };
+            let mut cfg = SensorConfig::new(&s.host, ns_pid, sensor_memory);
+            cfg.probe_bytes = spec.probe_bytes;
+            cfg.seed = spec.seed.wrapping_mul(0x9e3779b9).wrapping_add(idx as u64);
+            cfg.host_locking = spec.host_locking;
+            if let SensorMode::FreeRunning { targets, period } = &s.mode {
+                let targets: Vec<(String, NodeId)> = targets
+                    .iter()
+                    .map(|t| Ok((t.clone(), resolve(eng, t)?)))
+                    .collect::<NetResult<_>>()?;
+                cfg.free_run = Some(FreeRun { targets, period: *period });
+            }
+            if s.host_sensing {
+                cfg.host_sense = Some(HostSense {
+                    period: spec.host_sense_period,
+                    seed: spec.seed.wrapping_add(idx as u64),
+                });
+            }
+
+            let pid = eng.add_process(node, Box::new(Sensor::new(cfg, memberships)));
+            debug_assert_eq!(pid, my_pid, "sensor pid prediction broke");
+            sensors.insert(s.host.clone(), pid);
+        }
+
+        Ok(NwsSystem {
+            nameserver: ns_pid,
+            registry,
+            memories,
+            forecaster: fc_pid,
+            sensors,
+            client_node: fc_node,
+        })
+    }
+
+    /// Run the deployed system for a simulated duration.
+    pub fn run_for(&self, eng: &mut Engine<NwsMsg>, d: TimeDelta) {
+        let until = eng.now() + d;
+        eng.run_until(until);
+    }
+
+    /// Issue a client query through the full §2.1 path and wait (up to
+    /// `patience` simulated seconds) for the reply.
+    pub fn query(
+        &self,
+        eng: &mut Engine<NwsMsg>,
+        key: SeriesKey,
+        patience: TimeDelta,
+    ) -> Option<Forecast> {
+        let result = Rc::new(RefCell::new(None));
+        eng.add_process(
+            self.client_node,
+            Box::new(Client { forecaster: self.forecaster, key, result: result.clone() }),
+        );
+        let deadline = eng.now() + patience;
+        eng.run_until(deadline);
+        let out = result.borrow().clone();
+        out.flatten()
+    }
+
+    /// Direct (out-of-band) view of a stored series, across all memories.
+    pub fn series(&self, key: &SeriesKey) -> Option<Vec<(f64, f64)>> {
+        for (_, handle) in self.memories.values() {
+            let store = handle.borrow();
+            if let Some(s) = store.series.get(key) {
+                return Some(s.to_pairs());
+            }
+        }
+        None
+    }
+
+    /// Mean interval between measurements of a series, if known.
+    pub fn measurement_interval(&self, key: &SeriesKey) -> Option<f64> {
+        for (_, handle) in self.memories.values() {
+            let store = handle.borrow();
+            if let Some(s) = store.series.get(key) {
+                return s.mean_interval();
+            }
+        }
+        None
+    }
+
+    /// Total measurements stored so far.
+    pub fn total_stores(&self) -> u64 {
+        self.memories.values().map(|(_, h)| h.borrow().stores).sum()
+    }
+
+    /// All stored series keys.
+    pub fn series_keys(&self) -> Vec<SeriesKey> {
+        let mut keys = Vec::new();
+        for (_, handle) in self.memories.values() {
+            keys.extend(handle.borrow().series.keys().cloned());
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Resource;
+    use netsim::scenarios::star_hub;
+
+    fn hub_engine(n: usize) -> (Engine<NwsMsg>, Vec<String>) {
+        let net = star_hub(n, Bandwidth::mbps(100.0));
+        let names: Vec<String> = net
+            .hosts
+            .iter()
+            .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
+            .collect();
+        (Engine::new(net.topo), names)
+    }
+
+    #[test]
+    fn clique_measures_all_directed_pairs_without_collisions() {
+        let (mut eng, names) = hub_engine(3);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let spec = NwsSystemSpec::minimal(&names[0], &refs);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+
+        // Every directed pair measured.
+        for a in &names {
+            for b in &names {
+                if a == b {
+                    continue;
+                }
+                let key = SeriesKey::link(Resource::Bandwidth, a, b);
+                let series = sys.series(&key).unwrap_or_else(|| panic!("no series {key}"));
+                assert!(!series.is_empty(), "empty series {key}");
+                // Exclusive measurements on a hub see the full rate; the
+                // 64 KiB probe loses a few percent to latency.
+                for (_, v) in &series {
+                    assert!(*v > 85.0, "collided measurement: {v} Mbps on {key}");
+                }
+                // Latency and connect-time series exist too.
+                assert!(sys
+                    .series(&SeriesKey::link(Resource::Latency, a, b))
+                    .is_some());
+                assert!(sys
+                    .series(&SeriesKey::link(Resource::ConnectTime, a, b))
+                    .is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn free_running_sensors_collide_on_hub() {
+        // The paper's §2.3 motivation: simultaneous experiments "may
+        // report an availability of about the half of the real value".
+        let (mut eng, names) = hub_engine(4);
+        let mut spec = NwsSystemSpec::minimal(&names[0], &[]);
+        spec.cliques.clear();
+        spec.sensors = vec![
+            SensorSpec {
+                host: names[0].clone(),
+                mode: SensorMode::FreeRunning {
+                    targets: vec![names[1].clone()],
+                    period: TimeDelta::from_secs(5.0),
+                },
+                host_sensing: false,
+                memory: None,
+            },
+            SensorSpec {
+                host: names[2].clone(),
+                mode: SensorMode::FreeRunning {
+                    targets: vec![names[3].clone()],
+                    period: TimeDelta::from_secs(5.0),
+                },
+                host_sensing: false,
+                memory: None,
+            },
+        ];
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(60.0));
+
+        let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let series = sys.series(&key).expect("series exists");
+        let mean =
+            series.iter().map(|(_, v)| v).sum::<f64>() / series.len() as f64;
+        assert!(
+            (mean - 50.0).abs() < 10.0,
+            "synchronized free-running probes must halve: mean {mean} Mbps"
+        );
+    }
+
+    #[test]
+    fn query_path_returns_forecast() {
+        let (mut eng, names) = hub_engine(3);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let spec = NwsSystemSpec::minimal(&names[0], &refs);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(90.0));
+
+        let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let f = sys
+            .query(&mut eng, key, TimeDelta::from_secs(10.0))
+            .expect("forecast produced");
+        assert!(f.value > 85.0 && f.value < 101.0, "forecast {f:?}");
+        assert!(f.samples > 0);
+
+        // Unknown series → None.
+        let ghost = SeriesKey::link(Resource::Bandwidth, "ghost.a", "ghost.b");
+        assert!(sys.query(&mut eng, ghost, TimeDelta::from_secs(10.0)).is_none());
+    }
+
+    #[test]
+    fn token_loss_recovers_via_watchdog() {
+        let (mut eng, names) = hub_engine(3);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
+        spec.watchdog = TimeDelta::from_secs(20.0);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(60.0));
+        let before = sys.total_stores();
+        assert!(before > 0);
+
+        // Kill one sensor: the token will eventually be lost at it.
+        let victim = sys.sensors[&names[1]];
+        eng.kill_process(victim);
+        sys.run_for(&mut eng, TimeDelta::from_secs(180.0));
+        let after = sys.total_stores();
+        assert!(
+            after > before + 4,
+            "measurements must continue after token regeneration: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn host_sensing_produces_cpu_series() {
+        let (mut eng, names) = hub_engine(2);
+        let mut spec = NwsSystemSpec::minimal(&names[0], &[]);
+        spec.cliques.clear();
+        spec.sensors = vec![SensorSpec {
+            host: names[0].clone(),
+            mode: SensorMode::Clique,
+            host_sensing: true,
+            memory: None,
+        }];
+        spec.host_sense_period = TimeDelta::from_secs(2.0);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(61.0));
+
+        let cpu = sys
+            .series(&SeriesKey::host(Resource::CpuLoad, &names[0]))
+            .expect("cpu series");
+        assert!(cpu.len() >= 29, "got {} samples", cpu.len());
+        assert!(cpu.iter().all(|(_, v)| (0.0..=1.0).contains(v)));
+        let mem = sys
+            .series(&SeriesKey::host(Resource::FreeMemory, &names[0]))
+            .expect("memory series");
+        assert!(!mem.is_empty());
+    }
+
+    #[test]
+    fn measurement_frequency_decreases_with_clique_size() {
+        // Paper §2.3: "the frequency of the measurements obviously
+        // decreases when the number of hosts in a given clique increases".
+        let interval_for = |k: usize| -> f64 {
+            let (mut eng, names) = hub_engine(k);
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let spec = NwsSystemSpec::minimal(&names[0], &refs);
+            let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+            sys.run_for(&mut eng, TimeDelta::from_secs(600.0));
+            let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+            sys.measurement_interval(&key).expect("measured repeatedly")
+        };
+        let i3 = interval_for(3);
+        let i6 = interval_for(6);
+        assert!(
+            i6 > i3 * 1.5,
+            "interval must grow with clique size: k=3 → {i3:.2}s, k=6 → {i6:.2}s"
+        );
+    }
+
+    /// The derived connect-time series is exactly 1.5× the latency series
+    /// (the documented §2.2 delta: derived from the RTT probe instead of a
+    /// third experiment).
+    #[test]
+    fn connect_time_is_consistently_derived() {
+        let (mut eng, names) = hub_engine(3);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let spec = NwsSystemSpec::minimal(&names[0], &refs);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+        let lat = sys
+            .series(&SeriesKey::link(Resource::Latency, &names[0], &names[1]))
+            .unwrap();
+        let ct = sys
+            .series(&SeriesKey::link(Resource::ConnectTime, &names[0], &names[1]))
+            .unwrap();
+        assert_eq!(lat.len(), ct.len());
+        for ((t1, l), (t2, c)) in lat.iter().zip(&ct) {
+            assert_eq!(t1, t2, "stored at the same instant");
+            assert!((c - 1.5 * l).abs() < 1e-9, "connect = 1.5 x rtt");
+        }
+    }
+
+    #[test]
+    fn registry_sees_all_servers() {
+        let (mut eng, names) = hub_engine(3);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let spec = NwsSystemSpec::minimal(&names[0], &refs);
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(30.0));
+        let reg = sys.registry.borrow();
+        // 1 memory + 1 forecaster + 3 sensors registered.
+        assert!(reg.servers.len() >= 5, "registered: {:?}", reg.servers.keys());
+        // Series registrations flowed through the name server.
+        assert!(!reg.series.is_empty());
+    }
+
+    #[test]
+    fn per_sensor_memory_assignment_and_cross_memory_query() {
+        // Two memory servers; sensors split between them. The forecaster
+        // must locate the right memory through the name server (§2.1 step
+        // 2) for both.
+        let (mut eng, names) = hub_engine(4);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
+        spec.memory_hosts = vec![names[0].clone(), names[1].clone()];
+        for (i, s) in spec.sensors.iter_mut().enumerate() {
+            s.memory = Some(if i % 2 == 0 { names[0].clone() } else { names[1].clone() });
+        }
+        let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+
+        // Both memories hold series.
+        for host in [&names[0], &names[1]] {
+            let (_, handle) = &sys.memories[host];
+            assert!(handle.borrow().stores > 0, "memory on {host} unused");
+        }
+        // Queries resolve series on either memory.
+        let k0 = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let k1 = SeriesKey::link(Resource::Bandwidth, &names[1], &names[2]);
+        assert!(sys.query(&mut eng, k0, TimeDelta::from_secs(10.0)).is_some());
+        assert!(sys.query(&mut eng, k1, TimeDelta::from_secs(10.0)).is_some());
+    }
+
+    #[test]
+    fn unknown_hosts_fail_deployment() {
+        let (mut eng, names) = hub_engine(2);
+        let spec = NwsSystemSpec::minimal("ghost.example", &[&names[0]]);
+        assert!(NwsSystem::deploy(&mut eng, &spec).is_err());
+    }
+}

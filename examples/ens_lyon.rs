@@ -1,0 +1,114 @@
+//! The paper's own experiment, end to end: map the ENS-Lyon LAN with ENV
+//! (outside + inside runs, firewall merge), compute the Figure 3 plan,
+//! deploy NWS, and serve forecasts — §4 and §5 of the paper as a program.
+//!
+//! Run: `cargo run --example ens_lyon`
+
+use envdeploy::{
+    apply_plan_with, plan_deployment, render_config, validate_plan, Estimator, PlannerConfig,
+};
+use envmap::{merge_runs, EnvConfig, EnvMapper, HostInput};
+use gridml::merge::GatewayAlias;
+use netsim::prelude::*;
+use netsim::scenarios::{ens_lyon, Calibration};
+use netsim::Engine;
+use nws::{NwsMsg, Resource, SeriesKey};
+
+fn main() {
+    // The physical platform of Figure 1(a).
+    let platform = ens_lyon(Calibration::Paper);
+    let mut eng: Engine<NwsMsg> = Engine::new(platform.topo.clone());
+
+    // --- outside ENV run (master: the-doors) --------------------------------
+    let outside_hosts: Vec<HostInput> = [
+        "the-doors.ens-lyon.fr",
+        "canaria.ens-lyon.fr",
+        "moby.cri2000.ens-lyon.fr",
+        "myri.ens-lyon.fr",
+        "popc.ens-lyon.fr",
+        "sci.ens-lyon.fr",
+    ]
+    .iter()
+    .map(|s| HostInput::new(s))
+    .collect();
+    let mapper = EnvMapper::new(EnvConfig::fast());
+    let outside = mapper
+        .map(&mut eng, &outside_hosts, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
+        .expect("outside run");
+    println!("— outside run: {} experiments, {:.1} simulated seconds",
+        outside.stats.total_experiments(), outside.stats.mapping_seconds);
+    println!("{}", outside.structural.render());
+
+    // --- inside ENV run (master: sci0, behind the firewall) ------------------
+    let inside_hosts: Vec<HostInput> = [
+        "popc0.popc.private",
+        "myri0.popc.private",
+        "sci0.popc.private",
+        "myri1.popc.private",
+        "myri2.popc.private",
+        "sci1.popc.private",
+        "sci2.popc.private",
+        "sci3.popc.private",
+        "sci4.popc.private",
+        "sci5.popc.private",
+        "sci6.popc.private",
+    ]
+    .iter()
+    .map(|s| HostInput::new(s))
+    .collect();
+    let inside = mapper
+        .map(&mut eng, &inside_hosts, "sci0.popc.private", None)
+        .expect("inside run");
+    println!("— inside run: {} experiments", inside.stats.total_experiments());
+
+    // --- merge with the user-provided gateway aliases (§4.3) -----------------
+    let merged = merge_runs(
+        &outside,
+        &inside,
+        &[
+            GatewayAlias::new("popc.ens-lyon.fr", "popc0.popc.private"),
+            GatewayAlias::new("myri.ens-lyon.fr", "myri0.popc.private"),
+            GatewayAlias::new("sci.ens-lyon.fr", "sci0.popc.private"),
+        ],
+    );
+    println!("{}", merged.render());
+
+    // --- plan (Figure 3) + §5.2 manager configuration -------------------------
+    let plan = plan_deployment(&merged, &PlannerConfig::default());
+    println!("{}", plan.render());
+    let report = validate_plan(&plan, &merged, &platform.topo);
+    println!("{}", report.render());
+    println!("--- manager config (first lines) ---");
+    for line in render_config(&plan).lines().take(8) {
+        println!("{line}");
+    }
+    println!();
+
+    // --- deploy and operate ----------------------------------------------------
+    let sys = apply_plan_with(&mut eng, &plan, true).expect("deployment succeeds");
+    sys.run_for(&mut eng, TimeDelta::from_secs(600.0));
+    println!("NWS stored {} measurements across {} series",
+        sys.total_stores(), sys.series_keys().len());
+
+    // A forecast for a measured pair (the Hub 2 representative pair).
+    let key = SeriesKey::link(Resource::Bandwidth, "myri0.popc.private", "popc0.popc.private");
+    if let Some(fc) = sys.query(&mut eng, key, TimeDelta::from_secs(10.0)) {
+        println!(
+            "forecast myri0 ↔ popc0: {:.2} Mbps ({}, rmse {:.3})",
+            fc.value, fc.method, fc.rmse
+        );
+    }
+
+    // An aggregated estimate for a pair nobody measures (across the tree).
+    let est = Estimator::new(&merged, &plan)
+        .estimate("moby.cri2000.ens-lyon.fr", "sci3.popc.private", &sys)
+        .expect("estimable");
+    println!(
+        "estimate moby → sci3: {:.2} Mbps, {} segments:",
+        est.bandwidth_mbps,
+        est.segments.len()
+    );
+    for s in &est.segments {
+        println!("  - {s}");
+    }
+}

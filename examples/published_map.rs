@@ -1,0 +1,67 @@
+//! The §4.3 map-sharing workflow: an administrator maps the platform once
+//! and publishes the GridML; a user deploys NWS from the publication
+//! without sending a single probe — then, after the platform grows, a
+//! remapping is folded in incrementally with `diff_plans`.
+//!
+//! Run: `cargo run --example published_map`
+
+use envdeploy::{diff_plans, plan_deployment, render_config, PlannerConfig};
+use envmap::{view_from_gridml, EnvConfig, EnvMapper, HostInput};
+use gridml::GridDoc;
+use netsim::prelude::*;
+use netsim::scenarios::star_switch;
+
+fn map_lan(n: usize) -> (netsim::scenarios::GeneratedNet, envmap::EnvRun) {
+    let net = star_switch(n, Bandwidth::mbps(100.0));
+    let inputs: Vec<HostInput> = net
+        .hosts
+        .iter()
+        .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
+        .collect();
+    let master = inputs[0].0.clone();
+    let mut eng = netsim::Sim::new(net.topo.clone());
+    let run = EnvMapper::new(EnvConfig::fast())
+        .map(&mut eng, &inputs, &master, None)
+        .expect("mapping succeeds");
+    (net, run)
+}
+
+fn main() {
+    // --- administrator: map once, publish ---------------------------------
+    let (_net, run) = map_lan(5);
+    let xml = run.to_gridml().to_xml();
+    println!(
+        "administrator mapped the LAN with {} experiments and published {} bytes of GridML\n",
+        run.stats.total_experiments(),
+        xml.len()
+    );
+
+    // --- user: import, plan, no probes -------------------------------------
+    let doc = GridDoc::parse(&xml).expect("publication parses");
+    let view = view_from_gridml(&doc).expect("view imports");
+    println!("user imported the view without probing:\n{}", view.render());
+    let plan = plan_deployment(&view, &PlannerConfig::default());
+    println!("{}", plan.render());
+    println!("--- §5.2 manager config (excerpt) ---");
+    for line in render_config(&plan).lines().take(10) {
+        println!("{line}");
+    }
+
+    // --- later: the platform grew; fold the remap in incrementally ----------
+    let (_bigger, rerun) = map_lan(7);
+    let new_plan = plan_deployment(&rerun.view, &PlannerConfig::default());
+    let delta = diff_plans(&plan, &new_plan);
+    println!("\nafter the LAN grew from 5 to 7 hosts, the incremental delta is:");
+    println!("  cliques to stop:    {:?}", delta.cliques_to_stop);
+    println!(
+        "  cliques to restart: {:?}",
+        delta.cliques_to_restart.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+    println!(
+        "  cliques to start:   {:?}",
+        delta.cliques_to_start.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+    println!("  sensors to add:     {:?}", delta.sensors_to_add);
+    println!("  sensors to remove:  {:?}", delta.sensors_to_remove);
+    println!("  {} action(s) instead of a full redeployment", delta.action_count());
+}

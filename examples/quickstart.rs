@@ -1,0 +1,78 @@
+//! Quickstart: the full pipeline on a small platform in ~60 lines.
+//!
+//! 1. Build a platform (two LANs behind routers).
+//! 2. Map it with ENV from a chosen master.
+//! 3. Derive the NWS deployment plan.
+//! 4. Apply the plan (launch sensors, memories, forecaster, name server).
+//! 5. Let it measure, then query a forecast and an aggregated estimate.
+//!
+//! Run: `cargo run --example quickstart`
+
+use envdeploy::{apply_plan_with, plan_deployment, Estimator, PlannerConfig};
+use envmap::{EnvConfig, EnvMapper, HostInput};
+use netsim::prelude::*;
+use netsim::Engine;
+use nws::{NwsMsg, Resource, SeriesKey};
+
+fn main() {
+    // --- 1. a platform: a 100 Mbps hub and a 100 Mbps switch ----------------
+    let mut b = TopologyBuilder::new();
+    let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(50.0));
+    let sw = b.switch("sw", Bandwidth::mbps(100.0), Latency::micros(50.0));
+    let r = b.router("gw.campus.net", "10.0.0.1");
+    b.attach(r, hub);
+    b.attach(r, sw);
+    let hub_hosts: Vec<_> = (0..3)
+        .map(|i| {
+            let h = b.host(&format!("hub{i}.campus.net"), &format!("10.0.1.{}", i + 1));
+            b.attach(h, hub);
+            h
+        })
+        .collect();
+    for i in 0..3 {
+        let h = b.host(&format!("sw{i}.campus.net"), &format!("10.0.2.{}", i + 1));
+        b.attach(h, sw);
+    }
+    let topo = b.build().expect("valid topology");
+    let _ = hub_hosts;
+
+    // --- 2. map it with ENV --------------------------------------------------
+    let mut eng: Engine<NwsMsg> = Engine::new(topo);
+    let hosts: Vec<HostInput> = (0..3)
+        .map(|i| HostInput::new(&format!("hub{i}.campus.net")))
+        .chain((0..3).map(|i| HostInput::new(&format!("sw{i}.campus.net"))))
+        .collect();
+    let run = EnvMapper::new(EnvConfig::fast())
+        .map(&mut eng, &hosts, "hub0.campus.net", None)
+        .expect("mapping succeeds");
+    println!("{}", run.view.render());
+
+    // --- 3. derive the deployment plan ---------------------------------------
+    let plan = plan_deployment(&run.view, &PlannerConfig::default());
+    println!("{}", plan.render());
+
+    // --- 4. apply it (with the §6 host-locking extension) ---------------------
+    let sys = apply_plan_with(&mut eng, &plan, true).expect("deployment succeeds");
+
+    // --- 5. run, query, estimate ----------------------------------------------
+    sys.run_for(&mut eng, TimeDelta::from_secs(300.0));
+
+    let key = SeriesKey::link(Resource::Bandwidth, "sw0.campus.net", "sw1.campus.net");
+    if let Some(fc) = sys.query(&mut eng, key.clone(), TimeDelta::from_secs(10.0)) {
+        println!(
+            "forecast for {key}: {:.1} Mbps (method {}, rmse {:.2}, {} samples)",
+            fc.value, fc.method, fc.rmse, fc.samples
+        );
+    }
+
+    // A pair no clique measures directly — aggregated instead.
+    let est = Estimator::new(&run.view, &plan)
+        .estimate("hub1.campus.net", "sw2.campus.net", &sys)
+        .expect("estimable");
+    println!(
+        "estimate hub1 → sw2: {:.1} Mbps via {} segment(s) [{}]",
+        est.bandwidth_mbps,
+        est.segments.len(),
+        est.segments.join("; ")
+    );
+}

@@ -1,0 +1,24 @@
+//! # nws-env-repro — façade crate
+//!
+//! Reproduction of *"Automatic deployment of the Network Weather Service
+//! using the Effective Network View"* (Legrand & Quinson, LIP RR-2003-42 /
+//! IPPS 2004).
+//!
+//! This crate re-exports the workspace members so the top-level examples
+//! and integration tests can exercise the whole stack through one import:
+//!
+//! * [`netsim`] — flow-level network simulator (the hardware substitute),
+//! * [`gridml`] — the GridML data format,
+//! * [`envmap`] — the Effective Network View mapper,
+//! * [`nws`] — the Network Weather Service substrate,
+//! * [`envdeploy`] — the automatic deployment planner (the paper's
+//!   contribution).
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+pub use envdeploy;
+pub use envmap;
+pub use gridml;
+pub use netsim;
+pub use nws;

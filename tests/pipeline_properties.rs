@@ -1,0 +1,76 @@
+//! Property test over the full pipeline: for random campus platforms, the
+//! map → plan → validate chain must always deliver the §2.3 guarantees.
+
+use envdeploy::{plan_deployment, validate_plan, PlannerConfig};
+use envmap::{EnvConfig, EnvMapper, HostInput, NetKind};
+use netsim::scenarios::{random_campus, CampusParams};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case runs a full mapping; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_campuses_map_plan_and_validate(
+        seed in 0u64..10_000,
+        lans in 2usize..6,
+        hub_fraction in 0.0f64..1.0,
+    ) {
+        let params = CampusParams {
+            lans,
+            hosts_per_lan: (2, 5),
+            hub_fraction,
+            lan_rates_mbps: vec![100.0],
+            backbone_mbps: 1000.0,
+        };
+        let (gen, truth) = random_campus(seed, &params);
+        let inputs: Vec<HostInput> = gen
+            .hosts
+            .iter()
+            .map(|h| HostInput::new(gen.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
+            .collect();
+        let master = inputs[0].0.clone();
+        let mut eng = netsim::Sim::new(gen.topo.clone());
+        let run = EnvMapper::new(EnvConfig::fast())
+            .map(&mut eng, &inputs, &master, Some("well-known.example.org"))
+            .expect("mapping always succeeds");
+
+        // Ground-truth recovery: every multi-host LAN is one cluster with
+        // the correct kind (for ≥3 non-master members).
+        for (members, is_hub, _) in &truth.lans {
+            let names: Vec<String> = members
+                .iter()
+                .filter(|n| **n != gen.master)
+                .map(|n| gen.topo.node(*n).ifaces[0].name.clone().unwrap())
+                .collect();
+            if names.len() < 2 {
+                continue;
+            }
+            let net = run
+                .view
+                .find_containing(&names[0])
+                .expect("LAN members are clustered");
+            for n in &names {
+                prop_assert!(net.hosts.contains(n), "{n} severed from its LAN");
+            }
+            if names.len() >= 3 {
+                let expect = if *is_hub { NetKind::Shared } else { NetKind::Switched };
+                prop_assert_eq!(net.kind, expect, "LAN misclassified");
+            }
+        }
+
+        // Plan guarantees.
+        let plan = plan_deployment(&run.view, &PlannerConfig::default());
+        let report = validate_plan(&plan, &run.view, &gen.topo);
+        prop_assert!(report.unresolved_hosts.is_empty());
+        prop_assert!(report.complete, "incomplete: {}", report.render());
+        prop_assert!(
+            report.measured_pairs <= report.full_mesh_pairs,
+            "never more intrusive than the full mesh"
+        );
+        // Every non-master host is a sensor in the plan.
+        for h in &inputs[1..] {
+            prop_assert!(plan.hosts.contains(&h.0), "{} dropped from plan", h.0);
+        }
+    }
+}

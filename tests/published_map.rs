@@ -1,0 +1,90 @@
+//! The §4.3 sharing workflow end to end: an administrator maps the
+//! platform once and publishes the GridML; a second user imports the
+//! published map, plans and deploys NWS *without redoing the mapping* —
+//! "administrators could publish the mapping of their network as reported
+//! by ENV, so that any user can use it without redoing the mapping."
+//!
+//! Plus the operational follow-on: when a remapping produces a new plan,
+//! `diff_plans` yields the incremental actions instead of a full restart.
+
+use envdeploy::{apply_plan_with, diff_plans, plan_deployment, PlannerConfig};
+use envmap::{view_from_gridml, EnvConfig, EnvMapper, HostInput};
+use gridml::GridDoc;
+use netsim::prelude::*;
+use netsim::scenarios::{star_hub, star_switch};
+use netsim::Engine;
+use nws::NwsMsg;
+
+fn map_switch_lan() -> (netsim::scenarios::GeneratedNet, envmap::EnvRun) {
+    let net = star_switch(5, Bandwidth::mbps(100.0));
+    let inputs: Vec<HostInput> = net
+        .hosts
+        .iter()
+        .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
+        .collect();
+    let master = inputs[0].0.clone();
+    let mut eng = netsim::Sim::new(net.topo.clone());
+    let run = EnvMapper::new(EnvConfig::fast())
+        .map(&mut eng, &inputs, &master, None)
+        .expect("mapping succeeds");
+    (net, run)
+}
+
+#[test]
+fn published_gridml_deploys_without_remapping() {
+    // Administrator: map once, publish the XML.
+    let (net, run) = map_switch_lan();
+    let published_xml = run.to_gridml().to_xml();
+    let probes_spent = run.stats.total_experiments();
+    assert!(probes_spent > 0);
+
+    // User: parse the publication, import the view, plan, deploy. No
+    // probes of their own.
+    let doc = GridDoc::parse(&published_xml).expect("published XML parses");
+    let imported = view_from_gridml(&doc).expect("view imports");
+    let plan_from_import = plan_deployment(&imported, &PlannerConfig::default());
+
+    // The imported plan equals the plan from the live view.
+    let plan_from_live = plan_deployment(&run.view, &PlannerConfig::default());
+    assert_eq!(plan_from_import, plan_from_live);
+
+    // And it actually deploys and measures.
+    let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
+    let sys = apply_plan_with(&mut eng, &plan_from_import, true).expect("deploys");
+    sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+    assert!(sys.total_stores() > 20);
+}
+
+#[test]
+fn remapping_yields_incremental_delta() {
+    // Original platform: a 4-host hub. Remapped platform: same hub with a
+    // fifth host. The delta must be a clique restart plus one sensor —
+    // not a teardown.
+    let plan_for = |n: usize| {
+        let net = star_hub(n, Bandwidth::mbps(100.0));
+        let inputs: Vec<HostInput> = net
+            .hosts
+            .iter()
+            .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
+            .collect();
+        let master = inputs[0].0.clone();
+        let mut eng = netsim::Sim::new(net.topo);
+        let run = EnvMapper::new(EnvConfig::fast())
+            .map(&mut eng, &inputs, &master, None)
+            .unwrap();
+        plan_deployment(&run.view, &PlannerConfig::default())
+    };
+    let old = plan_for(4);
+    let new = plan_for(5);
+
+    let delta = diff_plans(&old, &new);
+    assert!(!delta.is_empty());
+    // Shared hub: representatives stay the first two hosts, so the local
+    // clique is unchanged; the new host only joins as a sensor.
+    assert!(delta.cliques_to_stop.is_empty(), "{delta:?}");
+    assert_eq!(delta.sensors_to_add.len(), 1, "{delta:?}");
+    assert!(delta.sensors_to_remove.is_empty());
+
+    // Self-diff is empty.
+    assert!(diff_plans(&new, &new).is_empty());
+}
