@@ -9,11 +9,8 @@ use nws::{NwsMsg, NwsSystem, NwsSystemSpec};
 
 fn run_system(k: usize, host_locking: bool, sim_seconds: f64) -> u64 {
     let net = star_switch(k, Bandwidth::mbps(100.0));
-    let names: Vec<String> = net
-        .hosts
-        .iter()
-        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-        .collect();
+    let names: Vec<String> =
+        net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
     let mut spec = NwsSystemSpec::minimal(&names[0], &refs);

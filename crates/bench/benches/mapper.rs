@@ -21,15 +21,11 @@ fn bench_star(c: &mut Criterion) {
                 let inputs: Vec<HostInput> = net
                     .hosts
                     .iter()
-                    .map(|h| {
-                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
-                    })
+                    .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
                     .collect();
                 let master = inputs[0].0.clone();
                 let mut eng = Sim::new(net.topo);
-                EnvMapper::new(EnvConfig::fast())
-                    .map(&mut eng, &inputs, &master, None)
-                    .unwrap()
+                EnvMapper::new(EnvConfig::fast()).map(&mut eng, &inputs, &master, None).unwrap()
             })
         });
         g.bench_with_input(BenchmarkId::new("switch", n), &n, |b, &n| {
@@ -38,15 +34,11 @@ fn bench_star(c: &mut Criterion) {
                 let inputs: Vec<HostInput> = net
                     .hosts
                     .iter()
-                    .map(|h| {
-                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
-                    })
+                    .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
                     .collect();
                 let master = inputs[0].0.clone();
                 let mut eng = Sim::new(net.topo);
-                EnvMapper::new(EnvConfig::fast())
-                    .map(&mut eng, &inputs, &master, None)
-                    .unwrap()
+                EnvMapper::new(EnvConfig::fast()).map(&mut eng, &inputs, &master, None).unwrap()
             })
         });
     }
@@ -70,9 +62,7 @@ fn bench_campus(c: &mut Criterion) {
                 let inputs: Vec<HostInput> = net
                     .hosts
                     .iter()
-                    .map(|h| {
-                        HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap())
-                    })
+                    .map(|h| HostInput::new(net.topo.node(*h).ifaces[0].name.as_deref().unwrap()))
                     .collect();
                 let master = inputs[0].0.clone();
                 let mut eng = Sim::new(net.topo);
@@ -98,9 +88,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
         b.iter(|| envmap::merge_runs(&m.outside, &m.inside, &gateway_aliases()))
     });
     // Input helpers don't dominate (sanity).
-    g.bench_function("input_construction", |b| {
-        b.iter(|| (outside_inputs(), inside_inputs()))
-    });
+    g.bench_function("input_construction", |b| b.iter(|| (outside_inputs(), inside_inputs())));
     g.finish();
 }
 

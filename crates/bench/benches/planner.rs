@@ -5,7 +5,7 @@
 //! stay cheap enough to re-run on every remapping.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use envdeploy::{plan_deployment, render_config, parse_config, validate_plan, PlannerConfig};
+use envdeploy::{parse_config, plan_deployment, render_config, validate_plan, PlannerConfig};
 use envmap::{EnvNet, EnvView, NetKind};
 use nws_bench::map_ens_lyon;
 
@@ -46,9 +46,7 @@ fn bench_validation(c: &mut Criterion) {
     g.sample_size(10);
     let m = map_ens_lyon();
     let plan = plan_deployment(&m.merged, &PlannerConfig::default());
-    g.bench_function("ens_lyon", |b| {
-        b.iter(|| validate_plan(&plan, &m.merged, &m.platform.topo))
-    });
+    g.bench_function("ens_lyon", |b| b.iter(|| validate_plan(&plan, &m.merged, &m.platform.topo)));
     g.finish();
 }
 

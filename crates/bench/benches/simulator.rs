@@ -30,8 +30,11 @@ fn bench_allocator(c: &mut Criterion) {
 
 fn bench_flow_lifecycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("flow_lifecycle");
-    g.sample_size(20);
-    for flows in [16usize, 128] {
+    g.sample_size(10);
+    // 1024 and 4096 were impractical under the from-scratch allocator
+    // (O(flows × resources) clones per event); the incremental engine
+    // makes them routine bench points.
+    for flows in [16usize, 128, 1024, 4096] {
         g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
             b.iter(|| {
                 let net = star_switch(16, Bandwidth::mbps(100.0));

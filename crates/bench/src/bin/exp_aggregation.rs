@@ -56,18 +56,14 @@ fn main() {
     let routes = RouteTable::compute(eng.topo());
     let mut worst_ratio: f64 = 1.0;
     for (a, b) in pairs {
-        assert!(
-            plan.clique_measuring(a, b).is_none(),
-            "{a}/{b} must not be directly measured"
-        );
+        assert!(plan.clique_measuring(a, b).is_none(), "{a}/{b} must not be directly measured");
         let est = estimator.estimate(a, b, &sys).expect("estimable");
         let na = eng.topo().node_by_name(a).unwrap();
         let nb = eng.topo().node_by_name(b).unwrap();
         let fwd = routes.path(na, nb).unwrap();
         let back = routes.path(nb, na).unwrap();
         let cap = fwd.bottleneck(eng.topo()).as_mbps();
-        let rtt_ms =
-            (fwd.latency(eng.topo()).as_secs() + back.latency(eng.topo()).as_secs()) * 1e3;
+        let rtt_ms = (fwd.latency(eng.topo()).as_secs() + back.latency(eng.topo()).as_secs()) * 1e3;
         let ratio = est.bandwidth_mbps / cap;
         worst_ratio = worst_ratio.max(ratio.max(1.0 / ratio));
         t.row(vec![

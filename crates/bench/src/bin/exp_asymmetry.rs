@@ -27,30 +27,17 @@ fn main() {
 
     // Ground truth, both directions.
     let mut sim = Engine::<NwsMsg>::new(net.topo.clone());
-    let truth_ab = sim
-        .measure_bandwidth(net.hosts[0], net.hosts[1], Bytes::mib(1))
-        .unwrap()
-        .as_mbps();
-    let truth_ba = sim
-        .measure_bandwidth(net.hosts[1], net.hosts[0], Bytes::mib(1))
-        .unwrap()
-        .as_mbps();
+    let truth_ab =
+        sim.measure_bandwidth(net.hosts[0], net.hosts[1], Bytes::mib(1)).unwrap().as_mbps();
+    let truth_ba =
+        sim.measure_bandwidth(net.hosts[1], net.hosts[0], Bytes::mib(1)).unwrap().as_mbps();
 
     // ENV's one-way view from a.
     let mut eng = netsim::Sim::new(net.topo.clone());
     let run = EnvMapper::new(EnvConfig::fast())
-        .map(
-            &mut eng,
-            &[HostInput::new(&a_name), HostInput::new(&b_name)],
-            &a_name,
-            None,
-        )
+        .map(&mut eng, &[HostInput::new(&a_name), HostInput::new(&b_name)], &a_name, None)
         .expect("mapping succeeds");
-    let env_bw = run
-        .view
-        .find_containing(&b_name)
-        .map(|n| n.base_bw_mbps)
-        .expect("b clustered");
+    let env_bw = run.view.find_containing(&b_name).map(|n| n.base_bw_mbps).expect("b clustered");
 
     // A deployed NWS clique measures both directions.
     let mut eng: Engine<NwsMsg> = Engine::new(net.topo.clone());

@@ -17,10 +17,7 @@ use nws::{CliqueSpec, NwsMsg, NwsSystem, NwsSystemSpec, Resource, SeriesKey};
 use nws_bench::{f, Table};
 
 fn names(net: &netsim::scenarios::GeneratedNet) -> Vec<String> {
-    net.hosts
-        .iter()
-        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-        .collect()
+    net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect()
 }
 
 /// Mean measurement interval of the first pair for a k-host clique.
@@ -63,7 +60,8 @@ fn split_interval() -> f64 {
 
 fn main() {
     println!("=== E2: measurement frequency vs clique size (paper §2.3) ===\n");
-    let mut t = Table::new(&["clique size", "interval between measurements (s)", "frequency (1/min)"]);
+    let mut t =
+        Table::new(&["clique size", "interval between measurements (s)", "frequency (1/min)"]);
     let mut base = None;
     for k in [3usize, 4, 6, 8, 10] {
         let iv = interval_for(k);

@@ -17,17 +17,12 @@ use nws::{NwsMsg, NwsSystem, NwsSystemSpec, Resource, SensorMode, SensorSpec, Se
 use nws_bench::{f, Table};
 
 fn names(net: &netsim::scenarios::GeneratedNet) -> Vec<String> {
-    net.hosts
-        .iter()
-        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-        .collect()
+    net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect()
 }
 
 /// Mean of a bandwidth series.
 fn mean_bw(sys: &NwsSystem, a: &str, b: &str) -> f64 {
-    let series = sys
-        .series(&SeriesKey::link(Resource::Bandwidth, a, b))
-        .unwrap_or_default();
+    let series = sys.series(&SeriesKey::link(Resource::Bandwidth, a, b)).unwrap_or_default();
     if series.is_empty() {
         return f64::NAN;
     }

@@ -24,9 +24,8 @@ fn map_with(model: FairnessModel) -> EnvView {
     let outside = mapper
         .map(&mut eng, &outside_inputs(), "the-doors.ens-lyon.fr", Some("well-known.example.org"))
         .expect("outside run");
-    let inside = mapper
-        .map(&mut eng, &inside_inputs(), "sci0.popc.private", None)
-        .expect("inside run");
+    let inside =
+        mapper.map(&mut eng, &inside_inputs(), "sci0.popc.private", None).expect("inside run");
     merge_runs(&outside, &inside, &gateway_aliases())
 }
 

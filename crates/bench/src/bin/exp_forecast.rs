@@ -6,9 +6,9 @@
 
 use nws::hostload::HostLoadModel;
 use nws::ForecasterBattery;
+use nws_bench::{f, Table};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use nws_bench::{f, Table};
 
 /// Feed a series; return (winner name, winner MSE, best fixed predictor
 /// name, best fixed MSE, LAST's MSE) for comparison.
@@ -64,9 +64,7 @@ fn main() {
     // 4. Spiky series (cross-traffic bursts).
     series.push((
         "spiky (cross-traffic bursts)",
-        (0..n)
-            .map(|i| if i % 40 == 13 { 15.0 } else { 95.0 + rng.gen_range(-2.0..2.0) })
-            .collect(),
+        (0..n).map(|i| if i % 40 == 13 { 15.0 } else { 95.0 + rng.gen_range(-2.0..2.0) }).collect(),
     ));
 
     // 5. Synthetic CPU availability from the host-load model.
@@ -80,13 +78,8 @@ fn main() {
         (0..n).map(|i| 5.0 + 0.05 * i as f64 + rng.gen_range(-0.5..0.5)).collect(),
     ));
 
-    let mut t = Table::new(&[
-        "series",
-        "battery winner",
-        "winner MSE",
-        "LAST MSE",
-        "MSE gain vs LAST",
-    ]);
+    let mut t =
+        Table::new(&["series", "battery winner", "winner MSE", "LAST MSE", "MSE gain vs LAST"]);
     for (name, data) in &series {
         let (winner, mse, last_mse) = race(data);
         t.row(vec![

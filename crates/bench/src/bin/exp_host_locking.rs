@@ -89,10 +89,7 @@ fn main() {
         "flaw reproduced without locks (persistent ~50% collisions at the shared member): {}",
         if flaw { "YES" } else { "NO" }
     );
-    println!(
-        "locks restore accurate measurements: {}",
-        if fixed { "YES" } else { "NO" }
-    );
+    println!("locks restore accurate measurements: {}", if fixed { "YES" } else { "NO" });
     println!(
         "\n(The locking protocol costs a request/grant/release exchange per probe\n\
          and occasionally skips a peer on timeout; the store counts above show\n\

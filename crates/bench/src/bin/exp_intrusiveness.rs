@@ -43,7 +43,9 @@ fn main() {
     ]);
 
     // Random campuses of growing size.
-    for (seed, lans, hosts_per) in [(1u64, 3usize, (3usize, 5usize)), (2, 5, (4, 6)), (3, 8, (4, 8))] {
+    for (seed, lans, hosts_per) in
+        [(1u64, 3usize, (3usize, 5usize)), (2, 5, (4, 6)), (3, 8, (4, 8))]
+    {
         let params = CampusParams {
             lans,
             hosts_per_lan: hosts_per,

@@ -18,7 +18,7 @@ use netsim::scenarios::{ens_lyon, Calibration};
 use netsim::traffic::attach_noise;
 use netsim::Sim;
 use nws_bench::{f, gateway_aliases, inside_inputs, outside_inputs, Table};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Score a merged view against the expected ENS-Lyon truth: one point per
 /// correctly recovered network (membership and kind), out of 4.
@@ -53,10 +53,7 @@ fn run_point(thresholds: EnvThresholds, noise_period_s: Option<f64>, seed: u64) 
     let mut eng = Sim::new(platform.topo.clone());
     if let Some(period) = noise_period_s {
         // Cross-traffic inside Hub 1 and across the bottleneck.
-        let pairs = vec![
-            (platform.moby, platform.canaria),
-            (platform.canaria, platform.popc0),
-        ];
+        let pairs = vec![(platform.moby, platform.canaria), (platform.canaria, platform.popc0)];
         attach_noise(&mut eng, &pairs, Bytes::mib(2), TimeDelta::from_secs(period), seed);
     }
     let cfg = EnvConfig { thresholds, ..EnvConfig::fast() };
@@ -82,14 +79,8 @@ fn main() {
     // (label, thresholds)
     let threshold_sets: Vec<(&str, EnvThresholds)> = vec![
         ("paper (3 / 1.25 / 0.7–0.9)", EnvThresholds::paper()),
-        (
-            "tight split (1.5)",
-            EnvThresholds { h2h_split_ratio: 1.5, ..EnvThresholds::paper() },
-        ),
-        (
-            "loose split (6)",
-            EnvThresholds { h2h_split_ratio: 6.0, ..EnvThresholds::paper() },
-        ),
+        ("tight split (1.5)", EnvThresholds { h2h_split_ratio: 1.5, ..EnvThresholds::paper() }),
+        ("loose split (6)", EnvThresholds { h2h_split_ratio: 6.0, ..EnvThresholds::paper() }),
         (
             "strict pairwise (2.0)",
             EnvThresholds { pairwise_dependent_ratio: 2.0, ..EnvThresholds::paper() },
@@ -112,7 +103,7 @@ fn main() {
         vec![("quiet", None), ("light (10 s)", Some(10.0)), ("heavy (2 s)", Some(2.0))];
 
     let results = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (ti, (tl, th)) in threshold_sets.iter().enumerate() {
             for (ni, (nl, np)) in noise_levels.iter().enumerate() {
                 let results = &results;
@@ -120,16 +111,15 @@ fn main() {
                 let np = *np;
                 let tl = tl.to_string();
                 let nl = nl.to_string();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let s = run_point(th, np, 1000 + (ti * 10 + ni) as u64);
-                    results.lock().push((ti, ni, tl, nl, s));
+                    results.lock().expect("sweep mutex").push((ti, ni, tl, nl, s));
                 });
             }
         }
-    })
-    .expect("sweep threads join");
+    });
 
-    let mut rows = results.into_inner();
+    let mut rows = results.into_inner().expect("sweep mutex");
     rows.sort_by_key(|(ti, ni, _, _, _)| (*ti, *ni));
     let mut t = Table::new(&["thresholds", "traffic", "recovered networks (of 4)"]);
     let mut paper_quiet = 0;

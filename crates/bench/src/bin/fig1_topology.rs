@@ -42,10 +42,7 @@ fn main() {
             }
             LinkMode::Shared { medium } => {
                 let med = topo.medium(medium);
-                println!(
-                    "  {a:<12} -- {b:<12} shared medium {} ({})",
-                    med.label, med.capacity
-                )
+                println!("  {a:<12} -- {b:<12} shared medium {} ({})", med.label, med.capacity)
             }
         }
     }

@@ -23,10 +23,7 @@ fn main() {
             _ => "MISMATCH",
         }
     );
-    let hub3 = plan
-        .cliques
-        .iter()
-        .find(|c| c.members.contains(&"myri1.popc.private".to_string()));
+    let hub3 = plan.cliques.iter().find(|c| c.members.contains(&"myri1.popc.private".to_string()));
     println!(
         "  - myri cluster shared → two hosts only (myri1, myri2): {}",
         match hub3 {
@@ -34,17 +31,11 @@ fn main() {
             _ => "MISMATCH",
         }
     );
-    let hub2 = plan
-        .cliques
-        .iter()
-        .find(|c| {
-            c.members.contains(&"myri0.popc.private".to_string())
-                && c.members.contains(&"popc0.popc.private".to_string())
-        });
-    println!(
-        "  - myri0 and popc0 test Hub 2: {}",
-        if hub2.is_some() { "OK" } else { "MISMATCH" }
-    );
+    let hub2 = plan.cliques.iter().find(|c| {
+        c.members.contains(&"myri0.popc.private".to_string())
+            && c.members.contains(&"popc0.popc.private".to_string())
+    });
+    println!("  - myri0 and popc0 test Hub 2: {}", if hub2.is_some() { "OK" } else { "MISMATCH" });
     let inter = plan.cliques.iter().find(|c| c.name == "inter-top");
     println!(
         "  - one inter-hub clique ties Hub 1 to Hub 2 (paper used canaria–popc0; \

@@ -18,7 +18,9 @@ fn main() {
     let inside_doc = m.inside.to_gridml();
     print!("{}", inside_doc.to_xml());
 
-    println!("\n=== merged document (paper §4.3: \"often as simple as a file concatenation\") ===\n");
+    println!(
+        "\n=== merged document (paper §4.3: \"often as simple as a file concatenation\") ===\n"
+    );
     let merged = merge_sites(&[outside_doc, inside_doc], &gateway_aliases(), "Grid1");
     let xml = merged.to_xml();
     print!("{xml}");

@@ -133,11 +133,7 @@ fn main() {
         unlocked < 7.0,
         format!("{unlocked:.2} Mbps"),
     );
-    check(
-        "E9 locks restore accuracy (>9 Mbps)",
-        locked > 9.0,
-        format!("{locked:.2} Mbps"),
-    );
+    check("E9 locks restore accuracy (>9 Mbps)", locked > 9.0, format!("{locked:.2} Mbps"));
 
     // --- summary ------------------------------------------------------------------
     println!();
@@ -154,11 +150,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\n{} of {} paper checkpoints reproduced",
-        checks.len() - failed,
-        checks.len()
-    );
+    println!("\n{} of {} paper checkpoints reproduced", checks.len() - failed, checks.len());
     if failed > 0 {
         std::process::exit(1);
     }
@@ -168,11 +160,8 @@ fn main() {
 fn collision_case() -> (f64, f64) {
     let mean_for = |use_clique: bool| -> f64 {
         let net = star_hub(4, Bandwidth::mbps(100.0));
-        let n: Vec<String> = net
-            .hosts
-            .iter()
-            .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-            .collect();
+        let n: Vec<String> =
+            net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
         let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
         let spec = if use_clique {
             let refs: Vec<&str> = n.iter().map(|s| s.as_str()).collect();
@@ -204,9 +193,8 @@ fn collision_case() -> (f64, f64) {
         };
         let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
         sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
-        let series = sys
-            .series(&SeriesKey::link(Resource::Bandwidth, &n[0], &n[1]))
-            .unwrap_or_default();
+        let series =
+            sys.series(&SeriesKey::link(Resource::Bandwidth, &n[0], &n[1])).unwrap_or_default();
         series.iter().map(|(_, v)| v).sum::<f64>() / series.len().max(1) as f64
     };
     (mean_for(false), mean_for(true))

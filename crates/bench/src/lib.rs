@@ -98,11 +98,8 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let cols: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let cols: Vec<String> =
+                cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             format!("  {}\n", cols.join("  "))
         };
         out.push_str(&fmt_row(&self.headers, &widths));

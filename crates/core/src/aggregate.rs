@@ -109,10 +109,12 @@ impl<'a> Estimator<'a> {
 
         // Directly measured by some clique? Use the fresh values.
         if self.plan.clique_measuring(src, dst).is_some() {
-            return Some(self.finish(
-                vec![Segment::Inter { a: src.to_string(), b: dst.to_string() }],
-                source,
-            ));
+            return Some(
+                self.finish(
+                    vec![Segment::Inter { a: src.to_string(), b: dst.to_string() }],
+                    source,
+                ),
+            );
         }
 
         let master = &self.view.master;
@@ -127,11 +129,8 @@ impl<'a> Estimator<'a> {
         let mut segments = Vec::new();
 
         // Deepest common network in the two ancestries.
-        let common_depth = chain_src
-            .iter()
-            .zip(chain_dst.iter())
-            .take_while(|(a, b)| a.label == b.label)
-            .count();
+        let common_depth =
+            chain_src.iter().zip(chain_dst.iter()).take_while(|(a, b)| a.label == b.label).count();
 
         if common_depth > 0 {
             // Same top-level subtree: climb both sides to the common net.
@@ -140,11 +139,7 @@ impl<'a> Estimator<'a> {
             let mut down_segs = Vec::new();
             let down = self.climb(dst, &chain_dst[common_depth - 1..], &mut down_segs);
             if up != down {
-                segments.push(Segment::Within {
-                    net: common.label.clone(),
-                    a: up,
-                    b: down,
-                });
+                segments.push(Segment::Within { net: common.label.clone(), a: up, b: down });
             }
             segments.extend(down_segs.into_iter().rev());
         } else {
@@ -165,11 +160,7 @@ impl<'a> Estimator<'a> {
             let mut down_segs = Vec::new();
             let down = self.climb(dst, &chain_dst, &mut down_segs);
             if down != rep_dst {
-                down_segs.push(Segment::Within {
-                    net: top_dst.label.clone(),
-                    a: rep_dst,
-                    b: down,
-                });
+                down_segs.push(Segment::Within { net: top_dst.label.clone(), a: rep_dst, b: down });
             }
             segments.extend(down_segs.into_iter().rev());
         }
@@ -199,11 +190,7 @@ impl<'a> Estimator<'a> {
             let mut down_segs = Vec::new();
             let down = self.climb(other, &chain, &mut down_segs);
             if down != rep {
-                down_segs.push(Segment::Within {
-                    net: top.label.clone(),
-                    a: rep,
-                    b: down,
-                });
+                down_segs.push(Segment::Within { net: top.label.clone(), a: rep, b: down });
             }
             segments.extend(down_segs.into_iter().rev());
             return Some(self.finish(segments, source));
@@ -251,7 +238,11 @@ impl<'a> Estimator<'a> {
                 .clone()
                 .unwrap_or_else(|| net.hosts.first().cloned().unwrap_or_else(|| cur.clone()));
             if cur != gw {
-                segments.push(Segment::Within { net: net.label.clone(), a: cur.clone(), b: gw.clone() });
+                segments.push(Segment::Within {
+                    net: net.label.clone(),
+                    a: cur.clone(),
+                    b: gw.clone(),
+                });
             }
             cur = gw;
         }
@@ -585,8 +576,7 @@ mod tests {
             role: CliqueRole::SharedLocal,
             network: Some("hubX".into()),
         });
-        p.representatives
-            .insert("hubX".to_string(), ("x1".to_string(), "x2".to_string()));
+        p.representatives.insert("hubX".to_string(), ("x1".to_string(), "x2".to_string()));
         p.hosts.push("x1".into());
         p.hosts.push("x2".into());
         let mut s = source();

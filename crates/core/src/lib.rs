@@ -37,7 +37,9 @@ pub mod planner;
 pub mod validate;
 
 pub use aggregate::{Estimate, Estimator, Freshness, MeasurementSource};
-pub use manager::{apply_plan, apply_plan_with, plan_to_spec, plan_to_spec_with, render_config, parse_config};
+pub use manager::{
+    apply_plan, apply_plan_with, parse_config, plan_to_spec, plan_to_spec_with, render_config,
+};
 pub use plan::{diff_plans, CliqueRole, DeploymentPlan, PlanDelta, PlannedClique};
 pub use planner::{plan_deployment, PlannerConfig};
 pub use validate::{validate_plan, PlanReport};

@@ -118,9 +118,8 @@ pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
                 "forecaster" => forecaster = Some(value.to_string()),
                 "memories" => memories = list(value),
                 "gap_ms" => {
-                    gap_ms = value
-                        .parse()
-                        .map_err(|_| format!("line {}: bad gap_ms", lineno + 1))?
+                    gap_ms =
+                        value.parse().map_err(|_| format!("line {}: bad gap_ms", lineno + 1))?
                 }
                 "hosts" => hosts = list(value),
                 _ => return Err(format!("line {}: unknown global key {key:?}", lineno + 1)),
@@ -143,17 +142,14 @@ pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
                     if pair.len() != 2 {
                         return Err(format!("line {}: pair needs two hosts", lineno + 1));
                     }
-                    representatives
-                        .insert(net.clone(), (pair[0].clone(), pair[1].clone()));
+                    representatives.insert(net.clone(), (pair[0].clone(), pair[1].clone()));
                 }
                 _ => return Err(format!("line {}: unknown key {key:?}", lineno + 1)),
             },
             Section::MemoryAssignment => {
                 memory_of.insert(key.to_string(), value.to_string());
             }
-            Section::None => {
-                return Err(format!("line {}: key outside any section", lineno + 1))
-            }
+            Section::None => return Err(format!("line {}: key outside any section", lineno + 1)),
         }
     }
 
@@ -178,7 +174,9 @@ pub enum LocalAction {
     StartMemory,
     StartForecaster,
     /// Start a sensor joining the named cliques.
-    StartSensor { cliques: Vec<String> },
+    StartSensor {
+        cliques: Vec<String>,
+    },
 }
 
 /// What the manager would do on `host` given the shared configuration.
@@ -328,7 +326,10 @@ mod tests {
         assert!(parse_config("[global]\nmaster = m\n[clique c]\nrole = nope\n").is_err());
         assert!(parse_config("[global]\nnameserver = n\nforecaster = f\n").is_err()); // no master
         assert!(parse_config("[global]\nbroken line\n").is_err());
-        assert!(parse_config("[representative x]\npair = only-one\n[global]\nmaster=m\nnameserver=n\nforecaster=f\n").is_err());
+        assert!(parse_config(
+            "[representative x]\npair = only-one\n[global]\nmaster=m\nnameserver=n\nforecaster=f\n"
+        )
+        .is_err());
     }
 
     #[test]
@@ -365,14 +366,12 @@ mod tests {
         all_hosts.push("unrelated.host".to_string());
         for host in &all_hosts {
             let actions = local_actions(&plan, host);
-            let has_sensor_action = actions
-                .iter()
-                .any(|a| matches!(a, LocalAction::StartSensor { .. }));
+            let has_sensor_action =
+                actions.iter().any(|a| matches!(a, LocalAction::StartSensor { .. }));
             let spec_has_sensor = spec.sensors.iter().any(|s| &s.host == host);
             assert_eq!(has_sensor_action, spec_has_sensor, "host {host}");
-            if let Some(LocalAction::StartSensor { cliques }) = actions
-                .iter()
-                .find(|a| matches!(a, LocalAction::StartSensor { .. }))
+            if let Some(LocalAction::StartSensor { cliques }) =
+                actions.iter().find(|a| matches!(a, LocalAction::StartSensor { .. }))
             {
                 let from_spec: Vec<&str> = spec
                     .cliques

@@ -123,9 +123,9 @@ impl DeploymentPlan {
 
     /// The clique a host pair is measured by, if any measures it directly.
     pub fn clique_measuring(&self, a: &str, b: &str) -> Option<&PlannedClique> {
-        self.cliques.iter().find(|c| {
-            c.members.iter().any(|m| m == a) && c.members.iter().any(|m| m == b)
-        })
+        self.cliques
+            .iter()
+            .find(|c| c.members.iter().any(|m| m == a) && c.members.iter().any(|m| m == b))
     }
 
     /// Cliques a given host belongs to.

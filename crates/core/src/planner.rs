@@ -77,8 +77,7 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
                 // shared medium — the paper itself picked canaria/moby and
                 // myri0/popc0 by hand.
                 let reps = vec![members[0].clone(), members[1].clone()];
-                representatives
-                    .insert(net.label.clone(), (reps[0].clone(), reps[1].clone()));
+                representatives.insert(net.label.clone(), (reps[0].clone(), reps[1].clone()));
                 cliques.push(PlannedClique {
                     name: format!("local-{}", net.label),
                     members: reps,
@@ -129,11 +128,8 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
     // One inter-network clique across the top-level networks: the paper's
     // "connection between canaria and popc0 is used to test the connexion
     // between these hubs".
-    let mut inter: Vec<String> = view
-        .networks
-        .iter()
-        .filter_map(|n| n.hosts.first().cloned())
-        .collect();
+    let mut inter: Vec<String> =
+        view.networks.iter().filter_map(|n| n.hosts.first().cloned()).collect();
     if config.include_master_in_inter {
         inter.insert(0, view.master.clone());
         if !hosts.contains(&view.master) {
@@ -210,7 +206,7 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
 #[cfg(test)]
 mod tests {
     use super::*;
-    use envmap::{EnvMapper, EnvConfig, HostInput, merge_runs};
+    use envmap::{merge_runs, EnvConfig, EnvMapper, HostInput};
     use gridml::merge::GatewayAlias;
     use netsim::scenarios::{ens_lyon, Calibration};
     use netsim::Sim;
@@ -272,7 +268,10 @@ mod tests {
         let hub1 = plan
             .cliques
             .iter()
-            .find(|c| c.members.contains(&"canaria.ens-lyon.fr".to_string()) && c.role == CliqueRole::SharedLocal)
+            .find(|c| {
+                c.members.contains(&"canaria.ens-lyon.fr".to_string())
+                    && c.role == CliqueRole::SharedLocal
+            })
             .expect("hub1 clique");
         assert_eq!(hub1.members.len(), 2);
         assert!(hub1.members.contains(&"moby.cri2000.ens-lyon.fr".to_string()));
@@ -281,7 +280,10 @@ mod tests {
         let hub2 = plan
             .cliques
             .iter()
-            .find(|c| c.members.contains(&"myri0.popc.private".to_string()) && c.role == CliqueRole::SharedLocal)
+            .find(|c| {
+                c.members.contains(&"myri0.popc.private".to_string())
+                    && c.role == CliqueRole::SharedLocal
+            })
             .expect("hub2 clique");
         assert_eq!(
             hub2.members,
@@ -302,11 +304,8 @@ mod tests {
 
         // The sci cluster is switched: all machines form the clique
         // (paper: "we pick all its machines"), gateway included.
-        let sci = plan
-            .cliques
-            .iter()
-            .find(|c| c.role == CliqueRole::SwitchedLocal)
-            .expect("sci clique");
+        let sci =
+            plan.cliques.iter().find(|c| c.role == CliqueRole::SwitchedLocal).expect("sci clique");
         assert_eq!(sci.members.len(), 7);
         assert!(sci.members.contains(&"sci0.popc.private".to_string()));
         for i in 1..=6 {
@@ -435,7 +434,8 @@ mod tests {
             ],
         };
         let plan = plan_deployment(&view, &PlannerConfig::default());
-        let mystery = plan.cliques.iter().find(|c| c.network.as_deref() == Some("mystery")).unwrap();
+        let mystery =
+            plan.cliques.iter().find(|c| c.network.as_deref() == Some("mystery")).unwrap();
         assert_eq!(mystery.role, CliqueRole::UndeterminedLocal);
         assert_eq!(mystery.members.len(), 3);
         // And no representative pair was registered for it.

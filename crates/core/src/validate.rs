@@ -130,11 +130,8 @@ pub fn validate_plan(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> 
     let mut colliding = Vec::new();
     for i in 0..footprints.len() {
         for j in (i + 1)..footprints.len() {
-            let shared: Vec<&NetResource> = footprints[i]
-                .1
-                .iter()
-                .filter(|r| footprints[j].1.contains(r))
-                .collect();
+            let shared: Vec<&NetResource> =
+                footprints[i].1.iter().filter(|r| footprints[j].1.contains(r)).collect();
             if shared.is_empty() {
                 disjoint += 1;
             } else {
@@ -261,8 +258,12 @@ mod tests {
         // The inter clique is involved in every overlap.
         for (a, b, _) in &report.colliding_clique_pairs {
             assert!(
-                a == "inter-top" || b == "inter-top" || a.contains("Hub2") || b.contains("Hub2")
-                    || a.contains("local") || b.contains("local"),
+                a == "inter-top"
+                    || b == "inter-top"
+                    || a.contains("Hub2")
+                    || b.contains("Hub2")
+                    || a.contains("local")
+                    || b.contains("local"),
                 "unexpected overlap {a} vs {b}"
             );
         }
@@ -274,16 +275,12 @@ mod tests {
     fn single_switch_plan_is_strictly_collision_free() {
         // One switched LAN, one clique: nothing to collide with.
         let net = star_switch(5, Bandwidth::mbps(100.0));
-        let names: Vec<String> = net
-            .hosts
-            .iter()
-            .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-            .collect();
+        let names: Vec<String> =
+            net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
         let mut eng = Sim::new(net.topo.clone());
         let inputs: Vec<HostInput> = names.iter().map(|n| HostInput::new(n)).collect();
-        let run = EnvMapper::new(EnvConfig::fast())
-            .map(&mut eng, &inputs, &names[0], None)
-            .unwrap();
+        let run =
+            EnvMapper::new(EnvConfig::fast()).map(&mut eng, &inputs, &names[0], None).unwrap();
         let plan = plan_deployment(&run.view, &PlannerConfig::default());
         let report = validate_plan(&plan, &run.view, &net.topo);
         assert!(report.strictly_collision_free(), "{}", report.render());

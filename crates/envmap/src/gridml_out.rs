@@ -36,11 +36,17 @@ fn kind_to_type(kind: NetKind) -> NetworkType {
 fn env_net_to_network(net: &EnvNet) -> Network {
     let mut out = Network::new(Some(kind_to_type(net.kind)));
     out.label_name = Some(net.label.clone());
-    out.properties
-        .push(Property::with_units("ENV_base_BW", format!("{:.2}", net.base_bw_mbps), "Mbps"));
+    out.properties.push(Property::with_units(
+        "ENV_base_BW",
+        format!("{:.2}", net.base_bw_mbps),
+        "Mbps",
+    ));
     if let Some(local) = net.local_bw_mbps {
-        out.properties
-            .push(Property::with_units("ENV_base_local_BW", format!("{local:.2}"), "Mbps"));
+        out.properties.push(Property::with_units(
+            "ENV_base_local_BW",
+            format!("{local:.2}"),
+            "Mbps",
+        ));
     }
     if let Some(jam) = net.jam_ratio {
         out.properties.push(Property::new("ENV_jam_ratio", format!("{jam:.3}")));
@@ -96,9 +102,7 @@ pub fn view_from_gridml(doc: &GridDoc) -> Option<crate::net::EnvView> {
         for net in &site.networks {
             match net.net_type {
                 Some(NetworkType::Structural) => {
-                    if let Some(p) =
-                        net.properties.iter().find(|p| p.name == "ENV_master")
-                    {
+                    if let Some(p) = net.properties.iter().find(|p| p.name == "ENV_master") {
                         master = Some(p.value.clone());
                     }
                 }
@@ -117,13 +121,11 @@ impl EnvRun {
         // Group machines into sites.
         let mut sites: BTreeMap<String, Site> = BTreeMap::new();
         for m in &self.machines {
-            let site = sites
-                .entry(m.site.clone())
-                .or_insert_with(|| {
-                    let mut s = Site::new(&m.site);
-                    s.label = Some(m.site.to_uppercase().replace('.', "-"));
-                    s
-                });
+            let site = sites.entry(m.site.clone()).or_insert_with(|| {
+                let mut s = Site::new(&m.site);
+                s.label = Some(m.site.to_uppercase().replace('.', "-"));
+                s
+            });
             let mut machine = Machine::with_ip(&m.name, &m.ip.to_string());
             // The short name is an alias, as in the paper's lookup listing.
             if let Some(short) = m.name.split('.').next() {
@@ -150,9 +152,7 @@ impl EnvRun {
             structural.net_type = Some(NetworkType::Structural);
             // Record the vantage point so published maps can be re-imported
             // (paper §4.3's sharing scenario).
-            structural
-                .properties
-                .push(Property::new("ENV_master", self.master.clone()));
+            structural.properties.push(Property::new("ENV_master", self.master.clone()));
             if let Some(site) = sites.get_mut(&site_key) {
                 site.networks.push(structural);
                 for net in &self.view.networks {
@@ -189,9 +189,7 @@ mod tests {
         .iter()
         .map(|s| HostInput::new(s))
         .collect();
-        EnvMapper::new(EnvConfig::fast())
-            .map(&mut eng, &inputs, "sci0.popc.private", None)
-            .unwrap()
+        EnvMapper::new(EnvConfig::fast()).map(&mut eng, &inputs, "sci0.popc.private", None).unwrap()
     }
 
     /// Regenerates the paper's §4.2.2.4 ENV_Switched listing: the sci
@@ -211,14 +209,8 @@ mod tests {
             .flat_map(|s| s.networks.iter())
             .find(|n| n.net_type == Some(NetworkType::EnvSwitched))
             .expect("switched network present");
-        let bw: f64 = sw
-            .properties
-            .iter()
-            .find(|p| p.name == "ENV_base_BW")
-            .unwrap()
-            .value
-            .parse()
-            .unwrap();
+        let bw: f64 =
+            sw.properties.iter().find(|p| p.name == "ENV_base_BW").unwrap().value.parse().unwrap();
         assert!((bw - 32.65).abs() < 2.0, "base bw {bw}");
     }
 

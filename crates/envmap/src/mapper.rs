@@ -6,9 +6,9 @@ use gridml::Property;
 use netsim::prelude::*;
 use netsim::Engine;
 
-use crate::net::{EnvNet, EnvView};
 #[cfg(test)]
 use crate::net::NetKind;
+use crate::net::{EnvNet, EnvView};
 use crate::refine::{refine_cluster, RefHost, RefineParams};
 use crate::structural::{build_tree, clusters_with_gateways, StructNode};
 use crate::thresholds::EnvThresholds;
@@ -121,9 +121,7 @@ pub struct EnvRun {
 
 impl EnvRun {
     pub fn machine(&self, name: &str) -> Option<&MachineRecord> {
-        self.machines
-            .iter()
-            .find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
+        self.machines.iter().find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
     }
 }
 
@@ -265,12 +263,8 @@ fn resolve_host(topo: &Topology, input: &str) -> NetResult<MachineRecord> {
             (n, ip)
         }
         None => {
-            let ip: Ipv4 = input
-                .parse()
-                .map_err(|_| NetError::NameNotFound(input.to_string()))?;
-            let n = topo
-                .node_by_ip(ip)
-                .ok_or_else(|| NetError::NameNotFound(input.to_string()))?;
+            let ip: Ipv4 = input.parse().map_err(|_| NetError::NameNotFound(input.to_string()))?;
+            let n = topo.node_by_ip(ip).ok_or_else(|| NetError::NameNotFound(input.to_string()))?;
             (n, ip)
         }
     };
@@ -295,11 +289,12 @@ fn assemble_tree(
     // ties broken by first host name for determinism.
     let mut flat = flat;
     flat.sort_by(|a, b| {
-        a.0.len()
-            .cmp(&b.0.len())
-            .then_with(|| a.2.hosts.first().map(|h| h.name.clone()).cmp(
-                &b.2.hosts.first().map(|h| h.name.clone()),
-            ))
+        a.0.len().cmp(&b.0.len()).then_with(|| {
+            a.2.hosts
+                .first()
+                .map(|h| h.name.clone())
+                .cmp(&b.2.hosts.first().map(|h| h.name.clone()))
+        })
     });
 
     let mut roots: Vec<EnvNet> = Vec::new();
@@ -353,7 +348,7 @@ fn attach_under(nets: &mut [EnvNet], gw: &str, net: EnvNet) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::scenarios::{ens_lyon, random_campus, CampusParams, Calibration};
+    use netsim::scenarios::{ens_lyon, random_campus, Calibration, CampusParams};
     use netsim::Sim;
 
     fn outside_inputs() -> Vec<HostInput> {
@@ -428,9 +423,7 @@ mod tests {
         .map(|s| HostInput::new(s))
         .collect();
         let mapper = EnvMapper::new(EnvConfig::fast());
-        let run = mapper
-            .map(&mut eng, &inputs, "sci0.popc.private", None)
-            .unwrap();
+        let run = mapper.map(&mut eng, &inputs, "sci0.popc.private", None).unwrap();
 
         // sci1..6: switched cluster at ~32.65 Mbps.
         let sw = run.view.find_containing("sci1.popc.private").unwrap();
@@ -443,11 +436,7 @@ mod tests {
         assert_eq!(hub3.kind, NetKind::Shared);
         assert_eq!(hub3.via.as_deref(), Some("myri0.popc.private"));
         assert!((hub3.base_bw_mbps - 10.0).abs() < 1.0, "hub3 base {}", hub3.base_bw_mbps);
-        assert!(
-            hub3.local_bw_mbps.unwrap() > 80.0,
-            "hub3 local {:?}",
-            hub3.local_bw_mbps
-        );
+        assert!(hub3.local_bw_mbps.unwrap() > 80.0, "hub3 local {:?}", hub3.local_bw_mbps);
 
         // The gateways myri0 and popc0 form their own (shared) cluster.
         let hub2 = run.view.find_containing("myri0.popc.private").unwrap();
@@ -465,9 +454,7 @@ mod tests {
         assert!(mapper
             .map(&mut eng, &[HostInput::new("ghost.example")], "ghost.example", None)
             .is_err());
-        assert!(mapper
-            .map(&mut eng, &outside_inputs(), "not-in-list.example", None)
-            .is_err());
+        assert!(mapper.map(&mut eng, &outside_inputs(), "not-in-list.example", None).is_err());
     }
 
     #[test]
@@ -559,9 +546,8 @@ mod tests {
             .collect();
         let master_name = inputs[0].0.clone();
         let mapper = EnvMapper::new(EnvConfig::fast());
-        let run = mapper
-            .map(&mut eng, &inputs, &master_name, Some("well-known.example.org"))
-            .unwrap();
+        let run =
+            mapper.map(&mut eng, &inputs, &master_name, Some("well-known.example.org")).unwrap();
 
         // Every ground-truth LAN with ≥2 non-master members must appear as
         // one cluster with the right kind (for ≥3 members; 2-host LANs are
@@ -575,9 +561,10 @@ mod tests {
             if names.len() < 2 {
                 continue;
             }
-            let net = run.view.find_containing(&names[0]).unwrap_or_else(|| {
-                panic!("no cluster contains {}", names[0])
-            });
+            let net = run
+                .view
+                .find_containing(&names[0])
+                .unwrap_or_else(|| panic!("no cluster contains {}", names[0]));
             for n in &names {
                 assert!(net.hosts.contains(n), "{n} missing from its LAN cluster");
             }

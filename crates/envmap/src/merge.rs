@@ -26,7 +26,11 @@ use crate::net::{EnvNet, EnvView};
 
 /// Bidirectional name unification built from gateway aliases plus the
 /// machines' own interface aliases.
-fn canonical_map(outside: &EnvRun, inside: &EnvRun, gateways: &[GatewayAlias]) -> BTreeMap<String, String> {
+fn canonical_map(
+    outside: &EnvRun,
+    inside: &EnvRun,
+    gateways: &[GatewayAlias],
+) -> BTreeMap<String, String> {
     // Preference: a machine keeps its *inside* name, matching Figure 1(b)
     // which labels the gateways myri0/popc0/sci0.
     let mut canon: BTreeMap<String, String> = BTreeMap::new();
@@ -52,8 +56,7 @@ fn canon<'a>(map: &'a BTreeMap<String, String>, name: &'a str) -> &'a str {
 }
 
 fn canonicalize_net(net: &EnvNet, map: &BTreeMap<String, String>) -> EnvNet {
-    let mut hosts: Vec<String> =
-        net.hosts.iter().map(|h| canon(map, h).to_string()).collect();
+    let mut hosts: Vec<String> = net.hosts.iter().map(|h| canon(map, h).to_string()).collect();
     hosts.sort();
     hosts.dedup();
     EnvNet {
@@ -263,12 +266,17 @@ mod tests {
         let net = ens_lyon(Calibration::Paper);
         let mut eng = Sim::new(net.topo.clone());
         let mapper = EnvMapper::new(EnvConfig::fast());
-        let outside_hosts: Vec<HostInput> =
-            ["the-doors.ens-lyon.fr", "canaria.ens-lyon.fr", "moby.cri2000.ens-lyon.fr",
-             "myri.ens-lyon.fr", "popc.ens-lyon.fr", "sci.ens-lyon.fr"]
-                .iter()
-                .map(|s| HostInput::new(s))
-                .collect();
+        let outside_hosts: Vec<HostInput> = [
+            "the-doors.ens-lyon.fr",
+            "canaria.ens-lyon.fr",
+            "moby.cri2000.ens-lyon.fr",
+            "myri.ens-lyon.fr",
+            "popc.ens-lyon.fr",
+            "sci.ens-lyon.fr",
+        ]
+        .iter()
+        .map(|s| HostInput::new(s))
+        .collect();
         let outside = mapper
             .map(&mut eng, &outside_hosts, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
             .unwrap();
@@ -291,24 +299,25 @@ mod tests {
         let net = ens_lyon(Calibration::Paper);
         let mut eng = Sim::new(net.topo.clone());
         let mapper = EnvMapper::new(EnvConfig::fast());
-        let outside_hosts: Vec<HostInput> =
-            ["the-doors.ens-lyon.fr", "canaria.ens-lyon.fr", "moby.cri2000.ens-lyon.fr",
-             "myri.ens-lyon.fr", "popc.ens-lyon.fr", "sci.ens-lyon.fr"]
-                .iter()
-                .map(|s| HostInput::new(s))
-                .collect();
-        let outside = mapper
-            .map(&mut eng, &outside_hosts, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
-            .unwrap();
-        let inside_hosts: Vec<HostInput> = [
-            "sci0.popc.private",
-            "sci1.popc.private",
-            "sci2.popc.private",
-            "sci3.popc.private",
+        let outside_hosts: Vec<HostInput> = [
+            "the-doors.ens-lyon.fr",
+            "canaria.ens-lyon.fr",
+            "moby.cri2000.ens-lyon.fr",
+            "myri.ens-lyon.fr",
+            "popc.ens-lyon.fr",
+            "sci.ens-lyon.fr",
         ]
         .iter()
         .map(|s| HostInput::new(s))
         .collect();
+        let outside = mapper
+            .map(&mut eng, &outside_hosts, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
+            .unwrap();
+        let inside_hosts: Vec<HostInput> =
+            ["sci0.popc.private", "sci1.popc.private", "sci2.popc.private", "sci3.popc.private"]
+                .iter()
+                .map(|s| HostInput::new(s))
+                .collect();
         let inside = mapper.map(&mut eng, &inside_hosts, "sci0.popc.private", None).unwrap();
         let view = merge_runs(&outside, &inside, &paper_gateways());
         let sw = view.find_containing("sci1.popc.private").unwrap();

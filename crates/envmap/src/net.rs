@@ -162,15 +162,9 @@ impl EnvView {
     pub fn render(&self) -> String {
         fn rec(out: &mut String, net: &EnvNet, depth: usize) {
             let pad = "  ".repeat(depth);
-            let via = net
-                .via
-                .as_deref()
-                .map(|v| format!(" via {v}"))
-                .unwrap_or_default();
-            let local = net
-                .local_bw_mbps
-                .map(|l| format!(", local {l:.2} Mbps"))
-                .unwrap_or_default();
+            let via = net.via.as_deref().map(|v| format!(" via {v}")).unwrap_or_default();
+            let local =
+                net.local_bw_mbps.map(|l| format!(", local {l:.2} Mbps")).unwrap_or_default();
             out.push_str(&format!(
                 "{pad}[{}] {}{} (base {:.2} Mbps{}): {}\n",
                 net.kind,

@@ -127,9 +127,7 @@ pub fn refine_cluster<M>(
     // Split by the 3× ratio on the sorted rates (adjacent-ratio chaining:
     // a gap larger than the threshold starts a new group).
     rated.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then_with(|| a.0.name.cmp(&b.0.name))
+        b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.name.cmp(&b.0.name))
     });
     let mut groups: Vec<Vec<(RefHost, f64)>> = Vec::new();
     for (h, bw) in rated {
@@ -352,10 +350,7 @@ mod tests {
         net.hosts
             .iter()
             .filter(|n| !skip_master || **n != net.master)
-            .map(|n| RefHost {
-                name: format!("h{}", n.index()),
-                node: *n,
-            })
+            .map(|n| RefHost { name: format!("h{}", n.index()), node: *n })
             .collect()
     }
 
@@ -373,8 +368,7 @@ mod tests {
         let mut eng = Sim::new(net.topo.clone());
         let hosts = hosts_of(&net, true);
         let mut stats = ProbeStats::default();
-        let refined =
-            refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        let refined = refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
         assert_eq!(refined.len(), 1, "hub must stay one cluster");
         assert_eq!(refined[0].kind, NetKind::Shared);
         assert!(refined[0].jam_ratio.unwrap() < 0.7);
@@ -388,8 +382,7 @@ mod tests {
         let mut eng = Sim::new(net.topo.clone());
         let hosts = hosts_of(&net, true);
         let mut stats = ProbeStats::default();
-        let refined =
-            refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
+        let refined = refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats);
         // The master's own port makes pairwise transfers interfere, which
         // keeps the cluster together; the jam test then reveals the switch.
         assert_eq!(refined.len(), 1, "switch must stay one cluster");
@@ -430,10 +423,8 @@ mod tests {
             .collect();
         let mut stats = ProbeStats::default();
         let refined = refine_cluster(&mut eng, master, &hosts, &quick_params(), &mut stats);
-        let names: Vec<Vec<&str>> = refined
-            .iter()
-            .map(|c| c.hosts.iter().map(|h| h.name.as_str()).collect())
-            .collect();
+        let names: Vec<Vec<&str>> =
+            refined.iter().map(|c| c.hosts.iter().map(|h| h.name.as_str()).collect()).collect();
         // The h2h threshold separates fast from slow; the fast pair stays
         // together (they share the master's port). The slow pair is then
         // split again by the pairwise test: behind independent 10 Mbps
@@ -458,10 +449,8 @@ mod tests {
         b.link(m, a, Bandwidth::mbps(100.0), Latency::micros(50.0));
         b.link(m, c, Bandwidth::mbps(100.0), Latency::micros(50.0));
         let mut eng = Sim::new(b.build().unwrap());
-        let hosts = vec![
-            RefHost { name: "a.x".into(), node: a },
-            RefHost { name: "c.x".into(), node: c },
-        ];
+        let hosts =
+            vec![RefHost { name: "a.x".into(), node: a }, RefHost { name: "c.x".into(), node: c }];
         let mut stats = ProbeStats::default();
         let refined = refine_cluster(&mut eng, m, &hosts, &quick_params(), &mut stats);
         assert_eq!(refined.len(), 2);
@@ -518,11 +507,8 @@ mod tests {
 
     #[test]
     fn components_helper() {
-        let adj = vec![
-            vec![false, true, false],
-            vec![true, false, false],
-            vec![false, false, false],
-        ];
+        let adj =
+            vec![vec![false, true, false], vec![true, false, false], vec![false, false, false]];
         let comps = connected_components(&adj);
         assert_eq!(comps, vec![vec![0, 1], vec![2]]);
     }

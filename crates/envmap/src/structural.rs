@@ -13,7 +13,6 @@
 //! the bandwidth phases will re-split if that proves too coarse (§4.3,
 //! "Dropped traceroute").
 
-
 use netsim::probes::TracerouteHop;
 
 /// A node of the structural tree: a router hop with the hosts whose exit
@@ -110,10 +109,7 @@ pub fn build_tree(paths: &[(String, Vec<TracerouteHop>)]) -> StructNode {
             let idx = match pos {
                 Some(i) => i,
                 None => {
-                    let insert_at = cur
-                        .children
-                        .binary_search_by(|c| c.key.cmp(k))
-                        .unwrap_err();
+                    let insert_at = cur.children.binary_search_by(|c| c.key.cmp(k)).unwrap_err();
                     cur.children.insert(insert_at, StructNode::new(k));
                     insert_at
                 }
@@ -172,10 +168,7 @@ mod tests {
     use netsim::Ipv4;
 
     fn hop(name: Option<&str>, ip: &str) -> TracerouteHop {
-        TracerouteHop {
-            ip: Some(ip.parse::<Ipv4>().unwrap()),
-            name: name.map(str::to_string),
-        }
+        TracerouteHop { ip: Some(ip.parse::<Ipv4>().unwrap()), name: name.map(str::to_string) }
     }
 
     fn silent() -> TracerouteHop {
@@ -220,9 +213,7 @@ mod tests {
         let clusters = tree.clusters();
         assert_eq!(clusters.len(), 2);
         // `c` sits directly under the root hop.
-        assert!(clusters
-            .iter()
-            .any(|(chain, hosts)| chain == &vec!["top"] && hosts == &vec!["c"]));
+        assert!(clusters.iter().any(|(chain, hosts)| chain == &vec!["top"] && hosts == &vec!["c"]));
         assert!(clusters
             .iter()
             .any(|(chain, hosts)| chain == &vec!["top", "r1"] && hosts == &vec!["a", "b"]));
@@ -278,7 +269,10 @@ mod tests {
                 .map(|n| {
                     (
                         n.to_string(),
-                        vec![hop(Some(&format!("r-{n}")), "10.0.0.1"), hop(Some("top"), "10.0.0.9")],
+                        vec![
+                            hop(Some(&format!("r-{n}")), "10.0.0.1"),
+                            hop(Some("top"), "10.0.0.9"),
+                        ],
                     )
                 })
                 .collect::<Vec<_>>()

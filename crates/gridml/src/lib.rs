@@ -175,9 +175,7 @@ impl Site {
     }
 
     pub fn machine_mut(&mut self, name: &str) -> Option<&mut Machine> {
-        self.machines
-            .iter_mut()
-            .find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
+        self.machines.iter_mut().find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
     }
 }
 
@@ -217,9 +215,7 @@ mod tests {
         site.label = Some("ENS-LYON-FR".to_string());
         let mut canaria = Machine::with_ip("canaria.ens-lyon.fr", "140.77.13.229");
         canaria.aliases.push("canaria".to_string());
-        canaria
-            .properties
-            .push(Property::with_units("CPU_clock", "198.951", "MHz"));
+        canaria.properties.push(Property::with_units("CPU_clock", "198.951", "MHz"));
         site.machines.push(canaria);
         let mut net = Network::new(Some(NetworkType::EnvSwitched));
         net.label_name = Some("sci0".to_string());

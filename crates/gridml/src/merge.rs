@@ -185,8 +185,7 @@ mod tests {
         let myri_out = merged.site("ens-lyon.fr").unwrap().machine("myri.ens-lyon.fr").unwrap();
         assert!(myri_out.aliases.contains(&"myri0.popc.private".to_string()));
         // Inside declaration gained the outside alias.
-        let myri_in =
-            merged.site("popc.private").unwrap().machine("myri0.popc.private").unwrap();
+        let myri_in = merged.site("popc.private").unwrap().machine("myri0.popc.private").unwrap();
         assert!(myri_in.aliases.contains(&"myri.ens-lyon.fr".to_string()));
         // Non-gateways untouched.
         let sci1 = merged.site("popc.private").unwrap().machine("sci1.popc.private").unwrap();

@@ -176,8 +176,8 @@ impl Parser {
             Some(Token::Open { name, attrs, self_closing }) if name == "MACHINE" => {
                 if self_closing {
                     // A bare reference used as a declaration: tolerate it.
-                    let name = attr(&attrs, "name")
-                        .ok_or_else(|| structure("<MACHINE/> without name"))?;
+                    let name =
+                        attr(&attrs, "name").ok_or_else(|| structure("<MACHINE/> without name"))?;
                     let mut m = Machine::new(&name);
                     m.ip = attr(&attrs, "ip");
                     return Ok(m);
@@ -222,9 +222,10 @@ impl Parser {
         let net_type = match self.next() {
             Some(Token::Open { name, attrs, self_closing: false }) if name == "NETWORK" => {
                 match attr(&attrs, "type") {
-                    Some(t) => Some(NetworkType::from_str_opt(&t).ok_or_else(|| {
-                        structure(format!("unknown network type {t:?}"))
-                    })?),
+                    Some(t) => Some(
+                        NetworkType::from_str_opt(&t)
+                            .ok_or_else(|| structure(format!("unknown network type {t:?}")))?,
+                    ),
                     None => None,
                 }
             }

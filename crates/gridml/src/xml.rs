@@ -40,13 +40,8 @@ pub fn unescape(s: &str) -> String {
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos..];
-        let known = [
-            ("&amp;", '&'),
-            ("&lt;", '<'),
-            ("&gt;", '>'),
-            ("&quot;", '"'),
-            ("&apos;", '\''),
-        ];
+        let known =
+            [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"'), ("&apos;", '\'')];
         if let Some((ent, ch)) = known.iter().find(|(e, _)| rest.starts_with(e)) {
             out.push(*ch);
             rest = &rest[ent.len()..];
@@ -112,9 +107,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, XmlError> {
                     continue;
                 }
                 if input[i..].starts_with("</") {
-                    let end = input[i..]
-                        .find('>')
-                        .ok_or_else(|| err(i, "unterminated closing tag"))?;
+                    let end =
+                        input[i..].find('>').ok_or_else(|| err(i, "unterminated closing tag"))?;
                     let name = input[i + 2..i + end].trim();
                     if name.is_empty() {
                         return Err(err(i, "empty closing tag"));
@@ -141,9 +135,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, XmlError> {
 /// Split `NAME attr="v" attr2="w"` into name and attribute pairs.
 fn parse_tag_body(body: &str) -> Result<(String, Vec<(String, String)>), String> {
     // Element name: up to whitespace.
-    let name_end = body
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(body.len());
+    let name_end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
     let name = body[..name_end].to_string();
     if name.is_empty() {
         return Err("empty tag name".to_string());
@@ -234,10 +226,7 @@ mod tests {
 
     #[test]
     fn open_tag_rendering() {
-        assert_eq!(
-            open_tag("LABEL", &[("name", "a<b")], true),
-            r#"<LABEL name="a&lt;b" />"#
-        );
+        assert_eq!(open_tag("LABEL", &[("name", "a<b")], true), r#"<LABEL name="a&lt;b" />"#);
         assert_eq!(open_tag("GRID", &[], false), "<GRID>");
     }
 

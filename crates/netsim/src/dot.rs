@@ -93,9 +93,6 @@ mod tests {
         assert!(dot.contains("SciSwitch"));
         assert!(dot.contains("Hub2"));
         // One node line per node.
-        assert_eq!(
-            dot.lines().filter(|l| l.contains("shape=")).count(),
-            net.topo.node_count()
-        );
+        assert_eq!(dot.lines().filter(|l| l.contains("shape=")).count(), net.topo.node_count());
     }
 }

@@ -18,12 +18,12 @@
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use crate::error::{NetError, NetResult};
-use crate::fairness::{allocate, path_resources, FairnessModel, FlowDemand, Resource};
+use crate::fairness::{FairEngine, FairnessModel, ResourceId};
 use crate::flow::{FlowId, FlowOutcome};
 use crate::routing::RouteTable;
 use crate::time::{SimTime, TimeDelta};
 use crate::topology::{NodeId, Topology};
-use crate::units::{Bandwidth, Bytes, Latency};
+use crate::units::{Bandwidth, Bytes};
 
 /// Identifier of a process (actor) registered with an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -86,18 +86,60 @@ pub struct EngineStats {
 
 #[derive(Debug)]
 struct ActiveFlow {
+    id: FlowId,
     src: NodeId,
     dst: NodeId,
-    resources: Vec<Resource>,
-    rate_cap: Option<Bandwidth>,
-    remaining: f64,
     bytes: Bytes,
+    /// Bytes left to drain as of `updated_at`. Flows drain *lazily*: the
+    /// count is only materialised when the flow's rate changes, so steady
+    /// clock advances touch no per-flow state.
+    remaining: f64,
+    updated_at: SimTime,
+    /// Current allocated rate in bytes/sec (mirror of the fairness
+    /// engine's committed rate; kept here for drain materialisation).
     rate: f64,
     started: SimTime,
     /// One-way forward + return latency, added after drain for the ack.
     ack_latency: TimeDelta,
     owner: Option<ProcessId>,
     tag: u64,
+    /// Bumped on every rate change. Completion-heap entries carry the value
+    /// they were pushed with, so stale projections are recognised and
+    /// discarded lazily instead of being searched for and removed.
+    push_seq: u32,
+}
+
+/// A projected flow completion. Entries are never removed eagerly: a rate
+/// change bumps the flow's `push_seq`, invalidating every older entry.
+#[derive(Debug, Clone, Copy)]
+struct CompEntry {
+    at: SimTime,
+    id: FlowId,
+    /// Fairness-engine key (= flow slot index) for O(1) validation.
+    key: u32,
+    seq: u32,
+}
+
+impl PartialEq for CompEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl Eq for CompEntry {}
+
+impl Ord for CompEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for the max-heap: earliest completion first, ties broken
+        // by flow id ascending (the order the old linear scan returned).
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for CompEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 enum EventKind<M> {
@@ -124,10 +166,7 @@ impl<M> Eq for QEntry<M> {}
 impl<M> Ord for QEntry<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -146,7 +185,21 @@ pub struct Core<M> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<QEntry<M>>,
-    flows: BTreeMap<FlowId, ActiveFlow>,
+    /// Flow id → fairness-engine key (also the `flow_slots` index).
+    flows: BTreeMap<FlowId, u32>,
+    /// Active flow state, indexed by fairness-engine key. Slots are
+    /// recycled by the fairness engine's freelist.
+    flow_slots: Vec<Option<ActiveFlow>>,
+    /// The incremental allocator: interned resources, per-resource user
+    /// counts, reusable scratch (see `fairness::FairEngine`).
+    fair: FairEngine,
+    /// Projected completions (lazy deletion; see [`CompEntry`]).
+    completions: BinaryHeap<CompEntry>,
+    /// Sum of all active flow rates, maintained incrementally so clock
+    /// advances update transfer stats in O(1) instead of O(flows).
+    total_rate: f64,
+    /// Reusable buffer for interned path extraction at flow start.
+    res_scratch: Vec<ResourceId>,
     next_flow: u64,
     next_timer: u64,
     finished: HashMap<FlowId, FlowOutcome>,
@@ -155,8 +208,6 @@ pub struct Core<M> {
     /// TCP window used to cap flow rates at `window / RTT`; `None` models
     /// well-tuned transfers that are never window-limited.
     tcp_window: Option<Bytes>,
-    /// The fluid bandwidth-sharing model (ablation hook; max-min default).
-    fairness: FairnessModel,
     stats: EngineStats,
     /// Owners of drained-but-not-yet-acked flows, so the ack event can
     /// notify them. `None` entries are probe flows.
@@ -175,48 +226,84 @@ impl<M> Core<M> {
         self.queue.push(QEntry { time, seq, kind });
     }
 
-    /// Drain bytes from all active flows up to instant `t` and advance the
-    /// clock.
+    /// Advance the clock to instant `t`. Flows drain lazily (their
+    /// `remaining` is only materialised on rate changes), so this is O(1):
+    /// the transfer statistic advances by the maintained aggregate rate.
     fn advance_to(&mut self, t: SimTime) {
         let dt = t.since(self.now).as_secs();
-        if dt > 0.0 {
-            for f in self.flows.values_mut() {
-                f.remaining -= f.rate * dt;
-                self.stats.bytes_transferred += f.rate * dt;
-            }
+        if dt > 0.0 && self.total_rate > 0.0 {
+            self.stats.bytes_transferred += self.total_rate * dt;
         }
         self.now = t;
     }
 
-    /// Recompute the max-min allocation for the current flow set. Must be
-    /// called after every change to the set.
+    /// Recompute the fair allocation for the current flow set. Must be
+    /// called after every change to the set. Only flows whose rate actually
+    /// changed are touched: their drain is materialised under the old
+    /// rate, the aggregate rate is adjusted, and a fresh completion
+    /// projection is pushed (invalidating older heap entries via
+    /// `push_seq`). Steady-state cost: O(changed), zero heap allocation.
     fn reallocate(&mut self) {
-        let demands: Vec<FlowDemand> = self
-            .flows
-            .values()
-            .map(|f| FlowDemand { resources: f.resources.clone(), rate_cap: f.rate_cap })
-            .collect();
-        let rates = allocate(&self.topo, &demands, self.fairness);
-        for (f, r) in self.flows.values_mut().zip(rates) {
-            f.rate = r.as_bytes_per_sec();
+        let now = self.now;
+        self.fair.reallocate();
+        for i in 0..self.fair.changed().len() {
+            let key = self.fair.changed()[i];
+            let new_rate = self.fair.rate(key);
+            let f =
+                self.flow_slots[key as usize].as_mut().expect("changed key refers to a live flow");
+            // Materialise the drain accrued under the old rate.
+            let dt = now.since(f.updated_at).as_secs();
+            if dt > 0.0 {
+                f.remaining -= f.rate * dt;
+            }
+            f.updated_at = now;
+            self.total_rate += new_rate - f.rate;
+            f.rate = new_rate;
+            f.push_seq = f.push_seq.wrapping_add(1);
+            if new_rate > 0.0 {
+                let at = now + TimeDelta::from_secs((f.remaining / new_rate).max(0.0));
+                self.completions.push(CompEntry { at, id: f.id, key, seq: f.push_seq });
+            }
+        }
+        if self.flows.is_empty() {
+            // Clear any accumulated floating-point drift while idle.
+            self.total_rate = 0.0;
+        }
+        // Bound the lazy-deletion heap: entries superseded deep in the
+        // heap (projected far in the future while a flow was near-stalled)
+        // are otherwise only discarded on reaching the top. Rebuilding in
+        // place when stale entries dominate keeps memory O(active flows)
+        // without per-event cost.
+        if self.completions.len() > 64 && self.completions.len() > 2 * self.flows.len() {
+            let mut entries = std::mem::take(&mut self.completions).into_vec();
+            entries.retain(|e| Self::completion_valid(&self.flow_slots, e));
+            // From<Vec> heapifies in place — no allocation.
+            self.completions = BinaryHeap::from(entries);
         }
     }
 
+    /// The lazy-deletion invariant: a heap entry is current iff its slot
+    /// still holds the same flow (recycled slots change `id`) at the same
+    /// `push_seq` (rate changes bump it).
+    fn completion_valid(flow_slots: &[Option<ActiveFlow>], e: &CompEntry) -> bool {
+        flow_slots
+            .get(e.key as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|f| f.id == e.id && f.push_seq == e.seq)
+    }
+
     /// Earliest instant at which some active flow finishes draining, under
-    /// current rates.
-    fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        let mut best: Option<(SimTime, FlowId)> = None;
-        for (id, f) in &self.flows {
-            if f.rate <= 0.0 {
-                continue;
+    /// current rates. Pops stale heap entries (superseded projections and
+    /// completed flows) and peeks the first valid one — amortised
+    /// O(log flows) against the old O(flows) scan per event.
+    fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        while let Some(top) = self.completions.peek() {
+            if Self::completion_valid(&self.flow_slots, top) {
+                return Some((top.at, top.id));
             }
-            let t = self.now + TimeDelta::from_secs((f.remaining / f.rate).max(0.0));
-            match best {
-                Some((bt, _)) if bt <= t => {}
-                _ => best = Some((t, *id)),
-            }
+            self.completions.pop();
         }
-        best
+        None
     }
 
     fn start_flow_inner(
@@ -238,34 +325,58 @@ impl<M> Core<M> {
         if !self.topo.allows(src, dst) {
             return Err(NetError::Firewalled { src, dst });
         }
-        let path = self.routes.path(src, dst)?;
-        let resources = path_resources(&self.topo, &path);
-        let fwd: Latency = path.latency(&self.topo);
-        let back: Latency = self.routes.path(dst, src)?.latency(&self.topo);
-        let ack_latency = TimeDelta::from_secs(fwd.as_secs() + back.as_secs());
+        // Interned path extraction: walk both directions without building a
+        // `Path`, accumulating latency and (forward only) resource ids into
+        // the reusable scratch buffer.
+        let mut res = std::mem::take(&mut self.res_scratch);
+        res.clear();
+        let mut fwd_secs = 0.0;
+        let mut back_secs = 0.0;
+        let walk = (|| -> NetResult<()> {
+            for (from, l) in self.routes.hops_rev(src, dst)? {
+                let link = self.topo.link(l);
+                fwd_secs += link.latency.as_secs();
+                res.push(self.fair.table().link_dir(l, link.a == from));
+            }
+            for (_, l) in self.routes.hops_rev(dst, src)? {
+                back_secs += self.topo.link(l).latency.as_secs();
+            }
+            Ok(())
+        })();
+        if let Err(e) = walk {
+            self.res_scratch = res;
+            return Err(e);
+        }
+        res.sort_unstable();
+        res.dedup();
+        let ack_latency = TimeDelta::from_secs(fwd_secs + back_secs);
         let rate_cap = self.tcp_window.map(|w| {
-            let rtt = (fwd.as_secs() + back.as_secs()).max(1e-9);
-            Bandwidth::bytes_per_sec(w.as_f64() / rtt)
+            let rtt = (fwd_secs + back_secs).max(1e-9);
+            w.as_f64() / rtt
         });
 
+        let key = self.fair.add_flow(&res, rate_cap);
+        self.res_scratch = res;
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.flows.insert(
+        if self.flow_slots.len() <= key as usize {
+            self.flow_slots.resize_with(key as usize + 1, || None);
+        }
+        self.flow_slots[key as usize] = Some(ActiveFlow {
             id,
-            ActiveFlow {
-                src,
-                dst,
-                resources,
-                rate_cap,
-                remaining: bytes.as_f64(),
-                bytes,
-                rate: 0.0,
-                started: self.now,
-                ack_latency,
-                owner,
-                tag,
-            },
-        );
+            src,
+            dst,
+            bytes,
+            remaining: bytes.as_f64(),
+            updated_at: self.now,
+            rate: 0.0,
+            started: self.now,
+            ack_latency,
+            owner,
+            tag,
+            push_seq: 0,
+        });
+        self.flows.insert(id, key);
         self.stats.flows_started += 1;
         self.reallocate();
         Ok(id)
@@ -274,7 +385,10 @@ impl<M> Core<M> {
     /// Complete a drained flow: record its outcome skeleton and schedule
     /// the ack event.
     fn complete_flow(&mut self, id: FlowId) {
-        let f = self.flows.remove(&id).expect("completing unknown flow");
+        let key = self.flows.remove(&id).expect("completing unknown flow");
+        let f = self.flow_slots[key as usize].take().expect("completing empty slot");
+        self.fair.remove_flow(key);
+        self.total_rate -= f.rate;
         let outcome = FlowOutcome {
             id,
             src: f.src,
@@ -363,11 +477,7 @@ impl<'a, M> Ctx<'a, M> {
     /// control messages are small and do not compete with bulk flows.
     pub fn send(&mut self, to: ProcessId, bytes: Bytes, msg: M) -> NetResult<()> {
         let src = self.my_node();
-        let dst = *self
-            .core
-            .proc_nodes
-            .get(to.index())
-            .ok_or(NetError::UnknownProcess(to.0))?;
+        let dst = *self.core.proc_nodes.get(to.index()).ok_or(NetError::UnknownProcess(to.0))?;
         self.core.stats.messages_sent += 1;
         let mut at = if src == dst {
             self.core.now
@@ -375,10 +485,9 @@ impl<'a, M> Ctx<'a, M> {
             if !self.core.topo.allows(src, dst) {
                 return Err(NetError::Firewalled { src, dst });
             }
-            let path = self.core.routes.path(src, dst)?;
-            let lat = path.latency(&self.core.topo).as_secs();
-            let bw = path.bottleneck(&self.core.topo).as_bytes_per_sec().max(1.0);
-            self.core.now + TimeDelta::from_secs(lat + bytes.as_f64() / bw)
+            let (lat, bw) = self.core.routes.latency_and_bottleneck(&self.core.topo, src, dst)?;
+            let bw = bw.as_bytes_per_sec().max(1.0);
+            self.core.now + TimeDelta::from_secs(lat.as_secs() + bytes.as_f64() / bw)
         };
         // FIFO per process pair: model the ordered TCP connection.
         if let Some(prev) = self.core.last_delivery.get(&(self.me, to)) {
@@ -416,8 +525,8 @@ impl<'a, M> Ctx<'a, M> {
     /// computation, *not* a probe — sensors use flows for real probes).
     pub fn static_rtt(&self, dst: NodeId) -> NetResult<TimeDelta> {
         let src = self.my_node();
-        let fwd = self.core.routes.path(src, dst)?.latency(&self.core.topo);
-        let back = self.core.routes.path(dst, src)?.latency(&self.core.topo);
+        let fwd = self.core.routes.latency(&self.core.topo, src, dst)?;
+        let back = self.core.routes.latency(&self.core.topo, dst, src)?;
         Ok(TimeDelta::from_secs(fwd.as_secs() + back.as_secs()))
     }
 }
@@ -427,6 +536,7 @@ impl<M> Engine<M> {
     /// here; call [`Engine::recompute_routes`] after link state changes.
     pub fn new(topo: Topology) -> Self {
         let routes = RouteTable::compute(&topo);
+        let fair = FairEngine::new(&topo, FairnessModel::default());
         Engine {
             core: Core {
                 topo,
@@ -435,13 +545,17 @@ impl<M> Engine<M> {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 flows: BTreeMap::new(),
+                flow_slots: Vec::new(),
+                fair,
+                completions: BinaryHeap::new(),
+                total_rate: 0.0,
+                res_scratch: Vec::new(),
                 next_flow: 0,
                 next_timer: 0,
                 finished: HashMap::new(),
                 cancelled_timers: HashSet::new(),
                 proc_nodes: Vec::new(),
                 tcp_window: None,
-                fairness: FairnessModel::default(),
                 stats: EngineStats::default(),
                 owner_of_finished: HashMap::new(),
                 last_delivery: HashMap::new(),
@@ -457,8 +571,9 @@ impl<M> Engine<M> {
     }
 
     /// Select the bandwidth-sharing model (ablation hook; max-min default).
+    /// Takes effect on the next flow-set change, as before.
     pub fn set_fairness_model(&mut self, model: FairnessModel) {
-        self.core.fairness = model;
+        self.core.fair.set_model(model);
     }
 
     /// Register a process on a host. Its `on_start` runs when the engine
@@ -473,7 +588,12 @@ impl<M> Engine<M> {
     }
 
     /// Start an ownerless flow (used by the probe API).
-    pub fn start_probe_flow(&mut self, src: NodeId, dst: NodeId, bytes: Bytes) -> NetResult<FlowId> {
+    pub fn start_probe_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: Bytes,
+    ) -> NetResult<FlowId> {
         self.core.start_flow_inner(src, dst, bytes, None, 0)
     }
 
@@ -507,6 +627,10 @@ impl<M> Engine<M> {
 
     pub fn recompute_routes(&mut self) {
         self.core.routes = RouteTable::compute(&self.core.topo);
+        // Capacity mutations through topo_mut() must reach the interned
+        // tables too; like the old from-scratch allocator, they take
+        // effect on the next reallocation.
+        self.core.fair.refresh_capacities(&self.core.topo);
     }
 
     pub fn routes(&self) -> &RouteTable {
@@ -531,7 +655,12 @@ impl<M> Engine<M> {
 
     /// Instantaneous allocated rate of an active flow (for tests).
     pub fn flow_rate(&self, id: FlowId) -> Option<Bandwidth> {
-        self.core.flows.get(&id).map(|f| Bandwidth::bytes_per_sec(f.rate))
+        self.core.flows.get(&id).map(|&key| {
+            let f = self.core.flow_slots[key as usize]
+                .as_ref()
+                .expect("flow map entry has a live slot");
+            Bandwidth::bytes_per_sec(f.rate)
+        })
     }
 
     fn dispatch(&mut self, kind: EventKind<M>) {
@@ -641,8 +770,7 @@ impl<M> Engine<M> {
         let limit = self.core.now + horizon;
         loop {
             let all_done = flows.iter().all(|f| {
-                self.core.finished.contains_key(f)
-                    && !self.core.owner_of_finished.contains_key(f)
+                self.core.finished.contains_key(f) && !self.core.owner_of_finished.contains_key(f)
             });
             if all_done {
                 return Ok(());
@@ -657,7 +785,7 @@ impl<M> Engine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::TopologyBuilder;
+    use crate::topology::{LinkMode, TopologyBuilder};
     use crate::units::Latency;
 
     fn two_hosts_hub() -> (Topology, NodeId, NodeId) {
@@ -983,6 +1111,39 @@ mod tests {
         assert!(e.process_alive(tx));
         e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
         assert!(seen.borrow().is_empty(), "dead processes receive nothing");
+    }
+
+    #[test]
+    fn capacity_mutation_reaches_allocator_after_recompute() {
+        // Failure injection: degrading a link through topo_mut must affect
+        // flows started after recompute_routes (the interned capacities
+        // are refreshed; the from-scratch allocator read them live).
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        let r = b.router("r.x", "10.0.1.1");
+        let l1 = b.link(a, r, Bandwidth::mbps(100.0), Latency::ZERO);
+        b.link(r, c, Bandwidth::mbps(100.0), Latency::ZERO);
+        let mut e: Sim = Engine::new(b.build().unwrap());
+
+        let f1 = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f1], TimeDelta::from_secs(60.0)).unwrap();
+        assert!(e.outcome(f1).unwrap().throughput().as_mbps() > 99.0);
+
+        // Degrade the first hop to 10 Mbps.
+        let link_id = l1;
+        if let LinkMode::FullDuplex { capacity_ab, capacity_ba } =
+            &mut e.topo_mut().link_mut(link_id).mode
+        {
+            *capacity_ab = Bandwidth::mbps(10.0);
+            *capacity_ba = Bandwidth::mbps(10.0);
+        }
+        e.recompute_routes();
+
+        let f2 = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f2], TimeDelta::from_secs(60.0)).unwrap();
+        let bw = e.outcome(f2).unwrap().throughput().as_mbps();
+        assert!(bw < 11.0, "degraded link must cap the flow, got {bw} Mbps");
     }
 
     #[test]

@@ -13,10 +13,16 @@
 //! modelled as a private resource.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::routing::Path;
 use crate::topology::{LinkId, LinkMode, MediumId, Topology};
 use crate::units::Bandwidth;
+
+/// Relative slack under which a resource counts as saturated (and absolute
+/// slack for rate caps). Shared by the reference allocator and the
+/// incremental [`FairEngine`] so both freeze identically.
+const EPS: f64 = 1e-7;
 
 /// A capacity-constrained entity flows compete for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -110,10 +116,7 @@ pub fn equal_share_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwi
     flows
         .iter()
         .map(|f| {
-            let mut rate = f
-                .rate_cap
-                .map(|c| c.as_bytes_per_sec())
-                .unwrap_or(f64::INFINITY);
+            let mut rate = f.rate_cap.map(|c| c.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
             for r in &f.resources {
                 let share = r.capacity(topo).as_bytes_per_sec() / users[r] as f64;
                 rate = rate.min(share);
@@ -182,17 +185,14 @@ pub fn max_min_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth>
             }
             rate[i] += delta;
             for r in &f.resources {
-                // Each unfrozen user consumed `delta` from the resource.
-                // Subtract once per user below instead of here to keep the
-                // bookkeeping O(refs): handled by the loop structure — we
-                // subtract here, per reference, which is exactly once per
-                // (flow, resource) pair.
+                // Each unfrozen user consumed `delta` of the resource, and
+                // resource lists are deduplicated, so this subtraction runs
+                // exactly once per (flow, resource) reference.
                 *remaining.get_mut(r).expect("resource was registered") -= delta;
             }
         }
 
         // Freeze flows on saturated resources or at their cap.
-        const EPS: f64 = 1e-7;
         let mut to_freeze = Vec::new();
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {
@@ -202,10 +202,7 @@ pub fn max_min_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth>
                 .resources
                 .iter()
                 .any(|r| remaining[r] <= EPS * r.capacity(topo).as_bytes_per_sec().max(1.0));
-            let capped = f
-                .rate_cap
-                .map(|c| rate[i] + EPS >= c.as_bytes_per_sec())
-                .unwrap_or(false);
+            let capped = f.rate_cap.map(|c| rate[i] + EPS >= c.as_bytes_per_sec()).unwrap_or(false);
             if saturated || capped {
                 to_freeze.push(i);
             }
@@ -228,6 +225,473 @@ pub fn max_min_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth>
     }
 
     rate.into_iter().map(Bandwidth::bytes_per_sec).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Incremental allocation engine
+// ---------------------------------------------------------------------------
+//
+// The reference allocators above rebuild `HashMap<Resource, _>` tables from
+// scratch for every call — fine as an oracle, quadratic-with-allocations as
+// the per-event hot path of the simulator. The types below replace them on
+// the hot path:
+//
+// * [`ResourceTable`] interns every [`Resource`] of a topology into a dense
+//   [`ResourceId`] once, so per-resource state lives in flat arrays;
+// * [`FairEngine`] keeps per-resource user counts incrementally as flows
+//   come and go, and reallocates into reusable scratch buffers — zero heap
+//   allocation in steady state.
+//
+// `FairEngine::reallocate` is algorithmically identical to
+// [`max_min_allocate`] / [`equal_share_allocate`] (same rounds, same
+// floating-point operation order, same freeze thresholds), which the
+// differential property suite below exploits: for random topologies and
+// random add/remove sequences the two must agree bit-for-bit (tested with a
+// tiny tolerance to stay robust to future refactors).
+
+/// Dense index of a [`Resource`] within a [`ResourceTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res{}", self.0)
+    }
+}
+
+/// Interns the resources of one topology: hub mediums first, then the two
+/// directions of every full-duplex link. Shared-mode (hub port) links map
+/// both directions to their hub's medium resource, so interning a path
+/// automatically collapses a hub crossed twice into one reference (after
+/// the caller sorts and dedups, as [`path_resources`] does for the oracle).
+#[derive(Debug, Clone)]
+pub struct ResourceTable {
+    /// `link_dir[link][0]` is the a→b direction, `[1]` the b→a direction.
+    link_dir: Vec<[ResourceId; 2]>,
+    capacity: Vec<f64>,
+    /// Precomputed freeze threshold `EPS * capacity.max(1.0)` — identical
+    /// to the oracle's per-round expression.
+    freeze_eps: Vec<f64>,
+    resources: Vec<Resource>,
+}
+
+impl ResourceTable {
+    pub fn new(topo: &Topology) -> Self {
+        let mut resources: Vec<Resource> =
+            Vec::with_capacity(topo.medium_count() + 2 * topo.link_count());
+        resources.extend(topo.mediums().map(|m| Resource::Medium(m.id)));
+        let mut link_dir = Vec::with_capacity(topo.link_count());
+        for link in topo.links() {
+            match link.mode {
+                LinkMode::Shared { medium } => {
+                    let r = ResourceId(medium.index() as u32);
+                    link_dir.push([r, r]);
+                }
+                LinkMode::FullDuplex { .. } => {
+                    let ab = ResourceId(resources.len() as u32);
+                    resources.push(Resource::LinkDir { link: link.id, from_a: true });
+                    let ba = ResourceId(resources.len() as u32);
+                    resources.push(Resource::LinkDir { link: link.id, from_a: false });
+                    link_dir.push([ab, ba]);
+                }
+            }
+        }
+        let capacity: Vec<f64> =
+            resources.iter().map(|r| r.capacity(topo).as_bytes_per_sec()).collect();
+        let freeze_eps: Vec<f64> = capacity.iter().map(|c| EPS * c.max(1.0)).collect();
+        ResourceTable { link_dir, capacity, freeze_eps, resources }
+    }
+
+    /// Number of distinct resources in the topology.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// The resource consumed by traversing `link` in the given direction.
+    pub fn link_dir(&self, link: LinkId, from_a: bool) -> ResourceId {
+        self.link_dir[link.index()][usize::from(!from_a)]
+    }
+
+    /// The resource of a hub's shared medium.
+    pub fn medium(&self, m: MediumId) -> ResourceId {
+        ResourceId(m.index() as u32)
+    }
+
+    /// The interned resource's identity (for diagnostics and tests).
+    pub fn resource(&self, r: ResourceId) -> Resource {
+        self.resources[r.index()]
+    }
+
+    /// Capacity in bytes/sec.
+    pub fn capacity(&self, r: ResourceId) -> f64 {
+        self.capacity[r.index()]
+    }
+
+    /// Intern a path's resource set (sorted, deduplicated) — the id-space
+    /// equivalent of [`path_resources`].
+    pub fn intern_path(&self, topo: &Topology, path: &Path, out: &mut Vec<ResourceId>) {
+        out.clear();
+        for (i, l) in path.links.iter().enumerate() {
+            let link = topo.link(*l);
+            out.push(self.link_dir(*l, path.nodes[i] == link.a));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// One flow registered with a [`FairEngine`]. Freed slots keep their
+/// resource vector so re-adding a flow in steady state allocates nothing.
+#[derive(Debug, Default)]
+struct FlowSlot {
+    resources: Vec<ResourceId>,
+    /// `f64::INFINITY` when uncapped.
+    cap: f64,
+    rate: f64,
+    alive: bool,
+}
+
+/// Reusable working memory for [`FairEngine::reallocate`]. All vectors are
+/// sized once (per-resource arrays) or grow to the high-water flow count
+/// (per-slot arrays), after which reallocation performs no heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per-resource remaining capacity; only entries of active resources
+    /// are (re)initialised each call.
+    remaining: Vec<f64>,
+    /// Per-resource count of *unfrozen* users this call.
+    unfrozen: Vec<u32>,
+    /// Resources still participating in the current progressive-filling
+    /// rounds; pruned as their last user freezes.
+    round: Vec<ResourceId>,
+    /// Per-slot working rate.
+    work: Vec<f64>,
+    /// Per-slot frozen flag.
+    frozen: Vec<bool>,
+    to_freeze: Vec<u32>,
+    /// Slots whose committed rate changed in the last reallocate.
+    changed: Vec<u32>,
+}
+
+/// Incrementally-maintained fair-allocation engine: the hot-path
+/// replacement for calling [`allocate`] from scratch on every flow change.
+///
+/// Flows are registered with [`add_flow`](Self::add_flow) (which returns a
+/// dense key) and dropped with [`remove_flow`](Self::remove_flow); both
+/// maintain per-resource user counts and the active-resource list, so
+/// [`reallocate`](Self::reallocate) touches only resources that currently
+/// carry flows and performs zero heap allocation in steady state.
+#[derive(Debug)]
+pub struct FairEngine {
+    table: ResourceTable,
+    model: FairnessModel,
+    /// Per-resource count of live flows crossing it.
+    users: Vec<u32>,
+    /// Resources with `users > 0` (unordered; `active_pos` locates them).
+    active: Vec<ResourceId>,
+    /// Position of each resource in `active`, or `u32::MAX`.
+    active_pos: Vec<u32>,
+    slots: Vec<FlowSlot>,
+    free: Vec<u32>,
+    /// Live keys in insertion order — the order rates are filled, matching
+    /// the oracle's demand-vector order for differential testing.
+    live: Vec<u32>,
+    scratch: Scratch,
+}
+
+impl FairEngine {
+    pub fn new(topo: &Topology, model: FairnessModel) -> Self {
+        let table = ResourceTable::new(topo);
+        let n = table.len();
+        FairEngine {
+            table,
+            model,
+            users: vec![0; n],
+            active: Vec::new(),
+            active_pos: vec![u32::MAX; n],
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: Vec::new(),
+            scratch: Scratch {
+                remaining: vec![0.0; n],
+                unfrozen: vec![0; n],
+                ..Scratch::default()
+            },
+        }
+    }
+
+    pub fn table(&self) -> &ResourceTable {
+        &self.table
+    }
+
+    pub fn model(&self) -> FairnessModel {
+        self.model
+    }
+
+    /// Switch the sharing model. Takes effect on the next reallocate, like
+    /// the from-scratch path did.
+    pub fn set_model(&mut self, model: FairnessModel) {
+        self.model = model;
+    }
+
+    /// Re-read resource capacities from the topology (whose structure must
+    /// be unchanged — links and mediums cannot be added or removed after
+    /// build). Call after mutating link or medium capacities for failure
+    /// injection; like the from-scratch path, the new values take effect on
+    /// the next reallocate.
+    pub fn refresh_capacities(&mut self, topo: &Topology) {
+        debug_assert_eq!(
+            self.table.link_dir.len(),
+            topo.link_count(),
+            "topology structure changed under the interner"
+        );
+        for (i, r) in self.table.resources.iter().enumerate() {
+            let cap = r.capacity(topo).as_bytes_per_sec();
+            self.table.capacity[i] = cap;
+            self.table.freeze_eps[i] = EPS * cap.max(1.0);
+        }
+    }
+
+    pub fn flow_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Committed rate (bytes/sec) of a registered flow.
+    pub fn rate(&self, key: u32) -> f64 {
+        self.slots[key as usize].rate
+    }
+
+    /// Live keys in allocation order.
+    pub fn live_keys(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// The resource list of a registered flow (sorted, deduplicated).
+    pub fn resources(&self, key: u32) -> &[ResourceId] {
+        &self.slots[key as usize].resources
+    }
+
+    /// Optional rate cap (bytes/sec) of a registered flow.
+    pub fn rate_cap(&self, key: u32) -> Option<f64> {
+        let cap = self.slots[key as usize].cap;
+        cap.is_finite().then_some(cap)
+    }
+
+    fn activate(&mut self, r: ResourceId) {
+        self.active_pos[r.index()] = self.active.len() as u32;
+        self.active.push(r);
+    }
+
+    fn deactivate(&mut self, r: ResourceId) {
+        let pos = self.active_pos[r.index()] as usize;
+        self.active.swap_remove(pos);
+        if let Some(&moved) = self.active.get(pos) {
+            self.active_pos[moved.index()] = pos as u32;
+        }
+        self.active_pos[r.index()] = u32::MAX;
+    }
+
+    /// Register a flow crossing the given resources (need not be sorted;
+    /// duplicates are collapsed). Returns the flow's dense key. Does not
+    /// reallocate — call [`reallocate`](Self::reallocate) after the batch
+    /// of changes.
+    pub fn add_flow(&mut self, resources: &[ResourceId], rate_cap: Option<f64>) -> u32 {
+        debug_assert!(
+            !resources.is_empty() || rate_cap.is_some(),
+            "flow without resources or cap has unbounded rate"
+        );
+        let key = match self.free.pop() {
+            Some(k) => k,
+            None => {
+                self.slots.push(FlowSlot::default());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[key as usize];
+        slot.resources.clear();
+        slot.resources.extend_from_slice(resources);
+        slot.resources.sort_unstable();
+        slot.resources.dedup();
+        slot.cap = rate_cap.unwrap_or(f64::INFINITY);
+        slot.rate = 0.0;
+        slot.alive = true;
+        self.live.push(key);
+        for i in 0..self.slots[key as usize].resources.len() {
+            let r = self.slots[key as usize].resources[i];
+            self.users[r.index()] += 1;
+            if self.users[r.index()] == 1 {
+                self.activate(r);
+            }
+        }
+        key
+    }
+
+    /// Drop a registered flow, releasing its resource references. The slot
+    /// (and its resource vector's capacity) is recycled by later adds.
+    pub fn remove_flow(&mut self, key: u32) {
+        let slot = &mut self.slots[key as usize];
+        assert!(slot.alive, "removing dead flow {key}");
+        slot.alive = false;
+        slot.rate = 0.0;
+        for i in 0..self.slots[key as usize].resources.len() {
+            let r = self.slots[key as usize].resources[i];
+            self.users[r.index()] -= 1;
+            if self.users[r.index()] == 0 {
+                self.deactivate(r);
+            }
+        }
+        let pos =
+            self.live.iter().position(|&k| k == key).expect("live list contains every alive flow");
+        // Ordered removal keeps allocation order stable for the remaining
+        // flows (and bit-for-bit agreement with the oracle's demand order).
+        self.live.remove(pos);
+        self.free.push(key);
+    }
+
+    /// Keys whose committed rate changed in the last
+    /// [`reallocate`](Self::reallocate) (for completion-time invalidation).
+    pub fn changed(&self) -> &[u32] {
+        &self.scratch.changed
+    }
+
+    /// Recompute all rates under the configured model. The keys whose
+    /// committed rate changed are readable via [`changed`](Self::changed).
+    /// Allocation-free once scratch has grown to the high-water flow count.
+    pub fn reallocate(&mut self) {
+        // Grow per-slot scratch to the slot high-water mark (no-ops in
+        // steady state).
+        let n_slots = self.slots.len();
+        if self.scratch.work.len() < n_slots {
+            self.scratch.work.resize(n_slots, 0.0);
+            self.scratch.frozen.resize(n_slots, false);
+        }
+        match self.model {
+            FairnessModel::MaxMin => self.reallocate_max_min(),
+            FairnessModel::BottleneckEqualShare => self.reallocate_equal_share(),
+        }
+        // Commit, collecting changed flows.
+        let s = &mut self.scratch;
+        s.changed.clear();
+        for &k in &self.live {
+            let slot = &mut self.slots[k as usize];
+            if s.work[k as usize] != slot.rate {
+                slot.rate = s.work[k as usize];
+                s.changed.push(k);
+            }
+        }
+    }
+
+    /// Progressive filling over interned resources — the same rounds, in
+    /// the same floating-point order, as [`max_min_allocate`].
+    fn reallocate_max_min(&mut self) {
+        let s = &mut self.scratch;
+        for &r in &self.active {
+            s.remaining[r.index()] = self.table.capacity[r.index()];
+            s.unfrozen[r.index()] = self.users[r.index()];
+        }
+        s.round.clear();
+        s.round.extend_from_slice(&self.active);
+        for &k in &self.live {
+            s.work[k as usize] = 0.0;
+            s.frozen[k as usize] = false;
+        }
+        let mut unfrozen_flows = self.live.len();
+
+        // Each round freezes at least one flow (or bails on numerical
+        // stagnation), so this terminates in <= live.len() rounds.
+        while unfrozen_flows > 0 {
+            // The uniform increment all unfrozen flows can still take,
+            // scanning only resources that still carry unfrozen users.
+            let mut delta = f64::INFINITY;
+            let mut i = 0;
+            while i < s.round.len() {
+                let r = s.round[i];
+                let u = s.unfrozen[r.index()];
+                if u == 0 {
+                    s.round.swap_remove(i);
+                    continue;
+                }
+                delta = delta.min(s.remaining[r.index()] / u as f64);
+                i += 1;
+            }
+            for &k in &self.live {
+                if s.frozen[k as usize] {
+                    continue;
+                }
+                let cap = self.slots[k as usize].cap;
+                if cap.is_finite() {
+                    delta = delta.min(cap - s.work[k as usize]);
+                }
+            }
+            debug_assert!(delta.is_finite(), "unfrozen flow with no binding constraint");
+            let delta = delta.max(0.0);
+
+            for &k in &self.live {
+                if s.frozen[k as usize] {
+                    continue;
+                }
+                s.work[k as usize] += delta;
+                for &r in &self.slots[k as usize].resources {
+                    s.remaining[r.index()] -= delta;
+                }
+            }
+
+            s.to_freeze.clear();
+            for &k in &self.live {
+                if s.frozen[k as usize] {
+                    continue;
+                }
+                let slot = &self.slots[k as usize];
+                let saturated = slot
+                    .resources
+                    .iter()
+                    .any(|r| s.remaining[r.index()] <= self.table.freeze_eps[r.index()]);
+                let capped = slot.cap.is_finite() && s.work[k as usize] + EPS >= slot.cap;
+                if saturated || capped {
+                    s.to_freeze.push(k);
+                }
+            }
+            if s.to_freeze.is_empty() {
+                // delta was 0 without progress — numerically stuck; stop
+                // raising rates (everything keeps its current share).
+                break;
+            }
+            for ti in 0..s.to_freeze.len() {
+                let k = s.to_freeze[ti];
+                s.frozen[k as usize] = true;
+                unfrozen_flows -= 1;
+                for &r in &self.slots[k as usize].resources {
+                    s.unfrozen[r.index()] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Flat-array equivalent of [`equal_share_allocate`]: every flow is
+    /// counted on every resource it crosses.
+    fn reallocate_equal_share(&mut self) {
+        let s = &mut self.scratch;
+        for &k in &self.live {
+            let slot = &self.slots[k as usize];
+            let mut rate = slot.cap;
+            for &r in &slot.resources {
+                let share = self.table.capacity[r.index()] / self.users[r.index()] as f64;
+                rate = rate.min(share);
+            }
+            debug_assert!(rate.is_finite(), "flow without resources or cap");
+            s.work[k as usize] = rate;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -392,8 +856,7 @@ mod tests {
         let net = Net { topo, routes };
         // Flow 1: a→c (crosses r1-r2). Flow 2: m→c (crosses r1-r2 too).
         // Flow 3: a→m (does not cross the bottleneck).
-        let flows =
-            vec![net.demand(a, c), net.demand(m, c), net.demand(a, m)];
+        let flows = vec![net.demand(a, c), net.demand(m, c), net.demand(a, m)];
         let rates = max_min_allocate(&net.topo, &flows);
         assert!((rates[0].as_mbps() - 5.0).abs() < 1e-6);
         assert!((rates[1].as_mbps() - 5.0).abs() < 1e-6);
@@ -437,6 +900,67 @@ mod tests {
         // The model selector dispatches correctly.
         let via_enum = allocate(&net.topo, &flows, FairnessModel::BottleneckEqualShare);
         assert_eq!(es, via_enum);
+    }
+
+    #[test]
+    fn resource_table_interns_every_resource() {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", mbps(10.0), Latency::micros(10.0));
+        let sw = b.switch("sw", mbps(100.0), Latency::micros(10.0));
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        b.attach(a, hub);
+        b.attach(c, sw);
+        let r = b.router("r.x", "10.0.1.1");
+        b.attach(r, hub);
+        b.attach(r, sw);
+        let topo = b.build().unwrap();
+        let table = ResourceTable::new(&topo);
+        // 1 medium + 2 directions for each of the 2 full-duplex switch
+        // ports; the 2 hub ports share the medium resource.
+        assert_eq!(table.len(), 5);
+        let routes = RouteTable::compute(&topo);
+        let path = routes.path(a, c).unwrap();
+        let mut ids = Vec::new();
+        table.intern_path(&topo, &path, &mut ids);
+        let plain = path_resources(&topo, &path);
+        assert_eq!(ids.len(), plain.len(), "interned set matches the oracle's");
+        // Same multiset of resources, same capacities.
+        let mut caps_interned: Vec<f64> = ids.iter().map(|&r| table.capacity(r)).collect();
+        let mut caps_plain: Vec<f64> =
+            plain.iter().map(|r| r.capacity(&topo).as_bytes_per_sec()).collect();
+        caps_interned.sort_by(f64::total_cmp);
+        caps_plain.sort_by(f64::total_cmp);
+        assert_eq!(caps_interned, caps_plain);
+        for &id in &ids {
+            assert!(plain.contains(&table.resource(id)));
+        }
+    }
+
+    #[test]
+    fn fair_engine_recycles_slots_without_leaking_users() {
+        let (net, h) = hub_net(3, 100.0);
+        let mut fe = FairEngine::new(&net.topo, FairnessModel::MaxMin);
+        let table = ResourceTable::new(&net.topo);
+        let mut ids = Vec::new();
+        let p = net.routes.path(h[0], h[1]).unwrap();
+        table.intern_path(&net.topo, &p, &mut ids);
+        let k1 = fe.add_flow(&ids, None);
+        let k2 = fe.add_flow(&ids, None);
+        fe.reallocate();
+        // Two flows on one 100 Mbps hub medium: 50 Mbps each.
+        assert!((fe.rate(k1) - mbps(50.0).as_bytes_per_sec()).abs() < 1.0);
+        assert!((fe.rate(k2) - mbps(50.0).as_bytes_per_sec()).abs() < 1.0);
+        assert_eq!(fe.flow_count(), 2);
+        fe.remove_flow(k1);
+        fe.reallocate();
+        // The lone survivor gets the whole medium back.
+        assert!((fe.rate(k2) - mbps(100.0).as_bytes_per_sec()).abs() < 1.0);
+        // The freed slot is recycled.
+        let k3 = fe.add_flow(&ids, None);
+        assert_eq!(k3, k1, "freelist reuses the freed key");
+        fe.reallocate();
+        assert!((fe.rate(k2) - mbps(50.0).as_bytes_per_sec()).abs() < 1.0);
     }
 
     #[cfg(test)]
@@ -550,6 +1074,109 @@ mod tests {
                         usage[res] >= cap * (1.0 - 1e-6)
                     });
                     prop_assert!(bottlenecked, "flow has slack everywhere");
+                }
+            }
+
+            /// Differential suite: the incremental [`FairEngine`] must
+            /// produce the same per-flow rates as the from-scratch oracle
+            /// after every step of a random add/remove sequence, on random
+            /// mixed hub+switch topologies, under both sharing models.
+            #[test]
+            fn incremental_engine_matches_oracle(
+                n_each in 2usize..5,
+                rate in 10.0f64..500.0,
+                // Each op: (src pick, dst pick, cap pick, remove?). cap 0 →
+                // uncapped, otherwise a cap between rate/8 and rate Mbps.
+                // remove=true drops the oldest live flow instead of adding.
+                ops in proptest::collection::vec(
+                    (0usize..12, 0usize..12, 0usize..8, proptest::bool::ANY),
+                    1..25
+                ),
+                equal_share in proptest::bool::ANY,
+            ) {
+                let (net, hosts) = mixed_net(n_each, rate);
+                let model = if equal_share {
+                    FairnessModel::BottleneckEqualShare
+                } else {
+                    FairnessModel::MaxMin
+                };
+                let mut fe = FairEngine::new(&net.topo, model);
+                let table = ResourceTable::new(&net.topo);
+                // Shadow state, keyed in the engine's live order.
+                let mut shadow: std::collections::HashMap<u32, FlowDemand> =
+                    std::collections::HashMap::new();
+                let mut ids = Vec::new();
+                let n = hosts.len();
+
+                for (s, d, cap_pick, remove) in ops {
+                    if remove && !shadow.is_empty() {
+                        // Remove the oldest live flow.
+                        let key = fe.live_keys()[0];
+                        fe.remove_flow(key);
+                        shadow.remove(&key);
+                    } else {
+                        let s = s % n;
+                        let d = d % n;
+                        if s == d {
+                            continue;
+                        }
+                        let mut demand = net.demand(hosts[s], hosts[d]);
+                        if cap_pick > 0 {
+                            demand.rate_cap = Some(mbps(cap_pick as f64 * rate / 8.0));
+                        }
+                        let p = net.routes.path(hosts[s], hosts[d]).unwrap();
+                        table.intern_path(&net.topo, &p, &mut ids);
+                        let key = fe.add_flow(
+                            &ids,
+                            demand.rate_cap.map(|c| c.as_bytes_per_sec()),
+                        );
+                        shadow.insert(key, demand);
+                    }
+                    fe.reallocate();
+
+                    // Oracle demands in the engine's allocation order.
+                    let demands: Vec<FlowDemand> = fe
+                        .live_keys()
+                        .iter()
+                        .map(|k| shadow[k].clone())
+                        .collect();
+                    let oracle = allocate(&net.topo, &demands, model);
+                    for (k, want) in fe.live_keys().iter().zip(&oracle) {
+                        let got = fe.rate(*k);
+                        let want = want.as_bytes_per_sec();
+                        prop_assert!(
+                            (got - want).abs() <= want.abs() * 1e-9 + 1e-9,
+                            "flow {k}: incremental {got} vs oracle {want} \
+                             ({} flows, model {model:?})",
+                            demands.len()
+                        );
+                    }
+                }
+            }
+
+            /// Interned path extraction agrees with [`path_resources`] on
+            /// identity and capacity for every host pair.
+            #[test]
+            fn interned_paths_match_oracle(
+                n_each in 2usize..5,
+                rate in 10.0f64..500.0,
+            ) {
+                let (net, hosts) = mixed_net(n_each, rate);
+                let table = ResourceTable::new(&net.topo);
+                let mut ids = Vec::new();
+                for &a in &hosts {
+                    for &b in &hosts {
+                        if a == b {
+                            continue;
+                        }
+                        let p = net.routes.path(a, b).unwrap();
+                        table.intern_path(&net.topo, &p, &mut ids);
+                        let plain = path_resources(&net.topo, &p);
+                        prop_assert_eq!(ids.len(), plain.len());
+                        for &id in &ids {
+                            prop_assert!(plain.contains(&table.resource(id)));
+                        }
+                    }
                 }
             }
         }

@@ -165,14 +165,8 @@ mod tests {
     #[test]
     fn class_networks() {
         assert_eq!(Ipv4::new(10, 1, 2, 3).class_network(), Ipv4::new(10, 0, 0, 0));
-        assert_eq!(
-            Ipv4::new(140, 77, 13, 229).class_network(),
-            Ipv4::new(140, 77, 0, 0)
-        );
-        assert_eq!(
-            Ipv4::new(192, 168, 81, 50).class_network(),
-            Ipv4::new(192, 168, 81, 0)
-        );
+        assert_eq!(Ipv4::new(140, 77, 13, 229).class_network(), Ipv4::new(140, 77, 0, 0));
+        assert_eq!(Ipv4::new(192, 168, 81, 50).class_network(), Ipv4::new(192, 168, 81, 0));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod units;
 
 pub use engine::{Ctx, Engine, NoMsg, Process, ProcessId, Sim};
 pub use error::{NetError, NetResult};
+pub use fairness::{FairEngine, FairnessModel, ResourceId, ResourceTable};
 pub use flow::{FlowId, FlowOutcome};
 pub use ip::Ipv4;
 pub use routing::{Path, RouteTable};

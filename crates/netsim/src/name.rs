@@ -49,10 +49,7 @@ impl Dns {
 
     /// All other names known to designate the same machine as `name`.
     pub fn aliases_of(&self, name: &str) -> Vec<String> {
-        self.aliases
-            .get(name)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default()
+        self.aliases.get(name).map(|s| s.iter().cloned().collect()).unwrap_or_default()
     }
 
     /// The DNS domain of a name: everything after the first dot. Returns
@@ -112,10 +109,7 @@ mod tests {
         d.register("popc.ens-lyon.fr", Ipv4::new(140, 77, 12, 52));
         d.register("popc0.popc.private", Ipv4::new(192, 168, 81, 51));
         d.add_alias("popc.ens-lyon.fr", "popc0.popc.private");
-        assert_eq!(
-            d.aliases_of("popc.ens-lyon.fr"),
-            vec!["popc0.popc.private".to_string()]
-        );
+        assert_eq!(d.aliases_of("popc.ens-lyon.fr"), vec!["popc0.popc.private".to_string()]);
         assert!(d.aliases_of("unknown").is_empty());
     }
 

@@ -74,29 +74,22 @@ impl<M> Engine<M> {
         pairs: &[(NodeId, NodeId)],
         bytes: Bytes,
     ) -> Vec<NetResult<Bandwidth>> {
-        let started: Vec<NetResult<crate::flow::FlowId>> = pairs
-            .iter()
-            .map(|(s, d)| self.start_probe_flow(*s, *d, bytes))
-            .collect();
+        let started: Vec<NetResult<crate::flow::FlowId>> =
+            pairs.iter().map(|(s, d)| self.start_probe_flow(*s, *d, bytes)).collect();
         let ids: Vec<_> = started.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
         if let Err(e) = self.run_until_flows_done(&ids, probe_horizon()) {
             // Horizon blown: report the error for every pending pair.
             return started
                 .into_iter()
                 .map(|r| match r {
-                    Ok(id) => self
-                        .outcome(id)
-                        .map(|o| o.throughput())
-                        .ok_or_else(|| e.clone()),
+                    Ok(id) => self.outcome(id).map(|o| o.throughput()).ok_or_else(|| e.clone()),
                     Err(e) => Err(e),
                 })
                 .collect();
         }
         started
             .into_iter()
-            .map(|r| {
-                r.map(|id| self.outcome(id).expect("awaited above").throughput())
-            })
+            .map(|r| r.map(|id| self.outcome(id).expect("awaited above").throughput()))
             .collect()
     }
 
@@ -219,8 +212,7 @@ mod tests {
     #[test]
     fn concurrent_probe_with_bad_pair_reports_error() {
         let (mut sim, a, c) = routed_net();
-        let res =
-            sim.measure_bandwidth_concurrent(&[(a, c), (a, a)], Bytes::kib(64));
+        let res = sim.measure_bandwidth_concurrent(&[(a, c), (a, a)], Bytes::kib(64));
         assert!(res[0].is_ok());
         assert!(matches!(res[1], Err(NetError::SelfProbe(_))));
     }

@@ -87,10 +87,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for min-heap behaviour. Ties are
         // broken by node id so route computation is fully deterministic.
-        other
-            .dist
-            .cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
+        other.dist.cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -159,6 +156,49 @@ impl RouteTable {
         self.reach[src.index()][dst.index()]
     }
 
+    /// Walk the directed route from `src` to `dst` in reverse hop order
+    /// without allocating: the iterator yields `(from_node, link)` for each
+    /// traversed link, starting at the destination. The engine's flow hot
+    /// path extracts interned resource ids and latencies through this
+    /// instead of materialising a [`Path`].
+    pub fn hops_rev(&self, src: NodeId, dst: NodeId) -> NetResult<HopsRev<'_>> {
+        if src != dst && !self.reachable(src, dst) {
+            return Err(NetError::Unreachable { src, dst });
+        }
+        Ok(HopsRev { prev: &self.prev[src.index()], src, cur: dst })
+    }
+
+    /// One-way latency of the directed route, computed without allocating.
+    pub fn latency(&self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Latency> {
+        let mut secs = 0.0;
+        for (_, l) in self.hops_rev(src, dst)? {
+            secs += topo.link(l).latency.as_secs();
+        }
+        Ok(Latency::secs(secs))
+    }
+
+    /// One-way latency and minimum directed capacity of the route, in one
+    /// allocation-free walk (the control-message delivery hot path).
+    pub fn latency_and_bottleneck(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> NetResult<(Latency, Bandwidth)> {
+        let mut secs = 0.0;
+        let mut min_cap: Option<Bandwidth> = None;
+        for (from, l) in self.hops_rev(src, dst)? {
+            let link = topo.link(l);
+            secs += link.latency.as_secs();
+            let cap = link.capacity_from(from, topo.mediums_internal());
+            min_cap = Some(match min_cap {
+                Some(m) => m.min(cap),
+                None => cap,
+            });
+        }
+        Ok((Latency::secs(secs), min_cap.unwrap_or(Bandwidth::ZERO)))
+    }
+
     /// The directed route from `src` to `dst`.
     pub fn path(&self, src: NodeId, dst: NodeId) -> NetResult<Path> {
         if src == dst {
@@ -171,8 +211,8 @@ impl RouteTable {
         let mut links = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (p, l) = self.prev[src.index()][cur.index()]
-                .expect("reachable implies a predecessor chain");
+            let (p, l) =
+                self.prev[src.index()][cur.index()].expect("reachable implies a predecessor chain");
             links.push(l);
             nodes.push(p);
             cur = p;
@@ -180,6 +220,26 @@ impl RouteTable {
         nodes.reverse();
         links.reverse();
         Ok(Path { nodes, links })
+    }
+}
+
+/// Allocation-free reverse walk of one route (see [`RouteTable::hops_rev`]).
+pub struct HopsRev<'a> {
+    prev: &'a [Option<(NodeId, LinkId)>],
+    src: NodeId,
+    cur: NodeId,
+}
+
+impl Iterator for HopsRev<'_> {
+    type Item = (NodeId, LinkId);
+
+    fn next(&mut self) -> Option<(NodeId, LinkId)> {
+        if self.cur == self.src {
+            return None;
+        }
+        let (p, l) = self.prev[self.cur.index()].expect("reachable implies a predecessor chain");
+        self.cur = p;
+        Some((p, l))
     }
 }
 
@@ -345,8 +405,7 @@ mod properties {
                 let router = b.router(&format!("r{r}.x"), &format!("10.{r}.0.1"));
                 b.link(router, root, Bandwidth::mbps(1000.0), Latency::micros(100.0));
                 for h in 0..*n_hosts {
-                    let host =
-                        b.host(&format!("h{h}.r{r}.x"), &format!("10.{r}.1.{}", h + 1));
+                    let host = b.host(&format!("h{h}.r{r}.x"), &format!("10.{r}.1.{}", h + 1));
                     b.link(host, router, Bandwidth::mbps(100.0), Latency::micros(50.0));
                     hosts.push(host);
                 }

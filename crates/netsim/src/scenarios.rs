@@ -295,12 +295,7 @@ pub fn asym_pair() -> GeneratedNet {
     b.set_weights(l2, 1.0, 50.0);
     b.set_weights(l3, 50.0, 1.0);
     b.set_weights(l4, 50.0, 1.0);
-    GeneratedNet {
-        topo: b.build().unwrap(),
-        hosts: vec![a, c],
-        master: a,
-        external: None,
-    }
+    GeneratedNet { topo: b.build().unwrap(), hosts: vec![a, c], master: a, external: None }
 }
 
 /// Parameters for [`random_campus`].
@@ -352,12 +347,10 @@ pub fn random_campus(seed: u64, params: &CampusParams) -> (GeneratedNet, CampusT
     let mut truth = Vec::new();
     for lan in 0..params.lans {
         let is_hub = rng.gen_range(0.0..1.0) < params.hub_fraction;
-        let rate_mbps =
-            params.lan_rates_mbps[rng.gen_range(0..params.lan_rates_mbps.len())];
+        let rate_mbps = params.lan_rates_mbps[rng.gen_range(0..params.lan_rates_mbps.len())];
         let rate = Bandwidth::mbps(rate_mbps);
         let n = rng.gen_range(params.hosts_per_lan.0..=params.hosts_per_lan.1);
-        let router =
-            b.router(&format!("gw{lan}.campus.net"), &format!("10.{}.0.1", lan + 1));
+        let router = b.router(&format!("gw{lan}.campus.net"), &format!("10.{}.0.1", lan + 1));
         b.link(router, backbone, Bandwidth::mbps(params.backbone_mbps), Latency::micros(100.0));
         let infra = if is_hub {
             b.hub(&format!("lan{lan}"), rate, Latency::micros(50.0))
@@ -367,10 +360,8 @@ pub fn random_campus(seed: u64, params: &CampusParams) -> (GeneratedNet, CampusT
         b.attach(router, infra);
         let mut members = Vec::new();
         for h in 0..n {
-            let host = b.host(
-                &format!("h{h}.lan{lan}.campus.net"),
-                &format!("10.{}.1.{}", lan + 1, h + 1),
-            );
+            let host = b
+                .host(&format!("h{h}.lan{lan}.campus.net"), &format!("10.{}.1.{}", lan + 1, h + 1));
             b.attach(host, infra);
             members.push(host);
             hosts.push(host);
@@ -493,19 +484,14 @@ mod tests {
         let mut sim = Sim::new(net.topo.clone());
         // From the ens-lyon.fr side: 140.77.13.1 then 192.168.254.1.
         let hops = sim.traceroute(net.the_doors, net.external).unwrap();
-        let ips: Vec<String> =
-            hops.iter().map(|h| h.ip.unwrap().to_string()).collect();
+        let ips: Vec<String> = hops.iter().map(|h| h.ip.unwrap().to_string()).collect();
         assert_eq!(ips, vec!["140.77.13.1", "192.168.254.1"]);
         // From the gateways: routlhpc, routeur-backbone, 192.168.254.1.
         let hops = sim.traceroute(net.myri0, net.external).unwrap();
         let names: Vec<Option<&str>> = hops.iter().map(|h| h.name.as_deref()).collect();
         assert_eq!(
             names,
-            vec![
-                Some("routlhpc.ens-lyon.fr"),
-                Some("routeur-backbone.ens-lyon.fr"),
-                None
-            ]
+            vec![Some("routlhpc.ens-lyon.fr"), Some("routeur-backbone.ens-lyon.fr"), None]
         );
     }
 
@@ -517,8 +503,7 @@ mod tests {
         let mut sim = Sim::new(net.topo.clone());
         let local = sim.measure_bandwidth(net.myri1, net.myri2, Bytes::mib(1)).unwrap();
         assert!((local.as_mbps() - 100.0).abs() < 2.0, "got {local}");
-        let from_master =
-            sim.measure_bandwidth(net.the_doors, net.myri0, Bytes::mib(1)).unwrap();
+        let from_master = sim.measure_bandwidth(net.the_doors, net.myri0, Bytes::mib(1)).unwrap();
         assert!((from_master.as_mbps() - 10.0).abs() < 0.3, "got {from_master}");
     }
 

@@ -132,10 +132,7 @@ impl Node {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LinkMode {
     /// Independent capacity in each direction.
-    FullDuplex {
-        capacity_ab: Bandwidth,
-        capacity_ba: Bandwidth,
-    },
+    FullDuplex { capacity_ab: Bandwidth, capacity_ba: Bandwidth },
     /// The link is a port on a hub: its capacity is the hub's shared
     /// medium, consumed once per flow regardless of direction.
     Shared { medium: MediumId },
@@ -254,6 +251,12 @@ impl Topology {
         self.links.len()
     }
 
+    /// Number of hub mediums — the dense id space `MediumId` indexes, used
+    /// by the allocator's resource interner to pre-size its tables.
+    pub fn medium_count(&self) -> usize {
+        self.mediums.len()
+    }
+
     /// All end hosts (kind `Host`).
     pub fn hosts(&self) -> impl Iterator<Item = &Node> {
         self.nodes.iter().filter(|n| n.kind == NodeKind::Host)
@@ -286,10 +289,7 @@ impl Topology {
 
     /// Find the node owning an interface with the given address.
     pub fn node_by_ip(&self, ip: Ipv4) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .find(|n| n.ifaces.iter().any(|i| i.ip == ip))
-            .map(|n| n.id)
+        self.nodes.iter().find(|n| n.ifaces.iter().any(|i| i.ip == ip)).map(|n| n.id)
     }
 
     /// The interface of node `n` bound to link `l` (used by traceroute to
@@ -315,6 +315,20 @@ impl Topology {
     /// must be recomputed afterwards.
     pub fn set_link_up(&mut self, l: LinkId, up: bool) {
         self.links[l.index()].up = up;
+    }
+
+    /// Mutable link access for failure injection (e.g. degrading a
+    /// direction's capacity). Call `Engine::recompute_routes` afterwards so
+    /// routing and the allocator's interned capacity tables pick up the
+    /// change.
+    pub fn link_mut(&mut self, l: LinkId) -> &mut Link {
+        &mut self.links[l.index()]
+    }
+
+    /// Mutable medium access for failure injection (e.g. degrading a hub).
+    /// Call `Engine::recompute_routes` afterwards, as for [`link_mut`](Self::link_mut).
+    pub fn medium_mut(&mut self, m: MediumId) -> &mut Medium {
+        &mut self.mediums[m.index()]
     }
 
     pub(crate) fn mediums_internal(&self) -> &[Medium] {
@@ -457,7 +471,12 @@ impl TopologyBuilder {
     }
 
     /// A layer-2 switch whose ports default to the given capacity/latency.
-    pub fn switch(&mut self, label: &str, port_capacity: Bandwidth, port_latency: Latency) -> NodeId {
+    pub fn switch(
+        &mut self,
+        label: &str,
+        port_capacity: Bandwidth,
+        port_latency: Latency,
+    ) -> NodeId {
         let id = self.push_node(Node {
             id: NodeId(0),
             kind: NodeKind::Switch,
@@ -466,10 +485,8 @@ impl TopologyBuilder {
             forwards: true,
             responds_to_traceroute: false,
         });
-        self.infra.insert(
-            id,
-            InfraSpec { capacity: port_capacity, latency: port_latency, medium: None },
-        );
+        self.infra
+            .insert(id, InfraSpec { capacity: port_capacity, latency: port_latency, medium: None });
         id
     }
 
@@ -485,10 +502,7 @@ impl TopologyBuilder {
             forwards: true,
             responds_to_traceroute: false,
         });
-        self.infra.insert(
-            id,
-            InfraSpec { capacity, latency: port_latency, medium: Some(medium) },
-        );
+        self.infra.insert(id, InfraSpec { capacity, latency: port_latency, medium: Some(medium) });
         id
     }
 
@@ -518,10 +532,7 @@ impl TopologyBuilder {
             .unwrap_or_else(|| panic!("attach target {infra} is not a hub or switch"));
         let mode = match spec.medium {
             Some(m) => LinkMode::Shared { medium: m },
-            None => LinkMode::FullDuplex {
-                capacity_ab: spec.capacity,
-                capacity_ba: spec.capacity,
-            },
+            None => LinkMode::FullDuplex { capacity_ab: spec.capacity, capacity_ba: spec.capacity },
         };
         self.push_link(node, iface, infra, 0, spec.latency, mode, 1.0, 1.0)
     }
@@ -695,8 +706,7 @@ impl TopologyBuilder {
 
         let mut dns = Dns::new();
         for n in &nodes {
-            let names: Vec<&str> =
-                n.ifaces.iter().filter_map(|i| i.name.as_deref()).collect();
+            let names: Vec<&str> = n.ifaces.iter().filter_map(|i| i.name.as_deref()).collect();
             for i in &n.ifaces {
                 if let Some(name) = &i.name {
                     dns.register(name, i.ip);
@@ -711,9 +721,8 @@ impl TopologyBuilder {
             }
         }
         for (alias, canonical) in &extra_aliases {
-            let ip = dns
-                .lookup(canonical)
-                .ok_or_else(|| NetError::NameNotFound(canonical.clone()))?;
+            let ip =
+                dns.lookup(canonical).ok_or_else(|| NetError::NameNotFound(canonical.clone()))?;
             dns.register(alias, ip);
             dns.add_alias(canonical, alias);
             dns.add_alias(alias, canonical);
@@ -828,10 +837,7 @@ mod tests {
         b.host("a.example.net", "10.0.0.1");
         b.dns_alias("alias.example.net", "a.example.net");
         let t = b.build().unwrap();
-        assert_eq!(
-            t.dns().lookup("alias.example.net"),
-            Some("10.0.0.1".parse().unwrap())
-        );
+        assert_eq!(t.dns().lookup("alias.example.net"), Some("10.0.0.1".parse().unwrap()));
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Verifies the incremental fairness engine's zero-allocation guarantee:
+//! once its scratch buffers have grown to the workload's high-water mark,
+//! steady-state reallocation must not touch the heap at all, and the full
+//! simulator must stay within a small constant allocation budget per event
+//! (map bookkeeping), never the old O(flows) clones.
+//!
+//! Everything runs inside a single #[test] so no concurrent test pollutes
+//! the global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netsim::fairness::{FairEngine, FairnessModel, ResourceTable};
+use netsim::prelude::*;
+use netsim::routing::RouteTable;
+use netsim::Sim;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Only the measuring (test) thread opts in, so allocations from
+    // libtest's auxiliary threads never pollute the counter.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_here() -> bool {
+    COUNTING.try_with(|c| c.get()).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if count_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if count_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A star switch with `n` hosts.
+fn star(n: usize) -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.switch("sw", Bandwidth::mbps(100.0), Latency::micros(20.0));
+    let hosts: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let h = b.host(&format!("h{i}.x"), &format!("10.0.{}.{}", i / 250, i % 250 + 1));
+            b.attach(h, sw);
+            h
+        })
+        .collect();
+    (b.build().unwrap(), hosts)
+}
+
+#[test]
+fn steady_state_reallocate_does_not_allocate() {
+    COUNTING.with(|c| c.set(true));
+
+    // --- FairEngine in isolation: strictly zero allocations ------------
+    let (topo, hosts) = star(32);
+    let routes = RouteTable::compute(&topo);
+    let table = ResourceTable::new(&topo);
+    let mut fe = FairEngine::new(&topo, FairnessModel::MaxMin);
+
+    let mut ids = Vec::new();
+    let mut keys = Vec::new();
+    for i in 0..128usize {
+        let p = routes.path(hosts[i % 32], hosts[(i + 7) % 32]).unwrap();
+        table.intern_path(&topo, &p, &mut ids);
+        let cap = (i % 5 == 0).then_some(2_000_000.0);
+        keys.push(fe.add_flow(&ids, cap));
+    }
+    // Warm-up: grows scratch to the high-water mark.
+    fe.reallocate();
+
+    let before = allocations();
+    for _ in 0..100 {
+        fe.reallocate();
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state FairEngine::reallocate must not allocate, saw {delta} \
+         allocations over 100 calls"
+    );
+
+    // Churn (remove + re-add) must also be allocation-free: freed slots
+    // keep their resource vectors and the live list shrinks in place.
+    let p = routes.path(hosts[3], hosts[19]).unwrap();
+    table.intern_path(&topo, &p, &mut ids);
+    let n_keys = keys.len();
+    // One warm-up round so the freelist vector exists (its first push is a
+    // one-time allocation, not steady state).
+    fe.remove_flow(keys[n_keys - 1]);
+    fe.reallocate();
+    keys[n_keys - 1] = fe.add_flow(&ids, None);
+    fe.reallocate();
+    let before = allocations();
+    for round in 0..100 {
+        let victim = keys[round % n_keys];
+        fe.remove_flow(victim);
+        fe.reallocate();
+        let k = fe.add_flow(&ids, None);
+        fe.reallocate();
+        keys[round % n_keys] = k;
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state flow churn must not allocate, saw {delta} allocations \
+         over 100 remove/add rounds"
+    );
+
+    // --- Full simulator: small constant budget per event ---------------
+    // The engine proper still does id-map and outcome bookkeeping per
+    // completion (BTreeMap/HashMap nodes), but must stay within a small
+    // constant — the old from-scratch path cloned every flow's resource
+    // vector and rebuilt two hash tables per event (~3 allocations per
+    // active flow per event; >700/event at this scale).
+    let (topo, hosts) = star(32);
+    let run = |events: u64| -> u64 {
+        let mut sim = Sim::new(topo.clone());
+        let flows: Vec<FlowId> = (0..256usize)
+            .map(|i| {
+                sim.start_probe_flow(hosts[i % 32], hosts[(i + 9) % 32], Bytes::mib(4)).unwrap()
+            })
+            .collect();
+        let before = allocations();
+        sim.run_until_flows_done(&flows, TimeDelta::from_secs(36_000.0)).unwrap();
+        let _ = events;
+        allocations() - before
+    };
+    // 256 flows → 256 completions + 256 acks ≈ 512 events.
+    let total = run(512);
+    let per_event = total as f64 / 512.0;
+    assert!(
+        per_event < 32.0,
+        "expected small constant allocation budget per event, got {per_event:.1} \
+         ({total} allocations over ~512 events)"
+    );
+}

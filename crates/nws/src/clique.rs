@@ -118,13 +118,7 @@ mod tests {
 
     fn membership(k: usize, me: usize) -> CliqueMembership {
         let members: Vec<(ProcessId, String, NodeId)> = (0..k)
-            .map(|i| {
-                (
-                    ProcessId::from_raw(i as u32),
-                    format!("h{i}.x"),
-                    NodeId::from_raw(i as u32),
-                )
-            })
+            .map(|i| (ProcessId::from_raw(i as u32), format!("h{i}.x"), NodeId::from_raw(i as u32)))
             .collect();
         CliqueMembership::new(
             "c0",

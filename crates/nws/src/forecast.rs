@@ -80,7 +80,12 @@ pub struct SlidingMean {
 impl SlidingMean {
     pub fn new(k: usize) -> Self {
         assert!(k > 0);
-        SlidingMean { window: VecDeque::with_capacity(k), k, sum: 0.0, name: format!("SW_AVG({k})") }
+        SlidingMean {
+            window: VecDeque::with_capacity(k),
+            k,
+            sum: 0.0,
+            name: format!("SW_AVG({k})"),
+        }
     }
 }
 

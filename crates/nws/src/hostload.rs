@@ -103,9 +103,8 @@ mod tests {
     fn bursts_depress_availability() {
         // With bursts disabled the mean sits near 0.9; with frequent
         // bursts it must drop noticeably.
-        let mean = |mut m: HostLoadModel| -> f64 {
-            (0..3000).map(|_| m.sample()).sum::<f64>() / 3000.0
-        };
+        let mean =
+            |mut m: HostLoadModel| -> f64 { (0..3000).map(|_| m.sample()).sum::<f64>() / 3000.0 };
         let idle = mean(HostLoadModel::with_burst_prob(5, 0.0));
         let busy = mean(HostLoadModel::with_burst_prob(5, 0.2));
         assert!(idle > 0.85, "idle mean {idle}");

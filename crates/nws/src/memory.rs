@@ -43,10 +43,7 @@ pub struct MemoryServer {
 impl MemoryServer {
     pub fn new(name: &str, ns: ProcessId, capacity: usize) -> (Self, MemoryHandle) {
         let store = Rc::new(RefCell::new(MemoryStore::default()));
-        (
-            MemoryServer { name: name.to_string(), ns, capacity, store: store.clone() },
-            store,
-        )
+        (MemoryServer { name: name.to_string(), ns, capacity, store: store.clone() }, store)
     }
 }
 

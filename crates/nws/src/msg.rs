@@ -93,23 +93,47 @@ pub enum ServerKind {
 pub enum NwsMsg {
     // ---- name server directory -----------------------------------------
     /// A server announces itself (step Δ of Figure §2.1).
-    Register { name: String, kind: ServerKind },
+    Register {
+        name: String,
+        kind: ServerKind,
+    },
     /// A series announces which memory server stores it.
-    RegisterSeries { key: SeriesKey, memory: netsim::ProcessId },
+    RegisterSeries {
+        key: SeriesKey,
+        memory: netsim::ProcessId,
+    },
     /// Where is the memory in charge of `key`? (step 2)
-    WhereIs { key: SeriesKey },
-    WhereIsReply { key: SeriesKey, memory: Option<netsim::ProcessId> },
+    WhereIs {
+        key: SeriesKey,
+    },
+    WhereIsReply {
+        key: SeriesKey,
+        memory: Option<netsim::ProcessId>,
+    },
 
     // ---- memory ----------------------------------------------------------
     /// A sensor stores one measurement.
-    Store { key: SeriesKey, t: f64, value: f64 },
+    Store {
+        key: SeriesKey,
+        t: f64,
+        value: f64,
+    },
     /// A forecaster fetches the history of a series (step 3).
-    Fetch { key: SeriesKey },
-    FetchReply { key: SeriesKey, points: Vec<(f64, f64)> },
+    Fetch {
+        key: SeriesKey,
+    },
+    FetchReply {
+        key: SeriesKey,
+        points: Vec<(f64, f64)>,
+    },
 
     // ---- clique token ring (paper §2.3, [23]) -----------------------------
     /// The measurement token: only the holder may run experiments.
-    Token { clique: String, seq: u64, round: u64 },
+    Token {
+        clique: String,
+        seq: u64,
+        round: u64,
+    },
 
     // ---- host-level measurement locks (the paper's §6 proposal:
     // "a possibility to lock hosts (and not networks) is still needed") ----
@@ -121,8 +145,13 @@ pub enum NwsMsg {
     LockRelease,
 
     // ---- client query path (steps 1 and 4) --------------------------------
-    Query { key: SeriesKey },
-    QueryReply { key: SeriesKey, forecast: Option<Forecast> },
+    Query {
+        key: SeriesKey,
+    },
+    QueryReply {
+        key: SeriesKey,
+        forecast: Option<Forecast>,
+    },
 }
 
 impl NwsMsg {
@@ -167,10 +196,8 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_history() {
-        let small = NwsMsg::FetchReply {
-            key: SeriesKey::host(Resource::CpuLoad, "a"),
-            points: vec![],
-        };
+        let small =
+            NwsMsg::FetchReply { key: SeriesKey::host(Resource::CpuLoad, "a"), points: vec![] };
         let big = NwsMsg::FetchReply {
             key: SeriesKey::host(Resource::CpuLoad, "a"),
             points: vec![(0.0, 0.0); 100],

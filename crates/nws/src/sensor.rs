@@ -352,8 +352,7 @@ impl Sensor {
 
 impl Process<NwsMsg> for Sensor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
-        let reg =
-            NwsMsg::Register { name: self.cfg.host_name.clone(), kind: ServerKind::Sensor };
+        let reg = NwsMsg::Register { name: self.cfg.host_name.clone(), kind: ServerKind::Sensor };
         let size = reg.wire_size();
         let _ = ctx.send(self.cfg.ns, size, reg);
 
@@ -392,14 +391,13 @@ impl Process<NwsMsg> for Sensor {
             NwsMsg::LockGrant => {
                 self.begin_locked_probe(ctx, from);
             }
-            NwsMsg::LockRelease
-                if self.granted_to == Some(from) => {
-                    self.granted_to = None;
-                    if let Some(t) = self.grant_expiry.take() {
-                        ctx.cancel_timer(t);
-                    }
-                    self.service_grants(ctx);
+            NwsMsg::LockRelease if self.granted_to == Some(from) => {
+                self.granted_to = None;
+                if let Some(t) = self.grant_expiry.take() {
+                    ctx.cancel_timer(t);
                 }
+                self.service_grants(ctx);
+            }
             _ => {}
         }
     }
@@ -469,11 +467,7 @@ impl Process<NwsMsg> for Sensor {
         match probe.kind {
             ProbeKind::Latency => {
                 let rtt_ms = outcome.duration().as_millis();
-                self.store(
-                    ctx,
-                    SeriesKey::link(Resource::Latency, &host, &probe.peer),
-                    rtt_ms,
-                );
+                self.store(ctx, SeriesKey::link(Resource::Latency, &host, &probe.peer), rtt_ms);
                 // Connect time derived as 1.5 RTT (three-way handshake)
                 // instead of a third probe.
                 self.store(

@@ -78,10 +78,7 @@ impl Process<NwsMsg> for ForecasterServer {
                 };
                 if let Some(clients) = self.waiting.remove(&key) {
                     for c in clients {
-                        let r = NwsMsg::QueryReply {
-                            key: key.clone(),
-                            forecast: forecast.clone(),
-                        };
+                        let r = NwsMsg::QueryReply { key: key.clone(), forecast: forecast.clone() };
                         let size = r.wire_size();
                         let _ = ctx.send(c, size, r);
                     }
@@ -221,9 +218,7 @@ impl NwsSystem {
         let resolve = |eng: &Engine<NwsMsg>, name: &str| -> NetResult<NodeId> {
             eng.topo()
                 .node_by_name(name)
-                .or_else(|| {
-                    name.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip))
-                })
+                .or_else(|| name.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip)))
                 .ok_or_else(|| NetError::NameNotFound(name.to_string()))
         };
 
@@ -250,7 +245,10 @@ impl NwsSystem {
         let fc_node = resolve(eng, &spec.forecaster_host)?;
         let fc_pid = eng.add_process(
             fc_node,
-            Box::new(ForecasterServer::new(&format!("forecaster@{}", spec.forecaster_host), ns_pid)),
+            Box::new(ForecasterServer::new(
+                &format!("forecaster@{}", spec.forecaster_host),
+                ns_pid,
+            )),
         );
 
         // Sensors: first allocate pids in spec order (two passes so cliques
@@ -266,10 +264,7 @@ impl NwsSystem {
         // and hand them over via a second registration pass... Instead:
         // precompute the pid each sensor WILL get (engine pids are dense
         // and sequential), which the Engine API guarantees.
-        let first_sensor_pid = ns_pid.index() as u32
-            + 1
-            + memories.len() as u32
-            + 1;
+        let first_sensor_pid = ns_pid.index() as u32 + 1 + memories.len() as u32 + 1;
         let sensor_pid_of = |idx: usize| ProcessId::from_raw(first_sensor_pid + idx as u32);
 
         let mut sensors = BTreeMap::new();
@@ -304,12 +299,10 @@ impl NwsSystem {
             }
 
             let sensor_memory = match &s.memory {
-                Some(mh) => {
-                    memories
-                        .get(mh)
-                        .map(|(p, _)| *p)
-                        .ok_or_else(|| NetError::NameNotFound(format!("memory host {mh}")))?
-                }
+                Some(mh) => memories
+                    .get(mh)
+                    .map(|(p, _)| *p)
+                    .ok_or_else(|| NetError::NameNotFound(format!("memory host {mh}")))?,
                 None => default_memory,
             };
             let mut cfg = SensorConfig::new(&s.host, ns_pid, sensor_memory);
@@ -417,11 +410,8 @@ mod tests {
 
     fn hub_engine(n: usize) -> (Engine<NwsMsg>, Vec<String>) {
         let net = star_hub(n, Bandwidth::mbps(100.0));
-        let names: Vec<String> = net
-            .hosts
-            .iter()
-            .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-            .collect();
+        let names: Vec<String> =
+            net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
         (Engine::new(net.topo), names)
     }
 
@@ -448,12 +438,8 @@ mod tests {
                     assert!(*v > 85.0, "collided measurement: {v} Mbps on {key}");
                 }
                 // Latency and connect-time series exist too.
-                assert!(sys
-                    .series(&SeriesKey::link(Resource::Latency, a, b))
-                    .is_some());
-                assert!(sys
-                    .series(&SeriesKey::link(Resource::ConnectTime, a, b))
-                    .is_some());
+                assert!(sys.series(&SeriesKey::link(Resource::Latency, a, b)).is_some());
+                assert!(sys.series(&SeriesKey::link(Resource::ConnectTime, a, b)).is_some());
             }
         }
     }
@@ -490,8 +476,7 @@ mod tests {
 
         let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
         let series = sys.series(&key).expect("series exists");
-        let mean =
-            series.iter().map(|(_, v)| v).sum::<f64>() / series.len() as f64;
+        let mean = series.iter().map(|(_, v)| v).sum::<f64>() / series.len() as f64;
         assert!(
             (mean - 50.0).abs() < 10.0,
             "synchronized free-running probes must halve: mean {mean} Mbps"
@@ -507,9 +492,7 @@ mod tests {
         sys.run_for(&mut eng, TimeDelta::from_secs(90.0));
 
         let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
-        let f = sys
-            .query(&mut eng, key, TimeDelta::from_secs(10.0))
-            .expect("forecast produced");
+        let f = sys.query(&mut eng, key, TimeDelta::from_secs(10.0)).expect("forecast produced");
         assert!(f.value > 85.0 && f.value < 101.0, "forecast {f:?}");
         assert!(f.samples > 0);
 
@@ -555,14 +538,11 @@ mod tests {
         let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
         sys.run_for(&mut eng, TimeDelta::from_secs(61.0));
 
-        let cpu = sys
-            .series(&SeriesKey::host(Resource::CpuLoad, &names[0]))
-            .expect("cpu series");
+        let cpu = sys.series(&SeriesKey::host(Resource::CpuLoad, &names[0])).expect("cpu series");
         assert!(cpu.len() >= 29, "got {} samples", cpu.len());
         assert!(cpu.iter().all(|(_, v)| (0.0..=1.0).contains(v)));
-        let mem = sys
-            .series(&SeriesKey::host(Resource::FreeMemory, &names[0]))
-            .expect("memory series");
+        let mem =
+            sys.series(&SeriesKey::host(Resource::FreeMemory, &names[0])).expect("memory series");
         assert!(!mem.is_empty());
     }
 
@@ -597,12 +577,8 @@ mod tests {
         let spec = NwsSystemSpec::minimal(&names[0], &refs);
         let sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
         sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
-        let lat = sys
-            .series(&SeriesKey::link(Resource::Latency, &names[0], &names[1]))
-            .unwrap();
-        let ct = sys
-            .series(&SeriesKey::link(Resource::ConnectTime, &names[0], &names[1]))
-            .unwrap();
+        let lat = sys.series(&SeriesKey::link(Resource::Latency, &names[0], &names[1])).unwrap();
+        let ct = sys.series(&SeriesKey::link(Resource::ConnectTime, &names[0], &names[1])).unwrap();
         assert_eq!(lat.len(), ct.len());
         for ((t1, l), (t2, c)) in lat.iter().zip(&ct) {
             assert_eq!(t1, t2, "stored at the same instant");

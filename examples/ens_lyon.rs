@@ -35,8 +35,11 @@ fn main() {
     let outside = mapper
         .map(&mut eng, &outside_hosts, "the-doors.ens-lyon.fr", Some("well-known.example.org"))
         .expect("outside run");
-    println!("— outside run: {} experiments, {:.1} simulated seconds",
-        outside.stats.total_experiments(), outside.stats.mapping_seconds);
+    println!(
+        "— outside run: {} experiments, {:.1} simulated seconds",
+        outside.stats.total_experiments(),
+        outside.stats.mapping_seconds
+    );
     println!("{}", outside.structural.render());
 
     // --- inside ENV run (master: sci0, behind the firewall) ------------------
@@ -56,9 +59,8 @@ fn main() {
     .iter()
     .map(|s| HostInput::new(s))
     .collect();
-    let inside = mapper
-        .map(&mut eng, &inside_hosts, "sci0.popc.private", None)
-        .expect("inside run");
+    let inside =
+        mapper.map(&mut eng, &inside_hosts, "sci0.popc.private", None).expect("inside run");
     println!("— inside run: {} experiments", inside.stats.total_experiments());
 
     // --- merge with the user-provided gateway aliases (§4.3) -----------------
@@ -87,8 +89,11 @@ fn main() {
     // --- deploy and operate ----------------------------------------------------
     let sys = apply_plan_with(&mut eng, &plan, true).expect("deployment succeeds");
     sys.run_for(&mut eng, TimeDelta::from_secs(600.0));
-    println!("NWS stored {} measurements across {} series",
-        sys.total_stores(), sys.series_keys().len());
+    println!(
+        "NWS stored {} measurements across {} series",
+        sys.total_stores(),
+        sys.series_keys().len()
+    );
 
     // A forecast for a measured pair (the Hub 2 representative pair).
     let key = SeriesKey::link(Resource::Bandwidth, "myri0.popc.private", "popc0.popc.private");

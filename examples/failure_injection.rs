@@ -1,0 +1,53 @@
+//! Failure injection: degrade a link's capacity mid-simulation and watch
+//! measured bandwidth track it.
+//!
+//! Demonstrates the mutation surface: `Engine::topo_mut` +
+//! `Topology::link_mut` / `set_link_up`, followed by
+//! `Engine::recompute_routes` so routing *and* the allocator's interned
+//! capacity tables pick up the change.
+//!
+//! Run: `cargo run --release --example failure_injection`
+
+use netsim::prelude::*;
+use netsim::topology::LinkMode;
+use netsim::Sim;
+
+fn main() {
+    let mut b = TopologyBuilder::new();
+    let a = b.host("a.example.net", "10.0.0.1");
+    let c = b.host("c.example.net", "10.0.0.2");
+    let r1 = b.router("r1.example.net", "10.0.1.1");
+    let r2 = b.router("r2.example.net", "10.0.1.2");
+    let main_link = b.link(a, r1, Bandwidth::mbps(100.0), Latency::micros(100.0));
+    b.link(r1, c, Bandwidth::mbps(100.0), Latency::micros(100.0));
+    // Backup path, normally unattractive.
+    let backup_in = b.link(a, r2, Bandwidth::mbps(10.0), Latency::micros(500.0));
+    b.link(r2, c, Bandwidth::mbps(10.0), Latency::micros(500.0));
+    b.set_weights(backup_in, 10.0, 10.0);
+    let mut sim: Sim = Sim::new(b.build().unwrap());
+
+    let healthy = sim.measure_bandwidth(a, c, Bytes::mib(4)).unwrap();
+    println!("healthy:          {:6.1} Mbps via the 100 Mbps path", healthy.as_mbps());
+
+    // Degrade the primary link to 25 Mbps (e.g. duplex mismatch).
+    if let LinkMode::FullDuplex { capacity_ab, capacity_ba } =
+        &mut sim.topo_mut().link_mut(main_link).mode
+    {
+        *capacity_ab = Bandwidth::mbps(25.0);
+        *capacity_ba = Bandwidth::mbps(25.0);
+    }
+    sim.recompute_routes();
+    let degraded = sim.measure_bandwidth(a, c, Bytes::mib(4)).unwrap();
+    println!("degraded to 25M:  {:6.1} Mbps on the same route", degraded.as_mbps());
+
+    // Cut it entirely: traffic fails over to the 10 Mbps backup route.
+    sim.topo_mut().set_link_up(main_link, false);
+    sim.recompute_routes();
+    let failed_over = sim.measure_bandwidth(a, c, Bytes::mib(4)).unwrap();
+    println!("link down:        {:6.1} Mbps via the backup route", failed_over.as_mbps());
+
+    assert!(healthy.as_mbps() > 95.0);
+    assert!((degraded.as_mbps() - 25.0).abs() < 1.0);
+    assert!(failed_over.as_mbps() < 11.0);
+    println!("\ncapacity mutations propagate to routing and the allocator: OK");
+}

@@ -60,8 +60,7 @@ fn main() {
     ];
 
     // Document-level merge ("often as simple as a file concatenation").
-    let merged_doc =
-        merge_sites(&[outside.to_gridml(), inside.to_gridml()], &aliases, "Grid1");
+    let merged_doc = merge_sites(&[outside.to_gridml(), inside.to_gridml()], &aliases, "Grid1");
     println!("--- merged GridML (abridged) ---");
     for line in merged_doc.to_xml().lines().take(30) {
         println!("{line}");

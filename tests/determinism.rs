@@ -6,7 +6,7 @@ use envdeploy::{plan_deployment, PlannerConfig};
 use envmap::{merge_runs, EnvConfig, EnvMapper, HostInput};
 use gridml::merge::GatewayAlias;
 use netsim::prelude::*;
-use netsim::scenarios::{ens_lyon, random_campus, CampusParams, Calibration};
+use netsim::scenarios::{ens_lyon, random_campus, Calibration, CampusParams};
 use netsim::Engine;
 use nws::{NwsMsg, NwsSystem, NwsSystemSpec};
 
@@ -121,9 +121,7 @@ fn generated_platforms_are_seed_deterministic() {
     let b = random_campus(42, &CampusParams::default()).0;
     assert_eq!(a.topo.node_count(), b.topo.node_count());
     assert_eq!(a.topo.link_count(), b.topo.link_count());
-    let names_a: Vec<_> =
-        a.topo.nodes().map(|n| n.label.clone()).collect();
-    let names_b: Vec<_> =
-        b.topo.nodes().map(|n| n.label.clone()).collect();
+    let names_a: Vec<_> = a.topo.nodes().map(|n| n.label.clone()).collect();
+    let names_b: Vec<_> = b.topo.nodes().map(|n| n.label.clone()).collect();
     assert_eq!(names_a, names_b);
 }

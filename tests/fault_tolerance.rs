@@ -13,11 +13,8 @@ use nws::{NwsMsg, NwsSystem, NwsSystemSpec, Resource, SeriesKey};
 #[test]
 fn clique_survives_multiple_sensor_deaths() {
     let net = star_switch(5, Bandwidth::mbps(100.0));
-    let names: Vec<String> = net
-        .hosts
-        .iter()
-        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-        .collect();
+    let names: Vec<String> =
+        net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
     let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
@@ -32,10 +29,7 @@ fn clique_survives_multiple_sensor_deaths() {
     eng.kill_process(sys.sensors[&names[3]]);
     sys.run_for(&mut eng, TimeDelta::from_secs(180.0));
     let end = sys.total_stores();
-    assert!(
-        end > mid + 10,
-        "survivors must keep measuring after two deaths: {mid} → {end}"
-    );
+    assert!(end > mid + 10, "survivors must keep measuring after two deaths: {mid} → {end}");
     // Surviving pairs still get fresh measurements.
     let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[2]);
     let series = sys.series(&key).unwrap();
@@ -48,11 +42,8 @@ fn host_locking_tolerates_dead_targets() {
     // With the §6 locks on, probing a dead peer's sensor must not wedge
     // the ring: the lock request times out and the peer is skipped.
     let net = star_switch(4, Bandwidth::mbps(100.0));
-    let names: Vec<String> = net
-        .hosts
-        .iter()
-        .map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap())
-        .collect();
+    let names: Vec<String> =
+        net.hosts.iter().map(|h| net.topo.node(*h).ifaces[0].name.clone().unwrap()).collect();
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let mut eng: Engine<NwsMsg> = Engine::new(net.topo);
     let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
@@ -63,10 +54,7 @@ fn host_locking_tolerates_dead_targets() {
     eng.kill_process(sys.sensors[&names[2]]);
     let before = sys.total_stores();
     sys.run_for(&mut eng, TimeDelta::from_secs(240.0));
-    assert!(
-        sys.total_stores() > before + 10,
-        "ring must keep moving past the dead locked peer"
-    );
+    assert!(sys.total_stores() > before + 10, "ring must keep moving past the dead locked peer");
 }
 
 #[test]
@@ -189,11 +177,8 @@ fn deployed_system_survives_gateway_sensor_death() {
     assert!(after > before + 20, "system stalls after gateway death: {before} → {after}");
 
     // The hub1 clique (far from sci0) keeps its cadence.
-    let key = SeriesKey::link(
-        Resource::Bandwidth,
-        "canaria.ens-lyon.fr",
-        "moby.cri2000.ens-lyon.fr",
-    );
+    let key =
+        SeriesKey::link(Resource::Bandwidth, "canaria.ens-lyon.fr", "moby.cri2000.ens-lyon.fr");
     let series = sys.series(&key).unwrap();
     assert!(series.last().unwrap().0 > eng.now().as_secs() - 60.0);
 }

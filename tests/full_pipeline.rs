@@ -66,9 +66,8 @@ fn paper_pipeline_end_to_end() {
     let outside = mapper
         .map(&mut eng, &outside_inputs(), "the-doors.ens-lyon.fr", Some("well-known.example.org"))
         .expect("outside run");
-    let inside = mapper
-        .map(&mut eng, &inside_inputs(), "sci0.popc.private", None)
-        .expect("inside run");
+    let inside =
+        mapper.map(&mut eng, &inside_inputs(), "sci0.popc.private", None).expect("inside run");
 
     // Figure 2 checkpoints.
     assert_eq!(outside.structural.key, "192.168.254.1");
@@ -77,14 +76,8 @@ fn paper_pipeline_end_to_end() {
     // ---- merge (Figure 1b) ----------------------------------------------
     let merged = merge_runs(&outside, &inside, &aliases());
     assert_eq!(merged.network_count(), 4);
-    assert_eq!(
-        merged.find_containing("sci4.popc.private").unwrap().kind,
-        NetKind::Switched
-    );
-    assert_eq!(
-        merged.find_containing("canaria.ens-lyon.fr").unwrap().kind,
-        NetKind::Shared
-    );
+    assert_eq!(merged.find_containing("sci4.popc.private").unwrap().kind, NetKind::Switched);
+    assert_eq!(merged.find_containing("canaria.ens-lyon.fr").unwrap().kind, NetKind::Shared);
 
     // ---- plan (Figure 3) ----------------------------------------------------
     let plan = plan_deployment(&merged, &PlannerConfig::default());
@@ -114,11 +107,7 @@ fn paper_pipeline_end_to_end() {
     // Representative-pair values on the 10 Mbps hub are accurate (host
     // locking avoids the §6 collisions).
     let hub2 = sys
-        .series(&SeriesKey::link(
-            Resource::Bandwidth,
-            "myri0.popc.private",
-            "popc0.popc.private",
-        ))
+        .series(&SeriesKey::link(Resource::Bandwidth, "myri0.popc.private", "popc0.popc.private"))
         .unwrap();
     let mean = hub2.iter().map(|(_, v)| v).sum::<f64>() / hub2.len() as f64;
     assert!((mean - 9.9).abs() < 0.8, "hub2 mean {mean}");
@@ -158,9 +147,7 @@ fn nominal_calibration_changes_rates_not_structure() {
     let outside = mapper
         .map(&mut eng, &outside_inputs(), "the-doors.ens-lyon.fr", Some("well-known.example.org"))
         .expect("outside");
-    let inside = mapper
-        .map(&mut eng, &inside_inputs(), "sci0.popc.private", None)
-        .expect("inside");
+    let inside = mapper.map(&mut eng, &inside_inputs(), "sci0.popc.private", None).expect("inside");
     let merged = merge_runs(&outside, &inside, &aliases());
     assert_eq!(merged.network_count(), 4);
     let sci = merged.find_containing("sci1.popc.private").unwrap();
@@ -176,9 +163,7 @@ fn plan_survives_config_round_trip_and_redeploys() {
     let outside = mapper
         .map(&mut eng, &outside_inputs(), "the-doors.ens-lyon.fr", Some("well-known.example.org"))
         .expect("outside");
-    let inside = mapper
-        .map(&mut eng, &inside_inputs(), "sci0.popc.private", None)
-        .expect("inside");
+    let inside = mapper.map(&mut eng, &inside_inputs(), "sci0.popc.private", None).expect("inside");
     let merged = merge_runs(&outside, &inside, &aliases());
     let plan = plan_deployment(&merged, &PlannerConfig::default());
 

@@ -74,14 +74,8 @@ fn light_background_traffic_does_not_change_the_map() {
     let merged = merge_runs(&outside, &inside, &aliases());
 
     assert_eq!(merged.network_count(), 4, "{}", merged.render());
-    assert_eq!(
-        merged.find_containing("sci2.popc.private").unwrap().kind,
-        NetKind::Switched
-    );
-    assert_eq!(
-        merged.find_containing("canaria.ens-lyon.fr").unwrap().kind,
-        NetKind::Shared
-    );
+    assert_eq!(merged.find_containing("sci2.popc.private").unwrap().kind, NetKind::Switched);
+    assert_eq!(merged.find_containing("canaria.ens-lyon.fr").unwrap().kind, NetKind::Shared);
     assert_eq!(
         merged.find_containing("myri1.popc.private").unwrap().via.as_deref(),
         Some("myri0.popc.private")
@@ -148,11 +142,8 @@ fn noise_during_operation_shows_up_in_series_not_structure() {
 
     // Quiet phase.
     sys.run_for(&mut eng, TimeDelta::from_secs(200.0));
-    let key = SeriesKey::link(
-        Resource::Bandwidth,
-        "canaria.ens-lyon.fr",
-        "moby.cri2000.ens-lyon.fr",
-    );
+    let key =
+        SeriesKey::link(Resource::Bandwidth, "canaria.ens-lyon.fr", "moby.cri2000.ens-lyon.fr");
     let quiet_last = sys.series(&key).unwrap().last().unwrap().1;
 
     // Loaded phase: saturate Hub 1.

@@ -69,9 +69,7 @@ fn remapping_yields_incremental_delta() {
             .collect();
         let master = inputs[0].0.clone();
         let mut eng = netsim::Sim::new(net.topo);
-        let run = EnvMapper::new(EnvConfig::fast())
-            .map(&mut eng, &inputs, &master, None)
-            .unwrap();
+        let run = EnvMapper::new(EnvConfig::fast()).map(&mut eng, &inputs, &master, None).unwrap();
         plan_deployment(&run.view, &PlannerConfig::default())
     };
     let old = plan_for(4);

@@ -88,11 +88,7 @@ fn constellation_deploys_and_operates() {
     // Every clique produced measurements.
     assert!(sys.total_stores() > plan.cliques.len() as u64 * 4);
     // Stores landed on more than one memory (hierarchical placement).
-    let populated = sys
-        .memories
-        .values()
-        .filter(|(_, h)| h.borrow().stores > 0)
-        .count();
+    let populated = sys.memories.values().filter(|(_, h)| h.borrow().stores > 0).count();
     assert!(populated >= 2, "expected multiple active memories, got {populated}");
 }
 
