@@ -1,0 +1,243 @@
+//! End-to-end pipeline scaling experiment: synth topology → structural map
+//! → refinement → `plan_deployment` → `validate_plan`, across the synthetic
+//! scenario families at 100 / 500 / 1000 hosts, emitted as
+//! `BENCH_pipeline.json`.
+//!
+//! Every row asserts the pipeline's *quality*, not just its speed:
+//!
+//! * mapper accuracy — ≥ 95 % pairwise cluster-label agreement with the
+//!   family's ground truth (`envmap::score::cluster_agreement`);
+//! * plan validity — the deployment plan must be complete (every host pair
+//!   estimable) with no unresolved hosts;
+//! * determinism — at the smallest tier each family is mapped twice and
+//!   the run fingerprints must be bit-identical.
+//!
+//! Run: `cargo run --release -p nws-bench --bin exp_pipeline_scaling
+//! [--smoke] [out.json]`. `--smoke` keeps only the 100-host tier (the CI
+//! configuration).
+
+use std::time::Instant;
+
+use envdeploy::{plan_deployment, validate_plan, PlannerConfig};
+use envmap::score::intact_fraction;
+use envmap::{cluster_agreement, EnvConfig, EnvMapper, HostInput};
+use netsim::synth::{synth, SynthFamily, SynthScenario};
+use netsim::Sim;
+use nws_bench::{f, Table};
+
+/// Fixed generator seed: the acceptance contract is bit-identical reruns.
+const SEED: u64 = 2004;
+
+struct Row {
+    family: &'static str,
+    hosts: usize,
+    truth_clusters: usize,
+    networks: usize,
+    agreement: f64,
+    intact: f64,
+    map_ms: f64,
+    plan_ms: f64,
+    validate_ms: f64,
+    experiments: u64,
+    cliques: usize,
+    intrusiveness: f64,
+    fingerprint: u64,
+    deterministic: bool,
+}
+
+/// FNV-1a over the deterministic renderings of a run's outputs.
+fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One full pipeline pass; returns (view render, plan render, stats) so the
+/// caller can fingerprint and time independently.
+fn map_once(sc: &SynthScenario) -> (envmap::EnvRun, f64) {
+    let mut eng = Sim::new(sc.net.topo.clone());
+    let inputs: Vec<HostInput> = sc.input_names().iter().map(|n| HostInput::new(n)).collect();
+    let external = sc.external_name();
+    let mapper = EnvMapper::new(EnvConfig::fast_batched());
+    let t = Instant::now();
+    let run = mapper
+        .map(&mut eng, &inputs, &sc.master_name(), external.as_deref())
+        .unwrap_or_else(|e| panic!("{} mapping failed: {e}", sc.family.name()));
+    (run, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn run_tier(family: SynthFamily, hosts: usize) -> Row {
+    let sc = synth(family, SEED, hosts);
+    let truth = sc.truth_labels();
+    let master = sc.master_name();
+
+    let (run, map_ms) = map_once(&sc);
+    let agreement = cluster_agreement(&run.view, &truth, &[master.as_str()]);
+    let intact = intact_fraction(&run.view, &truth, &[master.as_str()]);
+
+    let t = Instant::now();
+    let plan = plan_deployment(&run.view, &PlannerConfig::default());
+    let plan_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let report = validate_plan(&plan, &run.view, &sc.net.topo);
+    let validate_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let fingerprint = fnv1a(&[&run.view.render(), &plan.render(), &format!("{agreement:.17}")]);
+
+    // ---- hard gates ------------------------------------------------------
+    assert!(
+        agreement >= 0.95,
+        "{} @ {hosts}: cluster agreement {agreement:.4} < 0.95\n{}",
+        family.name(),
+        run.view.render()
+    );
+    // The Rand index saturates against fragmentation at scale; intactness
+    // is the split detector (see envmap::score).
+    assert!(
+        intact >= 0.95,
+        "{} @ {hosts}: only {intact:.4} of truth clusters mapped intact\n{}",
+        family.name(),
+        run.view.render()
+    );
+    assert!(
+        report.unresolved_hosts.is_empty(),
+        "{} @ {hosts}: unresolved hosts {:?}",
+        family.name(),
+        report.unresolved_hosts
+    );
+    assert!(report.complete, "{} @ {hosts}: incomplete plan\n{}", family.name(), report.render());
+
+    // Every tier re-maps and re-plans (cheap next to validate): scale-
+    // dependent nondeterminism must fail the bench, not ship as a null.
+    let (rerun, _) = map_once(&sc);
+    let plan2 = plan_deployment(&rerun.view, &PlannerConfig::default());
+    let rerun_agreement = cluster_agreement(&rerun.view, &truth, &[master.as_str()]);
+    let again = fnv1a(&[&rerun.view.render(), &plan2.render(), &format!("{rerun_agreement:.17}")]);
+    let deterministic = fingerprint == again;
+    assert!(
+        deterministic,
+        "{} @ {hosts}: rerun under the fixed seed must be bit-identical ({fingerprint:016x} vs {again:016x})",
+        family.name()
+    );
+
+    Row {
+        family: family.name(),
+        hosts,
+        truth_clusters: truth.len(),
+        networks: run.view.network_count(),
+        agreement,
+        intact,
+        map_ms,
+        plan_ms,
+        validate_ms,
+        experiments: run.stats.total_experiments(),
+        cliques: plan.cliques.len(),
+        intrusiveness: report.intrusiveness(),
+        fingerprint,
+        deterministic,
+    }
+}
+
+fn to_json(rows: &[Row], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"pipeline_scaling\",\n");
+    out.push_str("  \"generated_by\": \"exp_pipeline_scaling\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"stages\": [\"synth\", \"map\", \"plan\", \"validate\"],\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"hosts\": {}, \"truth_clusters\": {}, \
+             \"networks\": {}, \"agreement\": {:.6}, \"intact\": {:.6}, \"map_ms\": {:.3}, \
+             \"plan_ms\": {:.3}, \"validate_ms\": {:.3}, \"experiments\": {}, \
+             \"cliques\": {}, \"intrusiveness\": {:.4}, \
+             \"fingerprint\": \"{:016x}\", \"deterministic\": {}}}{}\n",
+            r.family,
+            r.hosts,
+            r.truth_clusters,
+            r.networks,
+            r.agreement,
+            r.intact,
+            r.map_ms,
+            r.plan_ms,
+            r.validate_ms,
+            r.experiments,
+            r.cliques,
+            r.intrusiveness,
+            r.fingerprint,
+            r.deterministic,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let tiers: &[usize] = if smoke { &[100] } else { &[100, 500, 1000] };
+
+    println!("=== pipeline scaling: synth → map → plan → validate ===\n");
+    let mut rows = Vec::new();
+    for family in SynthFamily::ALL {
+        for &hosts in tiers {
+            let row = run_tier(family, hosts);
+            println!(
+                "  {:>14} @ {:>4} hosts: agreement {:.3}, intact {:.3}, map {:.0} ms, \
+                 plan {:.1} ms, validate {:.0} ms, {} experiments",
+                row.family,
+                row.hosts,
+                row.agreement,
+                row.intact,
+                row.map_ms,
+                row.plan_ms,
+                row.validate_ms,
+                row.experiments
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut t = Table::new(&[
+        "family",
+        "hosts",
+        "agreement",
+        "intact",
+        "map ms",
+        "plan ms",
+        "validate ms",
+        "experiments",
+        "cliques",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.family.to_string(),
+            r.hosts.to_string(),
+            f(r.agreement, 3),
+            f(r.intact, 3),
+            f(r.map_ms, 1),
+            f(r.plan_ms, 2),
+            f(r.validate_ms, 1),
+            r.experiments.to_string(),
+            r.cliques.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+
+    std::fs::write(&out_path, to_json(&rows, smoke)).expect("write BENCH_pipeline.json");
+    println!("\nwrote {out_path}");
+}

@@ -72,10 +72,10 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
 
         match net.kind {
             NetKind::Shared if members.len() >= 2 => {
-                // Two "arbitrary chosen" hosts; we take the first two in
-                // name order for determinism. Any pair is equivalent on a
-                // shared medium — the paper itself picked canaria/moby and
-                // myri0/popc0 by hand.
+                // Two "arbitrary chosen" hosts; equal-cost on a shared
+                // medium, so the tie-break is explicit: the two smallest in
+                // name order (`members` was sorted above) — the paper
+                // itself picked canaria/moby and myri0/popc0 by hand.
                 let reps = vec![members[0].clone(), members[1].clone()];
                 representatives.insert(net.label.clone(), (reps[0].clone(), reps[1].clone()));
                 cliques.push(PlannedClique {
@@ -127,9 +127,11 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
 
     // One inter-network clique across the top-level networks: the paper's
     // "connection between canaria and popc0 is used to test the connexion
-    // between these hubs".
+    // between these hubs". Any member is an equal-cost choice on a shared
+    // medium; the tie is broken by name (lexicographic minimum), never by
+    // container iteration order, so repeated runs emit identical plans.
     let mut inter: Vec<String> =
-        view.networks.iter().filter_map(|n| n.hosts.first().cloned()).collect();
+        view.networks.iter().filter_map(|n| n.hosts.iter().min().cloned()).collect();
     if config.include_master_in_inter {
         inter.insert(0, view.master.clone());
         if !hosts.contains(&view.master) {
@@ -179,7 +181,8 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
 
     for net in &view.networks {
         let top_memory = if config.memory_per_top_network {
-            let m = net.hosts.first().cloned().unwrap_or_else(|| view.master.clone());
+            // Equal-cost choice; tie broken by name like the inter clique.
+            let m = net.hosts.iter().min().cloned().unwrap_or_else(|| view.master.clone());
             if !memories.contains(&m) {
                 memories.push(m.clone());
             }
@@ -565,6 +568,30 @@ mod properties {
                 prop_assert!(view_hosts.contains(&h.as_str()));
                 let m = plan.memory_for(h);
                 prop_assert!(plan.memories.iter().any(|x| x == m));
+            }
+        }
+
+        /// Equal-cost tie-breaking is explicit (name order), so planning is
+        /// a pure function of the view: repeated runs — under every config
+        /// combination — must produce identical plans, member order and
+        /// process placement included.
+        #[test]
+        fn planner_is_deterministic_across_runs(view in arb_view()) {
+            for include_master in [false, true] {
+                for memory_per_top in [false, true] {
+                    let cfg = PlannerConfig {
+                        include_master_in_inter: include_master,
+                        memory_per_top_network: memory_per_top,
+                        ..PlannerConfig::default()
+                    };
+                    let first = plan_deployment(&view, &cfg);
+                    for _ in 0..3 {
+                        prop_assert_eq!(&first, &plan_deployment(&view, &cfg));
+                    }
+                    // A deep-cloned view plans identically too (no hidden
+                    // address- or allocation-order dependence).
+                    prop_assert_eq!(&first, &plan_deployment(&view.clone(), &cfg));
+                }
             }
         }
 

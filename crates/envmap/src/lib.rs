@@ -33,12 +33,14 @@
 //! platforms are mapped per side and merged ([`merge_runs`]), unifying the
 //! gateways' names exactly as paper §4.3 describes.
 
+pub mod batch;
 pub mod cost;
 pub mod gridml_out;
 pub mod mapper;
 pub mod merge;
 pub mod net;
 pub mod refine;
+pub mod score;
 pub mod structural;
 pub mod thresholds;
 
@@ -46,5 +48,6 @@ pub use gridml_out::view_from_gridml;
 pub use mapper::{EnvConfig, EnvMapper, EnvRun, HostInput, ProbeStats};
 pub use merge::merge_runs;
 pub use net::{EnvNet, EnvView, NetKind};
+pub use score::cluster_agreement;
 pub use structural::StructNode;
 pub use thresholds::EnvThresholds;

@@ -53,6 +53,10 @@ pub struct EnvConfig {
     pub settle: TimeDelta,
     pub jam_repeats: usize,
     pub internal_pair_cap: Option<usize>,
+    /// Issue resource-disjoint refinement probes concurrently (see
+    /// [`crate::batch`]); off by default, matching ENV's strictly serial
+    /// schedule. The jammed-bandwidth experiment always stays serial.
+    pub batch_probes: bool,
     /// Extra per-host properties to embed in the GridML (stands in for
     /// ENV's host-information phase, §4.2.1.2).
     pub host_properties: BTreeMap<String, Vec<Property>>,
@@ -67,6 +71,7 @@ impl Default for EnvConfig {
             settle: TimeDelta::from_millis(500.0),
             jam_repeats: 5,
             internal_pair_cap: None,
+            batch_probes: false,
             host_properties: BTreeMap::new(),
         }
     }
@@ -82,6 +87,12 @@ impl EnvConfig {
         }
     }
 
+    /// [`EnvConfig::fast`] with batched probe scheduling — the pipeline
+    /// scaling harness's configuration.
+    pub fn fast_batched() -> Self {
+        EnvConfig { batch_probes: true, ..EnvConfig::fast() }
+    }
+
     fn refine_params(&self) -> RefineParams {
         RefineParams {
             thresholds: self.thresholds,
@@ -90,6 +101,7 @@ impl EnvConfig {
             settle: self.settle,
             jam_repeats: self.jam_repeats,
             internal_pair_cap: self.internal_pair_cap,
+            batch_probes: self.batch_probes,
         }
     }
 }

@@ -43,10 +43,15 @@ pub struct RefineParams {
     pub settle: TimeDelta,
     /// Number of jammed-bandwidth repetitions (paper: 5).
     pub jam_repeats: usize,
-    /// Cap on the number of member pairs measured by the internal phase
-    /// (`None` = all pairs, as ENV does; a cap trades accuracy for time on
-    /// large clusters).
+    /// Cap on the number of routable member pairs the internal phase
+    /// schedules (`None` = all pairs, as ENV does; a cap trades accuracy
+    /// for time on large clusters).
     pub internal_pair_cap: Option<usize>,
+    /// Co-schedule resource-disjoint internal probes (see [`crate::batch`])
+    /// instead of running every experiment strictly serially. Disjointness
+    /// guarantees the measured values match the serial schedule; the jam
+    /// experiment is never batched.
+    pub batch_probes: bool,
 }
 
 impl Default for RefineParams {
@@ -58,6 +63,7 @@ impl Default for RefineParams {
             settle: TimeDelta::from_millis(500.0),
             jam_repeats: 5,
             internal_pair_cap: None,
+            batch_probes: false,
         }
     }
 }
@@ -79,10 +85,22 @@ pub struct RefinedCluster {
 }
 
 fn median(values: &mut [f64]) -> f64 {
+    // A probe that completes with zero elapsed time yields a non-finite
+    // bandwidth (inf, or NaN for an empty transfer); such samples carry no
+    // information and must not poison the median — and `partial_cmp` on a
+    // NaN would panic the whole mapping run.
+    let mut n = 0;
+    for i in 0..values.len() {
+        if values[i].is_finite() {
+            values.swap(n, i);
+            n += 1;
+        }
+    }
+    let values = &mut values[..n];
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]
@@ -113,7 +131,11 @@ pub fn refine_cluster<M>(
         match eng.measure_bandwidth(master, h.node, params.probe_bytes) {
             Ok(bw) => {
                 stats.bw_probes += 1;
-                rated.push((h.clone(), bw.as_mbps()));
+                // A zero-elapsed probe reports a non-finite rate; treat it
+                // like an unmeasurable host rather than letting it poison
+                // the ratio arithmetic below.
+                let mbps = bw.as_mbps();
+                rated.push((h.clone(), if mbps.is_finite() { mbps } else { 0.0 }));
             }
             Err(_) => {
                 // Unreachable from the master (e.g. firewalled): the host
@@ -126,9 +148,7 @@ pub fn refine_cluster<M>(
 
     // Split by the 3× ratio on the sorted rates (adjacent-ratio chaining:
     // a gap larger than the threshold starts a new group).
-    rated.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.name.cmp(&b.0.name))
-    });
+    rated.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.name.cmp(&b.0.name)));
     let mut groups: Vec<Vec<(RefHost, f64)>> = Vec::new();
     for (h, bw) in rated {
         match groups.last_mut() {
@@ -233,22 +253,43 @@ fn classify_component<M>(
     }
 
     // ---- phase 3: internal host bandwidth --------------------------------
-    let mut locals = Vec::new();
-    let mut measured_pairs = 0usize;
+    // One pair schedule for both the serial and batched paths: the cap
+    // counts *routable pairs scheduled* (an unroutable pair yields no
+    // sample either way and must not consume budget), so the two schedules
+    // select the identical list and the batched view matches the serial
+    // one. Without a cap no route pre-check is needed — unroutable pairs
+    // simply error at measure time, in either path.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
     'outer: for i in 0..k {
         for j in (i + 1)..k {
+            let (a, b) = (members[i].0.node, members[j].0.node);
             if let Some(cap) = params.internal_pair_cap {
-                if measured_pairs >= cap {
+                if pairs.len() >= cap {
                     break 'outer;
                 }
+                if !(eng.topo().allows(a, b) && eng.routes().path(a, b).is_ok()) {
+                    continue;
+                }
             }
+            pairs.push((a, b));
+        }
+    }
+    let mut locals = Vec::new();
+    if params.batch_probes {
+        for bw in
+            crate::batch::measure_pairs_batched(eng, &pairs, params.probe_bytes, params.settle)
+                .into_iter()
+                .flatten()
+        {
+            stats.bw_probes += 1;
+            locals.push(bw.as_mbps());
+        }
+    } else {
+        for (a, b) in pairs {
             settle(eng, params);
-            if let Ok(bw) =
-                eng.measure_bandwidth(members[i].0.node, members[j].0.node, params.probe_bytes)
-            {
+            if let Ok(bw) = eng.measure_bandwidth(a, b, params.probe_bytes) {
                 stats.bw_probes += 1;
                 locals.push(bw.as_mbps());
-                measured_pairs += 1;
             }
         }
     }
@@ -277,8 +318,13 @@ fn classify_component<M>(
             }
             if let Ok(bw) = probed {
                 let b0 = members[a].1;
-                if b0 > 0.0 {
-                    ratios.push(bw.as_mbps() / b0);
+                let jammed = bw.as_mbps();
+                // Same guard as phase 1: a zero-elapsed probe reports a
+                // non-finite rate, which would make the average — and the
+                // ENV_jam_ratio the GridML writer emits — NaN/inf, a value
+                // the parser now rightly rejects on round-trip.
+                if b0 > 0.0 && jammed.is_finite() {
+                    ratios.push(jammed / b0);
                 }
             }
         }
@@ -503,6 +549,50 @@ mod tests {
         let mut stats = ProbeStats::default();
         let refined = refine_cluster(&mut eng, net.master, &[], &quick_params(), &mut stats);
         assert!(refined.is_empty());
+    }
+
+    #[test]
+    fn median_filters_non_finite_samples() {
+        // Regression: a NaN (0-byte probe over 0 elapsed) used to panic the
+        // `partial_cmp(..).expect(..)` sort; inf used to drag the median.
+        let mut v = [f64::NAN, 10.0, f64::INFINITY, 30.0, 20.0, f64::NEG_INFINITY];
+        assert_eq!(median(&mut v), 20.0);
+        let mut v = [f64::NAN, f64::INFINITY];
+        assert_eq!(median(&mut v), 0.0, "no finite sample → 0, not a panic");
+        let mut v = [4.0, 2.0];
+        assert_eq!(median(&mut v), 3.0);
+        let mut v: [f64; 0] = [];
+        assert_eq!(median(&mut v), 0.0);
+    }
+
+    #[test]
+    fn batched_refinement_matches_serial() {
+        for net in [star_switch(6, Bandwidth::mbps(100.0)), star_hub(5, Bandwidth::mbps(100.0))] {
+            let hosts = hosts_of(&net, true);
+            let mut stats_s = ProbeStats::default();
+            let mut eng = Sim::new(net.topo.clone());
+            let serial =
+                refine_cluster(&mut eng, net.master, &hosts, &quick_params(), &mut stats_s);
+
+            let mut p = quick_params();
+            p.batch_probes = true;
+            let mut stats_b = ProbeStats::default();
+            let mut eng = Sim::new(net.topo.clone());
+            let batched = refine_cluster(&mut eng, net.master, &hosts, &p, &mut stats_b);
+
+            assert_eq!(serial.len(), batched.len());
+            for (s, b) in serial.iter().zip(&batched) {
+                assert_eq!(s.hosts, b.hosts);
+                assert_eq!(s.kind, b.kind);
+                assert!((s.base_bw_mbps - b.base_bw_mbps).abs() < 1e-9);
+                match (s.local_bw_mbps, b.local_bw_mbps) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{x} vs {y}"),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+            // Same number of samples taken either way.
+            assert_eq!(stats_s.bw_probes, stats_b.bw_probes);
+        }
     }
 
     #[test]

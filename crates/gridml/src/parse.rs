@@ -17,6 +17,10 @@ pub enum ParseError {
     Xml(XmlError),
     /// Structural error (bad nesting, unexpected element).
     Structure(String),
+    /// A property carrying a physical quantity (bandwidth, capacity,
+    /// latency, jam ratio) holds a value that would poison downstream
+    /// arithmetic: unparseable, non-finite, or negative.
+    Numeric { property: String, value: String, reason: &'static str },
 }
 
 impl fmt::Display for ParseError {
@@ -24,6 +28,9 @@ impl fmt::Display for ParseError {
         match self {
             ParseError::Xml(e) => write!(f, "{e}"),
             ParseError::Structure(m) => write!(f, "GridML structure error: {m}"),
+            ParseError::Numeric { property, value, reason } => {
+                write!(f, "GridML numeric property error: {property}={value:?} is {reason}")
+            }
         }
     }
 }
@@ -270,6 +277,67 @@ fn attr(attrs: &[(String, String)], key: &str) -> Option<String> {
     attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
 }
 
+/// Whether a property name denotes a physical quantity whose value must be
+/// a finite, non-negative number: the ENV bandwidth/ratio properties of
+/// §4.2.2.4 (`*_BW`, `ENV_jam_ratio`) plus the bare `bandwidth` /
+/// `capacity` / `latency` annotations. Deliberately a closed set — a
+/// substring match would turn free-text user properties like
+/// `Memory_capacity="256 MB"` (the §4.2.1.2 host-information style) into
+/// parse errors.
+fn is_quantity_property(name: &str) -> bool {
+    name.ends_with("_BW")
+        || name == "ENV_jam_ratio"
+        || name.eq_ignore_ascii_case("bandwidth")
+        || name.eq_ignore_ascii_case("capacity")
+        || name.eq_ignore_ascii_case("latency")
+}
+
+/// Reject quantity properties whose value would silently poison the
+/// max-min allocator or the planner later (NaN and ±inf propagate through
+/// every mean/median; negative capacities invert the progressive filling).
+fn check_quantity(p: &Property) -> Result<(), ParseError> {
+    if !is_quantity_property(&p.name) {
+        return Ok(());
+    }
+    let numeric =
+        |reason| ParseError::Numeric { property: p.name.clone(), value: p.value.clone(), reason };
+    let v: f64 = p.value.trim().parse().map_err(|_| numeric("not a number"))?;
+    if v.is_nan() {
+        return Err(numeric("NaN"));
+    }
+    if v.is_infinite() {
+        return Err(numeric("infinite"));
+    }
+    if v < 0.0 {
+        return Err(numeric("negative"));
+    }
+    Ok(())
+}
+
+fn check_network_quantities(net: &Network) -> Result<(), ParseError> {
+    for p in &net.properties {
+        check_quantity(p)?;
+    }
+    for sub in &net.subnets {
+        check_network_quantities(sub)?;
+    }
+    Ok(())
+}
+
+fn check_doc_quantities(doc: &GridDoc) -> Result<(), ParseError> {
+    for site in &doc.sites {
+        for m in &site.machines {
+            for p in &m.properties {
+                check_quantity(p)?;
+            }
+        }
+        for net in &site.networks {
+            check_network_quantities(net)?;
+        }
+    }
+    Ok(())
+}
+
 impl GridDoc {
     /// Parse a GridML document.
     pub fn parse(input: &str) -> Result<GridDoc, ParseError> {
@@ -279,6 +347,7 @@ impl GridDoc {
         if p.peek().is_some() {
             return Err(structure("trailing content after </GRID>"));
         }
+        check_doc_quantities(&doc)?;
         Ok(doc)
     }
 }
@@ -404,6 +473,56 @@ mod tests {
             r#"<GRID><SITE domain="x"><NETWORK type="Wrong"></NETWORK></SITE></GRID>"#
         )
         .is_err());
+    }
+
+    fn doc_with_network_property(name: &str, value: &str) -> String {
+        format!(
+            r#"<GRID><SITE domain="x"><NETWORK type="ENV_Switched">
+<PROPERTY name="{name}" value="{value}" units="Mbps" />
+</NETWORK></SITE></GRID>"#
+        )
+    }
+
+    fn doc_with_machine_property(name: &str, value: &str) -> String {
+        format!(
+            r#"<GRID><SITE domain="x"><MACHINE name="a.x">
+<PROPERTY name="{name}" value="{value}" />
+</MACHINE></SITE></GRID>"#
+        )
+    }
+
+    #[test]
+    fn non_finite_and_negative_quantities_rejected() {
+        // Each poisoned form, on a network bandwidth property…
+        for bad in ["NaN", "nan", "inf", "+inf", "-inf", "-32.65", "fast"] {
+            let err = GridDoc::parse(&doc_with_network_property("ENV_base_BW", bad))
+                .expect_err(&format!("ENV_base_BW={bad} must be rejected"));
+            assert!(matches!(err, ParseError::Numeric { .. }), "{bad}: {err}");
+        }
+        // …on the jam ratio…
+        let err = GridDoc::parse(&doc_with_network_property("ENV_jam_ratio", "NaN")).unwrap_err();
+        assert!(matches!(err, ParseError::Numeric { .. }));
+        // …and on machine-level latency/capacity annotations.
+        for (name, bad) in [("latency", "-5"), ("Capacity", "inf")] {
+            let err = GridDoc::parse(&doc_with_machine_property(name, bad))
+                .expect_err(&format!("{name}={bad} must be rejected"));
+            assert!(matches!(err, ParseError::Numeric { .. }), "{name}={bad}: {err}");
+        }
+        // The error renders usefully.
+        let err =
+            GridDoc::parse(&doc_with_network_property("ENV_base_local_BW", "-1")).unwrap_err();
+        assert!(err.to_string().contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn finite_quantities_and_free_text_properties_accepted() {
+        assert!(GridDoc::parse(&doc_with_network_property("ENV_base_BW", "32.65")).is_ok());
+        assert!(GridDoc::parse(&doc_with_network_property("ENV_jam_ratio", "0")).is_ok());
+        // Non-quantity properties stay free-form (paper's CPU_model etc.),
+        // including names that merely *contain* a quantity keyword.
+        assert!(GridDoc::parse(&doc_with_machine_property("CPU_model", "Pentium Pro")).is_ok());
+        assert!(GridDoc::parse(&doc_with_machine_property("OS_version", "Linux 2.4.19")).is_ok());
+        assert!(GridDoc::parse(&doc_with_machine_property("Memory_capacity", "256 MB")).is_ok());
     }
 
     #[test]

@@ -266,15 +266,23 @@ impl<M> Core<M> {
             }
         }
         if self.flows.is_empty() {
-            // Clear any accumulated floating-point drift while idle.
+            // Clear any accumulated floating-point drift while idle, and
+            // drop every (necessarily stale) completion projection: a
+            // long-lived engine driving scenario after scenario must not
+            // carry dead-heap baggage between them.
             self.total_rate = 0.0;
+            self.completions.clear();
         }
-        // Bound the lazy-deletion heap: entries superseded deep in the
-        // heap (projected far in the future while a flow was near-stalled)
-        // are otherwise only discarded on reaching the top. Rebuilding in
-        // place when stale entries dominate keeps memory O(active flows)
-        // without per-event cost.
-        if self.completions.len() > 64 && self.completions.len() > 2 * self.flows.len() {
+        // Bound the lazy-deletion heap absolutely: entries superseded deep
+        // in the heap (projected far in the future while a flow was
+        // near-stalled) are otherwise only discarded on reaching the top.
+        // Each live flow has at most one current entry, so more than
+        // 2× live entries means at least half the heap is stale — rebuild
+        // in place (amortised O(1) per push). The small floor only stops
+        // tiny heaps from rebuilding on every call; unlike the previous
+        // 64-entry floor it keeps the bound tight even when the live-flow
+        // count stays small across long engine reuse.
+        if self.completions.len() > 8 && self.completions.len() > 2 * self.flows.len() {
             let mut entries = std::mem::take(&mut self.completions).into_vec();
             entries.retain(|e| Self::completion_valid(&self.flow_slots, e));
             // From<Vec> heapifies in place — no allocation.
@@ -647,6 +655,14 @@ impl<M> Engine<M> {
 
     pub fn active_flow_count(&self) -> usize {
         self.core.flows.len()
+    }
+
+    /// Current size of the lazy-deletion completion heap, stale entries
+    /// included (diagnostics; the churn regression test samples this while
+    /// flows are live, asserting the prune keeps it near
+    /// `max(8, 2 × live flows)`, and checks it reads 0 once idle).
+    pub fn completion_heap_len(&self) -> usize {
+        self.core.completions.len()
     }
 
     pub fn process_node(&self, pid: ProcessId) -> NodeId {
@@ -1144,6 +1160,39 @@ mod tests {
         e.run_until_flows_done(&[f2], TimeDelta::from_secs(60.0)).unwrap();
         let bw = e.outcome(f2).unwrap().throughput().as_mbps();
         assert!(bw < 11.0, "degraded link must cap the flow, got {bw} Mbps");
+    }
+
+    #[test]
+    fn completion_heap_stays_bounded_under_tiny_flow_churn() {
+        // A long-lived flow keeps the engine busy (so clear-on-idle never
+        // fires) while short flows churn on the shared medium: every
+        // start/finish bumps push_seq on the survivor and pushes fresh
+        // projections, so stale entries accumulate with the live-flow
+        // count pinned at one. Only the prune floor bounds the heap in
+        // this regime — the regime where the old 64-entry floor let stale
+        // entries pile up unpruned.
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        let f_long = e.start_probe_flow(a, c, Bytes::mib(64)).unwrap();
+        let mut max_seen = 0usize;
+        for round in 0..200 {
+            // Each churn flow halves f_long's rate, then restores it on
+            // completion: at least two stale projections per round.
+            let f2 = e.start_probe_flow(c, a, Bytes::kib(16)).unwrap();
+            e.run_until_flows_done(&[f2], TimeDelta::from_secs(60.0)).unwrap();
+            assert_eq!(e.active_flow_count(), 1, "f_long must outlive the churn");
+            max_seen = max_seen.max(e.completion_heap_len());
+            assert!(
+                e.completion_heap_len() <= 16,
+                "round {round}: heap grew to {} with one live flow",
+                e.completion_heap_len()
+            );
+        }
+        assert!(max_seen > 2, "churn must actually accumulate stale entries, saw {max_seen}");
+        // Draining the last flow clears every projection.
+        e.run_until_flows_done(&[f_long], TimeDelta::from_secs(600.0)).unwrap();
+        assert_eq!(e.active_flow_count(), 0);
+        assert_eq!(e.completion_heap_len(), 0, "idle heap must be empty");
     }
 
     #[test]

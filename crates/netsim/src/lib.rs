@@ -62,6 +62,7 @@ pub mod name;
 pub mod probes;
 pub mod routing;
 pub mod scenarios;
+pub mod synth;
 pub mod time;
 pub mod topology;
 pub mod traffic;
