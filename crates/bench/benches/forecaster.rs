@@ -1,10 +1,13 @@
 //! Criterion bench: forecaster battery throughput.
 //!
-//! Every stored measurement feeds 18 predictors; the battery must sustain
-//! far more observations per second than sensors generate.
+//! Every stored measurement feeds 20 predictors; the battery must sustain
+//! far more observations per second than sensors generate. The
+//! incremental-vs-replay groups pin the query-serving rewrite: a
+//! steady-state query against the persistent battery is O(1), while the
+//! old replay-per-query path scaled with the ring length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nws::forecast::{ExpSmooth, Predictor, SlidingMedian};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nws::forecast::{naive, ExpSmooth, Predictor, SlidingMedian, TrimmedMean};
 use nws::ForecasterBattery;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -54,10 +57,10 @@ fn bench_predictors(c: &mut Criterion) {
 }
 
 fn bench_query_path_rebuild(c: &mut Criterion) {
-    // A forecaster answering a query replays the fetched history into a
-    // fresh battery: the cost of one query as a function of history size.
-    let mut g = c.benchmark_group("query_rebuild");
-    for n in [64usize, 512] {
+    // The pre-incremental query path: replay the fetched history into a
+    // fresh battery — the cost of one query as a function of history size.
+    let mut g = c.benchmark_group("query_replay");
+    for n in [64usize, 512, 2048] {
         let data = series(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
             b.iter(|| {
@@ -70,5 +73,79 @@ fn bench_query_path_rebuild(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_battery, bench_predictors, bench_query_path_rebuild);
+fn bench_query_incremental(c: &mut Criterion) {
+    // The incremental query path: the persistent battery already observed
+    // the ring; a steady-state query is a zero-point delta plus a winner
+    // scan — constant in the history length.
+    let mut g = c.benchmark_group("query_incremental");
+    for n in [64usize, 512, 2048] {
+        let mut battery = ForecasterBattery::classic();
+        battery.observe_all(series(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &battery, |b, battery| {
+            b.iter(|| battery.forecast().map(|f| f.value))
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_vs_naive_observe(c: &mut Criterion) {
+    // The per-observation cost of the order-maintained windows against
+    // the sort-per-predict oracle, as the battery drives them (predict +
+    // observe per sample).
+    let data = series(2048);
+    let mut g = c.benchmark_group("median31_observe_2048");
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut p = SlidingMedian::new(31);
+            for v in &data {
+                black_box(p.predict());
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut p = naive::NaiveSlidingMedian::new(31);
+            for v in &data {
+                black_box(p.predict());
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("trim_mean31_observe_2048");
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut p = TrimmedMean::new(31, 0.3);
+            for v in &data {
+                black_box(p.predict());
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut p = naive::NaiveTrimmedMean::new(31, 0.3);
+            for v in &data {
+                black_box(p.predict());
+                p.observe(*v);
+            }
+            p.predict()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_battery,
+    bench_predictors,
+    bench_query_path_rebuild,
+    bench_query_incremental,
+    bench_incremental_vs_naive_observe
+);
 criterion_main!(benches);

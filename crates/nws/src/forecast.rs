@@ -18,8 +18,77 @@
 //! * `HOLT(α,β)` — Holt's linear level+trend method (extrapolates ramps).
 //!
 //! Selection can minimise MSE or MAE; both winners are reported.
+//!
+//! ## Incremental predictors and the replay oracle
+//!
+//! Every predictor here is **incremental**: `observe` is O(log k) in the
+//! window size (the order statistics live in a [`SortedWindow`] maintained
+//! under `f64::total_cmp`) and `predict` never replays or re-sorts history.
+//! The pre-incremental implementations survive in [`naive`] — they are the
+//! differential-test oracle (the same role `max_min_allocate` plays for the
+//! fairness engine), not production code. The sorted-window predictors are
+//! *bit-identical* to their naive counterparts: total-order-equal `f64`s
+//! are bit-equal, so the maintained sorted sequence is exactly the sequence
+//! the oracle's per-predict sort produces, and every downstream arithmetic
+//! consumes it in the same order. `RUN_AVG` (Welford) and `ADAPT_AVG`
+//! (running sum) trade bit-identity for numerical stability and O(1)
+//! predicts; they agree with their oracles to ~1e-9 relative.
+//!
+//! The battery rejects non-finite observations outright, so a NaN that
+//! escapes a sensor can never reach a predictor (the panic chain this
+//! guards against: `Series::push` used to `debug_assert!` finiteness while
+//! the median sort `expect`ed it — one bad stored sample panicked the
+//! forecaster in release builds).
 
 use std::collections::VecDeque;
+
+/// An order-maintained sliding window: the arrival ring pairs with a
+/// mirror sorted under `f64::total_cmp`. Insert/evict cost O(log k)
+/// comparisons plus a word-level `memmove` within the window — for NWS
+/// window sizes (k ≤ 31) this beats a two-heap/skip-list structure by a
+/// wide margin while giving O(1) order statistics at predict time.
+#[derive(Debug, Clone, Default)]
+pub struct SortedWindow {
+    arrivals: VecDeque<f64>,
+    sorted: Vec<f64>,
+    k: usize,
+}
+
+impl SortedWindow {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        SortedWindow { arrivals: VecDeque::with_capacity(k), sorted: Vec::with_capacity(k), k }
+    }
+
+    /// Insert `value`, evicting the oldest entry once the window is full.
+    /// Total-order-equal values are bit-equal, so the eviction removes
+    /// exactly the bits the arrival ring drops and the sorted mirror stays
+    /// a faithful permutation of the window.
+    pub fn push(&mut self, value: f64) {
+        if self.arrivals.len() == self.k {
+            let old = self.arrivals.pop_front().expect("non-empty");
+            let i = self.sorted.partition_point(|x| x.total_cmp(&old).is_lt());
+            debug_assert!(self.sorted[i].total_cmp(&old).is_eq());
+            self.sorted.remove(i);
+        }
+        self.arrivals.push_back(value);
+        let i = self.sorted.partition_point(|x| x.total_cmp(&value).is_lt());
+        self.sorted.insert(i, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The window in ascending `total_cmp` order.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
 
 /// A single prediction method.
 pub trait Predictor {
@@ -48,20 +117,23 @@ impl Predictor for LastValue {
     }
 }
 
-/// Running mean of all observations.
+/// Running mean of all observations, maintained Welford-style: the mean is
+/// updated in place instead of accumulating an unbounded `sum`, so a
+/// months-long measurement stream cannot lose precision to a sum that has
+/// grown many orders of magnitude past the individual samples.
 #[derive(Debug, Default)]
 pub struct RunningMean {
-    sum: f64,
+    mean: f64,
     n: u64,
 }
 
 impl Predictor for RunningMean {
     fn observe(&mut self, value: f64) {
-        self.sum += value;
         self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
     }
     fn predict(&self) -> Option<f64> {
-        (self.n > 0).then(|| self.sum / self.n as f64)
+        (self.n > 0).then_some(self.mean)
     }
     fn name(&self) -> &str {
         "RUN_AVG"
@@ -105,35 +177,31 @@ impl Predictor for SlidingMean {
     }
 }
 
-/// Sliding-window median.
+/// Sliding-window median over a [`SortedWindow`]: O(log k) observe, O(1)
+/// predict — the pre-incremental version re-sorted the window on every
+/// prediction, i.e. on every battery observation.
 #[derive(Debug)]
 pub struct SlidingMedian {
-    window: VecDeque<f64>,
-    k: usize,
+    window: SortedWindow,
     name: String,
 }
 
 impl SlidingMedian {
     pub fn new(k: usize) -> Self {
-        assert!(k > 0);
-        SlidingMedian { window: VecDeque::with_capacity(k), k, name: format!("MEDIAN({k})") }
+        SlidingMedian { window: SortedWindow::new(k), name: format!("MEDIAN({k})") }
     }
 }
 
 impl Predictor for SlidingMedian {
     fn observe(&mut self, value: f64) {
-        if self.window.len() == self.k {
-            self.window.pop_front();
-        }
-        self.window.push_back(value);
+        self.window.push(value);
     }
     fn predict(&self) -> Option<f64> {
-        if self.window.is_empty() {
+        let v = self.window.sorted();
+        let n = v.len();
+        if n == 0 {
             return None;
         }
-        let mut v: Vec<f64> = self.window.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let n = v.len();
         Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
     }
     fn name(&self) -> &str {
@@ -142,39 +210,32 @@ impl Predictor for SlidingMedian {
 }
 
 /// Sliding trimmed mean: drop the `trim` smallest and largest fractions.
+/// Observation maintains the [`SortedWindow`]; predict sums the kept slice
+/// left-to-right (at most k ≤ 31 adds), in the exact order the naive
+/// oracle's post-sort sum uses, so the result is bit-identical.
 #[derive(Debug)]
 pub struct TrimmedMean {
-    window: VecDeque<f64>,
-    k: usize,
+    window: SortedWindow,
     trim: f64,
     name: String,
 }
 
 impl TrimmedMean {
     pub fn new(k: usize, trim: f64) -> Self {
-        assert!(k > 0 && (0.0..0.5).contains(&trim));
-        TrimmedMean {
-            window: VecDeque::with_capacity(k),
-            k,
-            trim,
-            name: format!("TRIM_MEAN({k},{trim})"),
-        }
+        assert!((0.0..0.5).contains(&trim));
+        TrimmedMean { window: SortedWindow::new(k), trim, name: format!("TRIM_MEAN({k},{trim})") }
     }
 }
 
 impl Predictor for TrimmedMean {
     fn observe(&mut self, value: f64) {
-        if self.window.len() == self.k {
-            self.window.pop_front();
-        }
-        self.window.push_back(value);
+        self.window.push(value);
     }
     fn predict(&self) -> Option<f64> {
-        if self.window.is_empty() {
+        let v = self.window.sorted();
+        if v.is_empty() {
             return None;
         }
-        let mut v: Vec<f64> = self.window.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let cut = ((v.len() as f64) * self.trim).floor() as usize;
         let kept = &v[cut..v.len() - cut];
         if kept.is_empty() {
@@ -257,17 +318,33 @@ impl Predictor for HoltLinear {
 
 /// Mean over an adaptive window that resets when a value jumps by more
 /// than `jump` relative to the current mean — tracks regime changes faster
-/// than a fixed window.
+/// than a fixed window. The window is a `VecDeque` with a running sum
+/// (O(1) observe/predict); the pre-incremental version `Vec::remove(0)`d
+/// the front — an O(n) shift on every warm observation — and re-summed all
+/// 256 points per predict. A regime reset re-zeroes the accumulator, and
+/// because a jump-free stream would otherwise accumulate add/subtract
+/// rounding forever, the sum is also recomputed exactly from the window
+/// every [`AdaptiveMean::RESUM_INTERVAL`] observations (amortised O(1)),
+/// bounding drift on arbitrarily long steady streams.
 #[derive(Debug)]
 pub struct AdaptiveMean {
-    window: Vec<f64>,
+    window: VecDeque<f64>,
+    sum: f64,
     jump: f64,
+    since_resum: u32,
 }
 
 impl AdaptiveMean {
+    /// Window bound: an adaptive window longer than this behaves like the
+    /// running mean anyway.
+    pub const MAX_WINDOW: usize = 256;
+
+    /// Observations between exact re-sums of the window.
+    pub const RESUM_INTERVAL: u32 = 4096;
+
     pub fn new(jump: f64) -> Self {
         assert!(jump > 0.0);
-        AdaptiveMean { window: Vec::new(), jump }
+        AdaptiveMean { window: VecDeque::new(), sum: 0.0, jump, since_resum: 0 }
     }
 }
 
@@ -277,23 +354,189 @@ impl Predictor for AdaptiveMean {
             let denom = mean.abs().max(1e-12);
             if ((value - mean).abs() / denom) > self.jump {
                 self.window.clear();
+                self.sum = 0.0;
+                self.since_resum = 0;
             }
         }
-        self.window.push(value);
-        // Bound memory: an adaptive window longer than 256 points behaves
-        // like the running mean anyway.
-        if self.window.len() > 256 {
-            self.window.remove(0);
+        self.window.push_back(value);
+        self.sum += value;
+        if self.window.len() > Self::MAX_WINDOW {
+            self.sum -= self.window.pop_front().expect("non-empty");
+        }
+        self.since_resum += 1;
+        if self.since_resum >= Self::RESUM_INTERVAL {
+            // Same left-to-right order as the naive oracle's per-predict
+            // sum, so a re-sum pulls the accumulator back onto its value.
+            self.sum = self.window.iter().sum();
+            self.since_resum = 0;
         }
     }
     fn predict(&self) -> Option<f64> {
         if self.window.is_empty() {
             return None;
         }
-        Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        Some(self.sum / self.window.len() as f64)
     }
     fn name(&self) -> &str {
         "ADAPT_AVG"
+    }
+}
+
+/// The pre-incremental predictor implementations, kept verbatim as the
+/// differential-test oracle (mirroring `max_min_allocate` in the fairness
+/// engine): replaying a series through these must match the incremental
+/// predictors — bit-identically for the sorted-window pair, to ~1e-9 for
+/// the two mean accumulators. Their window sorts use `total_cmp` (never
+/// the old `partial_cmp().expect("finite")`), so even a hostile NaN fed
+/// directly to a naive predictor ranks instead of panicking.
+pub mod naive {
+    use super::Predictor;
+    use std::collections::VecDeque;
+
+    /// `RUN_AVG` as an unbounded sum — the accumulator whose precision
+    /// loss on long streams motivated the Welford rewrite.
+    #[derive(Debug, Default)]
+    pub struct NaiveRunningMean {
+        sum: f64,
+        n: u64,
+    }
+
+    impl Predictor for NaiveRunningMean {
+        fn observe(&mut self, value: f64) {
+            self.sum += value;
+            self.n += 1;
+        }
+        fn predict(&self) -> Option<f64> {
+            (self.n > 0).then(|| self.sum / self.n as f64)
+        }
+        fn name(&self) -> &str {
+            "RUN_AVG"
+        }
+    }
+
+    /// `MEDIAN(k)` re-sorting its window on every predict.
+    #[derive(Debug)]
+    pub struct NaiveSlidingMedian {
+        window: VecDeque<f64>,
+        k: usize,
+        name: String,
+    }
+
+    impl NaiveSlidingMedian {
+        pub fn new(k: usize) -> Self {
+            assert!(k > 0);
+            NaiveSlidingMedian {
+                window: VecDeque::with_capacity(k),
+                k,
+                name: format!("MEDIAN({k})"),
+            }
+        }
+    }
+
+    impl Predictor for NaiveSlidingMedian {
+        fn observe(&mut self, value: f64) {
+            if self.window.len() == self.k {
+                self.window.pop_front();
+            }
+            self.window.push_back(value);
+        }
+        fn predict(&self) -> Option<f64> {
+            if self.window.is_empty() {
+                return None;
+            }
+            let mut v: Vec<f64> = self.window.iter().copied().collect();
+            v.sort_by(f64::total_cmp);
+            let n = v.len();
+            Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+        }
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    /// `TRIM_MEAN(k,α)` re-sorting its window on every predict.
+    #[derive(Debug)]
+    pub struct NaiveTrimmedMean {
+        window: VecDeque<f64>,
+        k: usize,
+        trim: f64,
+        name: String,
+    }
+
+    impl NaiveTrimmedMean {
+        pub fn new(k: usize, trim: f64) -> Self {
+            assert!(k > 0 && (0.0..0.5).contains(&trim));
+            NaiveTrimmedMean {
+                window: VecDeque::with_capacity(k),
+                k,
+                trim,
+                name: format!("TRIM_MEAN({k},{trim})"),
+            }
+        }
+    }
+
+    impl Predictor for NaiveTrimmedMean {
+        fn observe(&mut self, value: f64) {
+            if self.window.len() == self.k {
+                self.window.pop_front();
+            }
+            self.window.push_back(value);
+        }
+        fn predict(&self) -> Option<f64> {
+            if self.window.is_empty() {
+                return None;
+            }
+            let mut v: Vec<f64> = self.window.iter().copied().collect();
+            v.sort_by(f64::total_cmp);
+            let cut = ((v.len() as f64) * self.trim).floor() as usize;
+            let kept = &v[cut..v.len() - cut];
+            if kept.is_empty() {
+                return Some(v[v.len() / 2]);
+            }
+            Some(kept.iter().sum::<f64>() / kept.len() as f64)
+        }
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    /// `ADAPT_AVG` with the O(n) `Vec::remove(0)` front-shift and a full
+    /// re-sum per predict.
+    #[derive(Debug)]
+    pub struct NaiveAdaptiveMean {
+        window: Vec<f64>,
+        jump: f64,
+    }
+
+    impl NaiveAdaptiveMean {
+        pub fn new(jump: f64) -> Self {
+            assert!(jump > 0.0);
+            NaiveAdaptiveMean { window: Vec::new(), jump }
+        }
+    }
+
+    impl Predictor for NaiveAdaptiveMean {
+        fn observe(&mut self, value: f64) {
+            if let Some(mean) = self.predict() {
+                let denom = mean.abs().max(1e-12);
+                if ((value - mean).abs() / denom) > self.jump {
+                    self.window.clear();
+                }
+            }
+            self.window.push(value);
+            if self.window.len() > super::AdaptiveMean::MAX_WINDOW {
+                self.window.remove(0);
+            }
+        }
+        fn predict(&self) -> Option<f64> {
+            if self.window.is_empty() {
+                return None;
+            }
+            Some(self.window.iter().sum::<f64>() / self.window.len() as f64)
+        }
+        fn name(&self) -> &str {
+            "ADAPT_AVG"
+        }
     }
 }
 
@@ -358,6 +601,37 @@ impl ForecasterBattery {
         Self::with_predictors(predictors)
     }
 
+    /// The classic family built from the pre-incremental [`naive`]
+    /// predictors, predictor-for-predictor in the same order and with the
+    /// same names — the replay oracle for the differential suite. Never
+    /// deployed: every query through `ForecasterServer` uses `classic`.
+    pub fn classic_naive() -> Self {
+        use naive::*;
+        let predictors: Vec<Box<dyn Predictor + Send>> = vec![
+            Box::new(LastValue::default()),
+            Box::new(NaiveRunningMean::default()),
+            Box::new(SlidingMean::new(5)),
+            Box::new(SlidingMean::new(11)),
+            Box::new(SlidingMean::new(21)),
+            Box::new(SlidingMean::new(31)),
+            Box::new(NaiveSlidingMedian::new(5)),
+            Box::new(NaiveSlidingMedian::new(11)),
+            Box::new(NaiveSlidingMedian::new(21)),
+            Box::new(NaiveSlidingMedian::new(31)),
+            Box::new(NaiveTrimmedMean::new(31, 0.3)),
+            Box::new(ExpSmooth::new(0.05)),
+            Box::new(ExpSmooth::new(0.1)),
+            Box::new(ExpSmooth::new(0.25)),
+            Box::new(ExpSmooth::new(0.5)),
+            Box::new(ExpSmooth::new(0.75)),
+            Box::new(ExpSmooth::new(0.9)),
+            Box::new(NaiveAdaptiveMean::new(0.5)),
+            Box::new(HoltLinear::new(0.5, 0.3)),
+            Box::new(HoltLinear::new(0.8, 0.5)),
+        ];
+        Self::with_predictors(predictors)
+    }
+
     pub fn with_predictors(predictors: Vec<Box<dyn Predictor + Send>>) -> Self {
         let n = predictors.len();
         assert!(n > 0, "battery needs at least one predictor");
@@ -371,8 +645,13 @@ impl ForecasterBattery {
     }
 
     /// Feed one observation: score every predictor's standing prediction
-    /// against it, then update them.
+    /// against it, then update them. Non-finite values are dropped here —
+    /// the last line of defence behind `Series::push` — so no predictor
+    /// ever holds a NaN/∞ in its window.
     pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
         for (i, p) in self.predictors.iter_mut().enumerate() {
             if let Some(pred) = p.predict() {
                 let e = pred - value;
@@ -631,6 +910,167 @@ mod tests {
         assert_eq!(table.len(), 20);
         assert!(table.iter().any(|(n, _, _)| n == "LAST"));
         assert!(table.iter().any(|(n, _, _)| n == "ADAPT_AVG"));
+    }
+
+    #[test]
+    fn sorted_window_is_a_sorted_permutation() {
+        let mut w = SortedWindow::new(4);
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0] {
+            w.push(v);
+        }
+        // Last four arrivals: [5, 9, 2, 6].
+        assert_eq!(w.sorted(), &[2.0, 5.0, 6.0, 9.0]);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn sorted_window_distinguishes_signed_zero() {
+        // total_cmp orders -0.0 < 0.0; eviction must remove the exact bits
+        // that leave the arrival ring.
+        let mut w = SortedWindow::new(2);
+        w.push(0.0);
+        w.push(-0.0);
+        w.push(1.0); // evicts the +0.0
+        assert!(w.sorted()[0].is_sign_negative());
+        assert_eq!(w.sorted()[1], 1.0);
+    }
+
+    #[test]
+    fn welford_running_mean_tracks_exact_sum_mean() {
+        // Integer-valued samples keep the naive sum exact; Welford's
+        // per-step division rounds, but must stay within a few ulps of
+        // the true mean throughout.
+        let mut p = RunningMean::default();
+        let mut naive = naive::NaiveRunningMean::default();
+        for i in 0..1000 {
+            let v = ((i * 37) % 101) as f64;
+            p.observe(v);
+            naive.observe(v);
+            let (w, n) = (p.predict().unwrap(), naive.predict().unwrap());
+            assert!((w - n).abs() <= 1e-12 * n.abs().max(1.0), "step {i}: {w} vs {n}");
+        }
+    }
+
+    #[test]
+    fn welford_agrees_with_naive_over_mixed_magnitudes() {
+        // The satellite contract: 1e6 mixed-magnitude samples, agreement
+        // to 1e-9 relative against the unbounded-sum oracle.
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let mut p = RunningMean::default();
+        let mut naive = naive::NaiveRunningMean::default();
+        for i in 0..1_000_000u64 {
+            let scale = match i % 4 {
+                0 => 1e9,
+                1 => 1e-3,
+                2 => 1.0,
+                _ => 1e6,
+            };
+            let v = scale * rng.gen_range(0.5..1.5);
+            p.observe(v);
+            naive.observe(v);
+        }
+        let (w, n) = (p.predict().unwrap(), naive.predict().unwrap());
+        assert!((w - n).abs() <= 1e-9 * n.abs().max(1.0), "welford {w} vs naive {n}");
+    }
+
+    #[test]
+    fn incremental_median_matches_naive_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for k in [1usize, 2, 5, 11, 31] {
+            let mut inc = SlidingMedian::new(k);
+            let mut naive = naive::NaiveSlidingMedian::new(k);
+            for _ in 0..500 {
+                // Duplicates on purpose: a small value universe forces
+                // equal-key handling in the sorted mirror.
+                let v = (rng.gen_range(0.0..16.0f64)).floor() / 4.0;
+                inc.observe(v);
+                naive.observe(v);
+                assert_eq!(inc.predict(), naive.predict(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_trimmed_mean_matches_naive_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for (k, trim) in [(5usize, 0.2), (31, 0.3), (7, 0.45)] {
+            let mut inc = TrimmedMean::new(k, trim);
+            let mut naive = naive::NaiveTrimmedMean::new(k, trim);
+            for _ in 0..500 {
+                let v = rng.gen_range(-1e3..1e3);
+                inc.observe(v);
+                naive.observe(v);
+                assert_eq!(inc.predict(), naive.predict(), "k={k} trim={trim}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_mean_matches_naive_on_exact_values() {
+        // Integer samples keep both accumulators exact, pinning the
+        // VecDeque/running-sum rewrite to the old predictions bit-for-bit
+        // across fills, evictions and regime resets.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut inc = AdaptiveMean::new(0.5);
+        let mut naive = naive::NaiveAdaptiveMean::new(0.5);
+        for i in 0..2000 {
+            let base = if (i / 300) % 2 == 0 { 100.0 } else { 10.0 };
+            let v = base + rng.gen_range(0..5) as f64;
+            inc.observe(v);
+            naive.observe(v);
+            assert_eq!(inc.predict(), naive.predict(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn adaptive_mean_resums_on_long_jump_free_streams() {
+        // A steady stream never triggers a regime reset, so only the
+        // periodic exact re-sum keeps the accumulator from drifting;
+        // after 3 re-sum intervals the incremental mean must still agree
+        // tightly with the re-sum-per-predict oracle.
+        let mut rng = SmallRng::seed_from_u64(14);
+        let mut inc = AdaptiveMean::new(1e9); // threshold never crossed
+        let mut naive = naive::NaiveAdaptiveMean::new(1e9);
+        for _ in 0..(3 * AdaptiveMean::RESUM_INTERVAL) {
+            let v = 0.1 + rng.gen_range(0.0..1e-3);
+            inc.observe(v);
+            naive.observe(v);
+        }
+        let (a, b) = (inc.predict().unwrap(), naive.predict().unwrap());
+        assert!((a - b).abs() <= 1e-12 * b.abs(), "{a} vs {b}");
+    }
+
+    #[test]
+    fn battery_ignores_non_finite_observations() {
+        let mut battery = ForecasterBattery::classic();
+        battery.observe(f64::NAN);
+        battery.observe(f64::INFINITY);
+        assert!(battery.forecast().is_none());
+        assert_eq!(battery.samples(), 0);
+
+        battery.observe_all([10.0, f64::NAN, 12.0, f64::NEG_INFINITY, 11.0]);
+        let f = battery.forecast().expect("finite samples forecast");
+        assert_eq!(f.samples, 3);
+        assert!(f.value.is_finite() && f.rmse.is_finite());
+
+        // Same stream pre-sanitized gives the identical forecast.
+        let mut clean = ForecasterBattery::classic();
+        clean.observe_all([10.0, 12.0, 11.0]);
+        assert_eq!(clean.forecast(), Some(f));
+    }
+
+    #[test]
+    fn naive_predictors_tolerate_nan_without_panicking() {
+        // Fed directly (bypassing the battery guard), the oracle sorts
+        // must rank NaN via total_cmp instead of panicking.
+        let mut m = naive::NaiveSlidingMedian::new(3);
+        let mut t = naive::NaiveTrimmedMean::new(3, 0.2);
+        for v in [1.0, f64::NAN, 2.0] {
+            m.observe(v);
+            t.observe(v);
+        }
+        assert!(m.predict().is_some());
+        assert!(t.predict().is_some());
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub struct MemoryStore {
     pub series: BTreeMap<SeriesKey, Series>,
     pub stores: u64,
     pub fetches: u64,
+    /// Stores dropped by `Series::push`: non-finite points (a sensor NaN
+    /// that must never reach a forecaster's ring) and points whose
+    /// timestamp is not strictly newer than the last stored one (clock
+    /// skew/stalls would silently desync the delta-fetch watermark).
+    pub rejected: u64,
+    /// Total points shipped across all fetch replies — the observable
+    /// behind the delta-fetch O(Δ) contract: in a steady-state query storm
+    /// this counter stays put while `fetches` climbs.
+    pub points_served: u64,
 }
 
 impl MemoryStore {
@@ -60,10 +69,14 @@ impl Process<NwsMsg> for MemoryServer {
                 let mut st = self.store.borrow_mut();
                 st.stores += 1;
                 let is_new = !st.series.contains_key(&key);
-                st.series
+                let stored = st
+                    .series
                     .entry(key.clone())
                     .or_insert_with(|| Series::new(self.capacity))
                     .push(t, value);
+                if !stored {
+                    st.rejected += 1;
+                }
                 drop(st);
                 if is_new {
                     let reg = NwsMsg::RegisterSeries { key, memory: ctx.me() };
@@ -75,7 +88,22 @@ impl Process<NwsMsg> for MemoryServer {
                 let points = {
                     let mut st = self.store.borrow_mut();
                     st.fetches += 1;
-                    st.series.get(&key).map(Series::to_pairs).unwrap_or_default()
+                    let points = st.series.get(&key).map(Series::to_pairs).unwrap_or_default();
+                    st.points_served += points.len() as u64;
+                    points
+                };
+                let reply = NwsMsg::FetchReply { key, points };
+                let size = reply.wire_size();
+                let _ = ctx.send(from, size, reply);
+            }
+            NwsMsg::FetchSince { key, after } => {
+                let points = {
+                    let mut st = self.store.borrow_mut();
+                    st.fetches += 1;
+                    let points =
+                        st.series.get(&key).map(|s| s.pairs_since(after)).unwrap_or_default();
+                    st.points_served += points.len() as u64;
+                    points
                 };
                 let reply = NwsMsg::FetchReply { key, points };
                 let size = reply.wire_size();
@@ -184,6 +212,48 @@ mod tests {
         eng.add_process(hosts[2], Box::new(FetchOnly { memory: mem_pid, got: got.clone() }));
         eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
         assert_eq!(got.borrow().clone().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn fetch_since_serves_only_the_delta() {
+        let (mut eng, hosts) = net3();
+        let (ns, _) = NameServer::new();
+        let ns_pid = eng.add_process(hosts[0], Box::new(ns));
+        let (mem, store) = MemoryServer::new("mem0", ns_pid, 128);
+        let mem_pid = eng.add_process(hosts[1], Box::new(mem));
+
+        struct DeltaFetch {
+            memory: ProcessId,
+            got: GotPoints,
+        }
+        impl Process<NwsMsg> for DeltaFetch {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+                let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+                for (t, v) in [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0), (f64::NAN, 88.0)] {
+                    let m = NwsMsg::Store { key: key.clone(), t, value: v };
+                    let size = m.wire_size();
+                    ctx.send(self.memory, size, m).unwrap();
+                }
+                let f = NwsMsg::FetchSince { key, after: 1.0 };
+                let size = f.wire_size();
+                ctx.send(self.memory, size, f).unwrap();
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, NwsMsg>, _f: ProcessId, msg: NwsMsg) {
+                if let NwsMsg::FetchReply { points, .. } = msg {
+                    *self.got.borrow_mut() = Some(points);
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(None));
+        eng.add_process(hosts[2], Box::new(DeltaFetch { memory: mem_pid, got: got.clone() }));
+        eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+
+        // Strict suffix only; the NaN-timestamped store was rejected.
+        assert_eq!(got.borrow().clone().unwrap(), vec![(2.0, 95.0), (3.0, 92.0)]);
+        let st = store.borrow();
+        assert_eq!(st.stores, 4);
+        assert_eq!(st.rejected, 1);
+        assert_eq!(st.points_served, 2);
     }
 
     #[test]

@@ -122,6 +122,15 @@ pub enum NwsMsg {
     Fetch {
         key: SeriesKey,
     },
+    /// Delta fetch: only the points with `t > after`. A forecaster holding
+    /// persistent battery state for the series asks for the measurements
+    /// it has not yet observed, so a steady-state query ships O(Δ) wire
+    /// bytes instead of the whole ring.
+    FetchSince {
+        key: SeriesKey,
+        after: f64,
+    },
+    /// Reply to both `Fetch` (full ring) and `FetchSince` (suffix).
     FetchReply {
         key: SeriesKey,
         points: Vec<(f64, f64)>,
@@ -163,6 +172,7 @@ impl NwsMsg {
             NwsMsg::WhereIs { .. } | NwsMsg::WhereIsReply { .. } => 96,
             NwsMsg::Store { .. } => 64,
             NwsMsg::Fetch { .. } => 64,
+            NwsMsg::FetchSince { .. } => 72,
             NwsMsg::FetchReply { points, .. } => 64 + 16 * points.len(),
             NwsMsg::Token { .. } => 32,
             NwsMsg::LockRequest | NwsMsg::LockGrant | NwsMsg::LockRelease => 16,

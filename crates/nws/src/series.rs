@@ -28,12 +28,32 @@ impl Series {
         Series { points: VecDeque::with_capacity(capacity.min(1024)), capacity }
     }
 
-    pub fn push(&mut self, t: f64, value: f64) {
-        debug_assert!(t.is_finite() && value.is_finite());
+    /// Store one measurement. Two classes of point are **rejected**
+    /// (returns `false`) in every build profile:
+    ///
+    /// * non-finite `t`/`value` — a sensor dividing by a zero elapsed time
+    ///   produces a NaN/∞ that would otherwise sit in the ring until a
+    ///   forecaster consumed it (the old `debug_assert!` let exactly that
+    ///   happen in release builds — the same bug class `refine::median`
+    ///   fixed for probe samples);
+    /// * `t` not strictly newer than the last stored point — the
+    ///   delta-fetch suffix walk ([`Series::pairs_since`]) and the
+    ///   forecaster's timestamp watermark both rely on strictly increasing
+    ///   times, so a stale or duplicate-time point would be silently and
+    ///   permanently invisible to forecasts while still sitting in the
+    ///   ring, breaking the replay-oracle bit-identity.
+    pub fn push(&mut self, t: f64, value: f64) -> bool {
+        if !t.is_finite() || !value.is_finite() {
+            return false;
+        }
+        if self.points.back().is_some_and(|p| t <= p.t) {
+            return false;
+        }
         if self.points.len() == self.capacity {
             self.points.pop_front();
         }
         self.points.push_back(SeriesPoint { t, value });
+        true
     }
 
     pub fn len(&self) -> usize {
@@ -55,6 +75,17 @@ impl Series {
     /// Points as `(t, value)` pairs (the FetchReply payload).
     pub fn to_pairs(&self) -> Vec<(f64, f64)> {
         self.points.iter().map(|p| (p.t, p.value)).collect()
+    }
+
+    /// Points strictly newer than `after`, oldest first — the delta-fetch
+    /// payload. Timestamps within a series are strictly increasing
+    /// (enforced by [`Series::push`]), so this walks back over the
+    /// suffix: O(Δ) for the steady-state query path, not O(ring).
+    pub fn pairs_since(&self, after: f64) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> =
+            self.points.iter().rev().take_while(|p| p.t > after).map(|p| (p.t, p.value)).collect();
+        out.reverse();
+        out
     }
 
     /// Mean measurement interval, if at least two points exist — the
@@ -131,5 +162,39 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = Series::new(0);
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let mut s = Series::new(8);
+        assert!(!s.push(f64::NAN, 1.0));
+        assert!(!s.push(1.0, f64::NAN));
+        assert!(!s.push(1.0, f64::INFINITY));
+        assert!(!s.push(f64::NEG_INFINITY, 1.0));
+        assert!(s.is_empty());
+        assert!(s.push(1.0, 2.0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_rejected() {
+        let mut s = Series::new(8);
+        assert!(s.push(1.0, 10.0));
+        assert!(!s.push(1.0, 11.0), "duplicate timestamp");
+        assert!(!s.push(0.5, 12.0), "stale timestamp");
+        assert!(s.push(2.0, 13.0));
+        assert_eq!(s.to_pairs(), vec![(1.0, 10.0), (2.0, 13.0)]);
+    }
+
+    #[test]
+    fn pairs_since_returns_strict_suffix() {
+        let mut s = Series::new(8);
+        for i in 0..5 {
+            s.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(s.pairs_since(f64::NEG_INFINITY), s.to_pairs());
+        assert_eq!(s.pairs_since(2.0), vec![(3.0, 30.0), (4.0, 40.0)]);
+        assert_eq!(s.pairs_since(4.0), vec![]);
+        assert_eq!(s.pairs_since(100.0), vec![]);
     }
 }

@@ -16,20 +16,67 @@ use crate::registry::{NameServer, RegistryHandle};
 use crate::sensor::{FreeRun, HostSense, Sensor, SensorConfig};
 use crate::series::Series;
 
+/// Persistent forecasting state for one series: the battery that has
+/// observed every point fetched so far, the newest observed timestamp
+/// (the delta-fetch watermark) and the memory server that stores the
+/// series (cached from the first directory lookup).
+struct SeriesState {
+    battery: ForecasterBattery,
+    last_t: f64,
+    memory: ProcessId,
+}
+
+/// Clients waiting for one key, plus how many of them are covered by the
+/// lookup/fetch currently in flight. Only that prefix may be answered from
+/// a negative directory reply: a client that queued *after* the `WhereIs`
+/// left may be asking about a series registered in the meantime, so its
+/// lookup is re-issued instead of reusing the stale negative.
+#[derive(Default)]
+struct Waiting {
+    clients: VecDeque<ProcessId>,
+    asked: usize,
+}
+
 /// The forecaster process: answers `Query` by locating the series' memory
 /// through the name server (step 2), fetching the history (step 3),
 /// running the battery and replying (step 4).
+///
+/// The query path is incremental end to end: each series keeps a
+/// persistent [`SeriesState`], so a query fetches (`FetchSince`) and
+/// observes only the points newer than the watermark — O(Δ) work and
+/// wire bytes — instead of shipping the whole ring and replaying it
+/// through a fresh 20-predictor battery. Replaying the stored ring into a
+/// fresh battery produces the bit-identical forecast (the oracle the
+/// scaling bench asserts against) as long as the ring has not evicted
+/// points the persistent battery already saw.
 pub struct ForecasterServer {
     name: String,
     ns: ProcessId,
-    /// Clients waiting per key, with the lookup/fetch state implied by
-    /// message arrivals.
-    waiting: BTreeMap<SeriesKey, VecDeque<ProcessId>>,
+    state: BTreeMap<SeriesKey, SeriesState>,
+    waiting: BTreeMap<SeriesKey, Waiting>,
 }
 
 impl ForecasterServer {
     pub fn new(name: &str, ns: ProcessId) -> Self {
-        ForecasterServer { name: name.to_string(), ns, waiting: BTreeMap::new() }
+        ForecasterServer {
+            name: name.to_string(),
+            ns,
+            state: BTreeMap::new(),
+            waiting: BTreeMap::new(),
+        }
+    }
+
+    fn send_fetch_since(&self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
+        let st = &self.state[key];
+        let f = NwsMsg::FetchSince { key: key.clone(), after: st.last_t };
+        let size = f.wire_size();
+        let _ = ctx.send(st.memory, size, f);
+    }
+
+    fn send_where_is(&self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
+        let q = NwsMsg::WhereIs { key: key.clone() };
+        let size = q.wire_size();
+        let _ = ctx.send(self.ns, size, q);
     }
 }
 
@@ -43,41 +90,72 @@ impl Process<NwsMsg> for ForecasterServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
         match msg {
             NwsMsg::Query { key } => {
-                let first = !self.waiting.contains_key(&key);
-                self.waiting.entry(key.clone()).or_default().push_back(from);
-                if first {
-                    let q = NwsMsg::WhereIs { key };
-                    let size = q.wire_size();
-                    let _ = ctx.send(self.ns, size, q);
+                let w = self.waiting.entry(key.clone()).or_default();
+                w.clients.push_back(from);
+                if w.asked == 0 {
+                    // No request in flight for this key: start one. A known
+                    // series goes straight to its memory for the delta; only
+                    // a never-seen key pays the directory round trip.
+                    w.asked = w.clients.len();
+                    if self.state.contains_key(&key) {
+                        self.send_fetch_since(ctx, &key);
+                    } else {
+                        self.send_where_is(ctx, &key);
+                    }
                 }
             }
             NwsMsg::WhereIsReply { key, memory } => match memory {
                 Some(mem) => {
-                    let f = NwsMsg::Fetch { key };
-                    let size = f.wire_size();
-                    let _ = ctx.send(mem, size, f);
+                    // No prefix accounting here: the eventual FetchReply
+                    // forecast is fresh enough for every waiting client,
+                    // including post-lookup joiners, and answers them all.
+                    self.state.entry(key.clone()).and_modify(|st| st.memory = mem).or_insert_with(
+                        || SeriesState {
+                            battery: ForecasterBattery::classic(),
+                            last_t: f64::NEG_INFINITY,
+                            memory: mem,
+                        },
+                    );
+                    self.send_fetch_since(ctx, &key);
                 }
                 None => {
-                    // Unknown series: answer every waiting client with None.
-                    if let Some(clients) = self.waiting.remove(&key) {
-                        for c in clients {
+                    // Unknown series: the negative only answers the clients
+                    // whose query preceded the lookup. Anyone who queued
+                    // afterwards re-asks — the series may have been
+                    // registered while the reply was in flight.
+                    if let Some(w) = self.waiting.get_mut(&key) {
+                        for _ in 0..w.asked {
+                            let Some(c) = w.clients.pop_front() else { break };
                             let r = NwsMsg::QueryReply { key: key.clone(), forecast: None };
                             let size = r.wire_size();
                             let _ = ctx.send(c, size, r);
+                        }
+                        if w.clients.is_empty() {
+                            self.waiting.remove(&key);
+                        } else {
+                            w.asked = w.clients.len();
+                            self.send_where_is(ctx, &key);
                         }
                     }
                 }
             },
             NwsMsg::FetchReply { key, points } => {
-                let forecast = if points.is_empty() {
-                    None
-                } else {
-                    let mut battery = ForecasterBattery::classic();
-                    battery.observe_all(points.iter().map(|(_, v)| *v));
-                    battery.forecast()
-                };
-                if let Some(clients) = self.waiting.remove(&key) {
-                    for c in clients {
+                let st = self.state.entry(key.clone()).or_insert_with(|| SeriesState {
+                    battery: ForecasterBattery::classic(),
+                    last_t: f64::NEG_INFINITY,
+                    memory: from,
+                });
+                for (t, v) in points {
+                    // Guard the watermark even against a duplicate or
+                    // reordered reply: each point is observed exactly once.
+                    if t > st.last_t {
+                        st.last_t = t;
+                        st.battery.observe(v);
+                    }
+                }
+                let forecast = st.battery.forecast();
+                if let Some(w) = self.waiting.remove(&key) {
+                    for c in w.clients {
                         let r = NwsMsg::QueryReply { key: key.clone(), forecast: forecast.clone() };
                         let size = r.wire_size();
                         let _ = ctx.send(c, size, r);
