@@ -1,12 +1,19 @@
 //! Criterion bench: deployment planning and validation cost.
 //!
 //! The §5.1 algorithm is linear in the effective tree; validation is
-//! quadratic in measured pairs (path-resource intersection). Both must
-//! stay cheap enough to re-run on every remapping.
+//! cluster-granular (O(C²) completeness + bitset footprint intersection)
+//! and benched against the per-host-pair naive oracle at synth scale.
+//! Both must stay cheap enough to re-run on every remapping.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use envdeploy::{parse_config, plan_deployment, render_config, validate_plan, PlannerConfig};
-use envmap::{EnvNet, EnvView, NetKind};
+use envdeploy::{
+    parse_config, plan_deployment, render_config, validate_plan, validate_plan_naive,
+    validate_plan_with_routes, PlannerConfig,
+};
+use envmap::{EnvConfig, EnvMapper, EnvNet, EnvView, HostInput, NetKind};
+use netsim::routing::RouteTable;
+use netsim::synth::{synth, SynthFamily};
+use netsim::Sim;
 use nws_bench::map_ens_lyon;
 
 /// A synthetic effective view with `nets` top-level networks of `hosts`
@@ -50,6 +57,33 @@ fn bench_validation(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cluster-granular validator at synth scale (campus family), routes
+/// precomputed as in the pipeline; plus the naive oracle at the smallest
+/// tier for the before/after record.
+fn bench_validate_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate_plan");
+    g.sample_size(10);
+    for hosts in [100usize, 500, 1000] {
+        let sc = synth(SynthFamily::Campus, 2004, hosts);
+        let mut eng = Sim::new(sc.net.topo.clone());
+        let inputs: Vec<HostInput> = sc.input_names().iter().map(|n| HostInput::new(n)).collect();
+        let run = EnvMapper::new(EnvConfig::fast_batched())
+            .map(&mut eng, &inputs, &sc.master_name(), sc.external_name().as_deref())
+            .expect("campus maps");
+        let plan = plan_deployment(&run.view, &PlannerConfig::default());
+        let routes = RouteTable::compute(&sc.net.topo);
+        g.bench_function(format!("campus_{hosts}"), |b| {
+            b.iter(|| validate_plan_with_routes(&plan, &run.view, &sc.net.topo, &routes))
+        });
+        if hosts == 100 {
+            g.bench_function(format!("campus_naive_{hosts}"), |b| {
+                b.iter(|| validate_plan_naive(&plan, &run.view, &sc.net.topo))
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_config_round_trip(c: &mut Criterion) {
     let mut g = c.benchmark_group("manager_config");
     let view = synthetic_view(16, 8);
@@ -60,5 +94,11 @@ fn bench_config_round_trip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_planner, bench_validation, bench_config_round_trip);
+criterion_group!(
+    benches,
+    bench_planner,
+    bench_validation,
+    bench_validate_scaling,
+    bench_config_round_trip
+);
 criterion_main!(benches);

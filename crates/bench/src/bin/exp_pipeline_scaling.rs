@@ -1,6 +1,6 @@
 //! End-to-end pipeline scaling experiment: synth topology → structural map
 //! → refinement → `plan_deployment` → `validate_plan`, across the synthetic
-//! scenario families at 100 / 500 / 1000 hosts, emitted as
+//! scenario families at 100 / 500 / 1000 / 2000 hosts, emitted as
 //! `BENCH_pipeline.json`.
 //!
 //! Every row asserts the pipeline's *quality*, not just its speed:
@@ -10,15 +10,19 @@
 //! * plan validity — the deployment plan must be complete (every host pair
 //!   estimable) with no unresolved hosts;
 //! * determinism — at the smallest tier each family is mapped twice and
-//!   the run fingerprints must be bit-identical.
+//!   the run fingerprints must be bit-identical;
+//! * validator speed — `validate_ms` must stay under a generous per-tier
+//!   regression budget (~10× the recorded cluster-granular numbers), so a
+//!   relapse into per-host-pair scanning fails the build instead of
+//!   silently re-pinning CI to small tiers.
 //!
 //! Run: `cargo run --release -p nws-bench --bin exp_pipeline_scaling
-//! [--smoke] [out.json]`. `--smoke` keeps only the 100-host tier (the CI
-//! configuration).
+//! [--smoke] [out.json]`. `--smoke` keeps the 100- and 500-host tiers (the
+//! CI configuration).
 
 use std::time::Instant;
 
-use envdeploy::{plan_deployment, validate_plan, PlannerConfig};
+use envdeploy::{plan_deployment, validate_plan_with_routes, PlannerConfig};
 use envmap::score::intact_fraction;
 use envmap::{cluster_agreement, EnvConfig, EnvMapper, HostInput};
 use netsim::synth::{synth, SynthFamily, SynthScenario};
@@ -57,9 +61,22 @@ fn fnv1a(parts: &[&str]) -> u64 {
     h
 }
 
-/// One full pipeline pass; returns (view render, plan render, stats) so the
-/// caller can fingerprint and time independently.
-fn map_once(sc: &SynthScenario) -> (envmap::EnvRun, f64) {
+/// Generous per-tier ceiling on `validate_ms` (roughly 10× the values the
+/// cluster-granular validator records; the old per-pair validator was
+/// ~15 000–25 000 ms at 1000 hosts, so a complexity regression trips this
+/// immediately).
+fn validate_budget_ms(hosts: usize) -> f64 {
+    match hosts {
+        0..=100 => 50.0,
+        101..=500 => 200.0,
+        501..=1000 => 500.0,
+        _ => 2000.0,
+    }
+}
+
+/// One full pipeline pass; returns the run, the mapping time, and the
+/// engine (whose precomputed route table the validator reuses).
+fn map_once(sc: &SynthScenario) -> (envmap::EnvRun, f64, Sim) {
     let mut eng = Sim::new(sc.net.topo.clone());
     let inputs: Vec<HostInput> = sc.input_names().iter().map(|n| HostInput::new(n)).collect();
     let external = sc.external_name();
@@ -68,7 +85,8 @@ fn map_once(sc: &SynthScenario) -> (envmap::EnvRun, f64) {
     let run = mapper
         .map(&mut eng, &inputs, &sc.master_name(), external.as_deref())
         .unwrap_or_else(|e| panic!("{} mapping failed: {e}", sc.family.name()));
-    (run, t.elapsed().as_secs_f64() * 1e3)
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (run, ms, eng)
 }
 
 fn run_tier(family: SynthFamily, hosts: usize) -> Row {
@@ -76,7 +94,7 @@ fn run_tier(family: SynthFamily, hosts: usize) -> Row {
     let truth = sc.truth_labels();
     let master = sc.master_name();
 
-    let (run, map_ms) = map_once(&sc);
+    let (run, map_ms, eng) = map_once(&sc);
     let agreement = cluster_agreement(&run.view, &truth, &[master.as_str()]);
     let intact = intact_fraction(&run.view, &truth, &[master.as_str()]);
 
@@ -85,7 +103,7 @@ fn run_tier(family: SynthFamily, hosts: usize) -> Row {
     let plan_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    let report = validate_plan(&plan, &run.view, &sc.net.topo);
+    let report = validate_plan_with_routes(&plan, &run.view, &sc.net.topo, eng.routes());
     let validate_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let fingerprint = fnv1a(&[&run.view.render(), &plan.render(), &format!("{agreement:.17}")]);
@@ -112,10 +130,17 @@ fn run_tier(family: SynthFamily, hosts: usize) -> Row {
         report.unresolved_hosts
     );
     assert!(report.complete, "{} @ {hosts}: incomplete plan\n{}", family.name(), report.render());
+    assert!(
+        validate_ms <= validate_budget_ms(hosts),
+        "{} @ {hosts}: validate took {validate_ms:.1} ms, budget {:.0} ms — \
+         the cluster-granular validator has regressed",
+        family.name(),
+        validate_budget_ms(hosts)
+    );
 
-    // Every tier re-maps and re-plans (cheap next to validate): scale-
+    // Every tier re-maps and re-plans (cheap next to the mapper): scale-
     // dependent nondeterminism must fail the bench, not ship as a null.
-    let (rerun, _) = map_once(&sc);
+    let (rerun, _, _) = map_once(&sc);
     let plan2 = plan_deployment(&rerun.view, &PlannerConfig::default());
     let rerun_agreement = cluster_agreement(&rerun.view, &truth, &[master.as_str()]);
     let again = fnv1a(&[&rerun.view.render(), &plan2.render(), &format!("{rerun_agreement:.17}")]);
@@ -188,7 +213,7 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-    let tiers: &[usize] = if smoke { &[100] } else { &[100, 500, 1000] };
+    let tiers: &[usize] = if smoke { &[100, 500] } else { &[100, 500, 1000, 2000] };
 
     println!("=== pipeline scaling: synth → map → plan → validate ===\n");
     let mut rows = Vec::new();

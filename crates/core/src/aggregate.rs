@@ -19,6 +19,7 @@
 use envmap::{EnvNet, EnvView, NetKind};
 use nws::{Resource, SeriesKey};
 
+use crate::compiled::CompiledView;
 use crate::plan::DeploymentPlan;
 
 /// Where measured values come from (a live NWS system, or a table in
@@ -71,26 +72,21 @@ pub struct Estimate {
     pub freshness: Freshness,
 }
 
-/// Estimator over a plan and the effective view it was derived from.
+/// Estimator over a plan and the effective view it came from.
+///
+/// Since the cluster-granular rewrite this is a thin façade over the
+/// interned [`CompiledView`] engine: `new` compiles the view/plan pair
+/// once (interned host ids, flattened ancestry, clique bitsets), and
+/// `estimate` runs on dense ids. The original string-walking
+/// implementation survives unchanged as [`naive::NaiveEstimator`], the
+/// differential-test oracle.
 pub struct Estimator<'a> {
-    view: &'a EnvView,
-    plan: &'a DeploymentPlan,
-}
-
-/// One aggregation segment.
-#[derive(Debug, Clone)]
-enum Segment {
-    /// a↔b within the named network (substitution applies).
-    Within { net: String, a: String, b: String },
-    /// a↔b across the inter-network clique.
-    Inter { a: String, b: String },
-    /// Static fallback: ENV's base bandwidth for the named network.
-    StaticNet { net: String },
+    compiled: CompiledView<'a>,
 }
 
 impl<'a> Estimator<'a> {
     pub fn new(view: &'a EnvView, plan: &'a DeploymentPlan) -> Self {
-        Estimator { view, plan }
+        Estimator { compiled: CompiledView::new(view, plan) }
     }
 
     /// Estimate connectivity from `src` to `dst`.
@@ -103,271 +99,330 @@ impl<'a> Estimator<'a> {
         dst: &str,
         source: &dyn MeasurementSource,
     ) -> Option<Estimate> {
-        if src == dst {
-            return None;
+        // A name the view/plan never mentions cannot be clique-measured,
+        // the master, or located — exactly the naive `None` cases.
+        let s = self.compiled.host_id(src)?;
+        let d = self.compiled.host_id(dst)?;
+        let adapter = self.compiled.adapt(source);
+        self.compiled.estimate_ids(s, d, &adapter)
+    }
+
+    /// The interned engine, for callers that want dense-id queries (e.g.
+    /// the plan validator) without recompiling the view.
+    pub fn compiled(&self) -> &CompiledView<'a> {
+        &self.compiled
+    }
+}
+
+/// The pre-interning estimator, kept verbatim as the differential-test
+/// oracle (the engine pattern of PR 1's `max_min_allocate` and PR 3's
+/// `forecast::naive`): `Estimator` must agree with it bit-for-bit.
+pub mod naive {
+    use super::*;
+
+    /// One aggregation segment.
+    #[derive(Debug, Clone)]
+    enum Segment {
+        /// a↔b within the named network (substitution applies).
+        Within { net: String, a: String, b: String },
+        /// a↔b across the inter-network clique.
+        Inter { a: String, b: String },
+        /// Static fallback: ENV's base bandwidth for the named network.
+        StaticNet { net: String },
+    }
+
+    /// String-walking estimator over a plan and its effective view.
+    pub struct NaiveEstimator<'a> {
+        view: &'a EnvView,
+        plan: &'a DeploymentPlan,
+    }
+
+    impl<'a> NaiveEstimator<'a> {
+        pub fn new(view: &'a EnvView, plan: &'a DeploymentPlan) -> Self {
+            NaiveEstimator { view, plan }
         }
 
-        // Directly measured by some clique? Use the fresh values.
-        if self.plan.clique_measuring(src, dst).is_some() {
-            return Some(
-                self.finish(
+        /// Estimate connectivity from `src` to `dst`.
+        ///
+        /// Returns `None` only when the pair cannot be located in the view
+        /// at all (unknown hosts).
+        pub fn estimate(
+            &self,
+            src: &str,
+            dst: &str,
+            source: &dyn MeasurementSource,
+        ) -> Option<Estimate> {
+            if src == dst {
+                return None;
+            }
+
+            // Directly measured by some clique? Use the fresh values.
+            if self.plan.clique_measuring(src, dst).is_some() {
+                return Some(self.finish(
                     vec![Segment::Inter { a: src.to_string(), b: dst.to_string() }],
                     source,
-                ),
-            );
+                ));
+            }
+
+            let master = &self.view.master;
+            if src == master || dst == master {
+                let other = if src == master { dst } else { src };
+                return self.estimate_from_master(other, source);
+            }
+
+            let chain_src = self.ancestry(src)?;
+            let chain_dst = self.ancestry(dst)?;
+
+            let mut segments = Vec::new();
+
+            // Deepest common network in the two ancestries.
+            let common_depth = chain_src
+                .iter()
+                .zip(chain_dst.iter())
+                .take_while(|(a, b)| a.label == b.label)
+                .count();
+
+            if common_depth > 0 {
+                // Same top-level subtree: climb both sides to the common net.
+                let common = chain_src[common_depth - 1];
+                let up = self.climb(src, &chain_src[common_depth - 1..], &mut segments);
+                let mut down_segs = Vec::new();
+                let down = self.climb(dst, &chain_dst[common_depth - 1..], &mut down_segs);
+                if up != down {
+                    segments.push(Segment::Within { net: common.label.clone(), a: up, b: down });
+                }
+                segments.extend(down_segs.into_iter().rev());
+            } else {
+                // Different top-level networks: go through the inter clique.
+                let top_src = chain_src[0];
+                let top_dst = chain_dst[0];
+                let rep_src = self.top_rep(top_src);
+                let rep_dst = self.top_rep(top_dst);
+                let up = self.climb(src, &chain_src, &mut segments);
+                if up != rep_src {
+                    segments.push(Segment::Within {
+                        net: top_src.label.clone(),
+                        a: up,
+                        b: rep_src.clone(),
+                    });
+                }
+                segments.push(Segment::Inter { a: rep_src, b: rep_dst.clone() });
+                let mut down_segs = Vec::new();
+                let down = self.climb(dst, &chain_dst, &mut down_segs);
+                if down != rep_dst {
+                    down_segs.push(Segment::Within {
+                        net: top_dst.label.clone(),
+                        a: rep_dst,
+                        b: down,
+                    });
+                }
+                segments.extend(down_segs.into_iter().rev());
+            }
+
+            Some(self.finish(segments, source))
         }
 
-        let master = &self.view.master;
-        if src == master || dst == master {
-            let other = if src == master { dst } else { src };
-            return self.estimate_from_master(other, source);
+        /// Master-to-host estimates: ENV measured master↔network bandwidth
+        /// during the mapping (`base_bw`), so the leaf network's base value
+        /// bounds the whole path — a static estimate unless the master was
+        /// planned into the inter clique.
+        fn estimate_from_master(
+            &self,
+            other: &str,
+            source: &dyn MeasurementSource,
+        ) -> Option<Estimate> {
+            let chain = self.ancestry(other)?;
+            let leaf = *chain.last().expect("ancestry is non-empty");
+
+            // Fresh path when the master is in the inter clique: master↔top
+            // rep is measured, the rest aggregates as usual.
+            let master = self.view.master.clone();
+            let top = chain[0];
+            let rep = self.top_rep(top);
+            if self.plan.clique_measuring(&master, &rep).is_some() {
+                let mut segments = vec![Segment::Inter { a: master, b: rep.clone() }];
+                let mut down_segs = Vec::new();
+                let down = self.climb(other, &chain, &mut down_segs);
+                if down != rep {
+                    down_segs.push(Segment::Within { net: top.label.clone(), a: rep, b: down });
+                }
+                segments.extend(down_segs.into_iter().rev());
+                return Some(self.finish(segments, source));
+            }
+
+            Some(self.finish(vec![Segment::StaticNet { net: leaf.label.clone() }], source))
         }
 
-        let chain_src = self.ancestry(src)?;
-        let chain_dst = self.ancestry(dst)?;
-
-        let mut segments = Vec::new();
-
-        // Deepest common network in the two ancestries.
-        let common_depth =
-            chain_src.iter().zip(chain_dst.iter()).take_while(|(a, b)| a.label == b.label).count();
-
-        if common_depth > 0 {
-            // Same top-level subtree: climb both sides to the common net.
-            let common = chain_src[common_depth - 1];
-            let up = self.climb(src, &chain_src[common_depth - 1..], &mut segments);
-            let mut down_segs = Vec::new();
-            let down = self.climb(dst, &chain_dst[common_depth - 1..], &mut down_segs);
-            if up != down {
-                segments.push(Segment::Within { net: common.label.clone(), a: up, b: down });
-            }
-            segments.extend(down_segs.into_iter().rev());
-        } else {
-            // Different top-level networks: go through the inter clique.
-            let top_src = chain_src[0];
-            let top_dst = chain_dst[0];
-            let rep_src = self.top_rep(top_src);
-            let rep_dst = self.top_rep(top_dst);
-            let up = self.climb(src, &chain_src, &mut segments);
-            if up != rep_src {
-                segments.push(Segment::Within {
-                    net: top_src.label.clone(),
-                    a: up,
-                    b: rep_src.clone(),
-                });
-            }
-            segments.push(Segment::Inter { a: rep_src, b: rep_dst.clone() });
-            let mut down_segs = Vec::new();
-            let down = self.climb(dst, &chain_dst, &mut down_segs);
-            if down != rep_dst {
-                down_segs.push(Segment::Within { net: top_dst.label.clone(), a: rep_dst, b: down });
-            }
-            segments.extend(down_segs.into_iter().rev());
-        }
-
-        Some(self.finish(segments, source))
-    }
-
-    /// Master-to-host estimates: ENV measured master↔network bandwidth
-    /// during the mapping (`base_bw`), so the leaf network's base value
-    /// bounds the whole path — a static estimate unless the master was
-    /// planned into the inter clique.
-    fn estimate_from_master(
-        &self,
-        other: &str,
-        source: &dyn MeasurementSource,
-    ) -> Option<Estimate> {
-        let chain = self.ancestry(other)?;
-        let leaf = *chain.last().expect("ancestry is non-empty");
-
-        // Fresh path when the master is in the inter clique: master↔top
-        // rep is measured, the rest aggregates as usual.
-        let master = self.view.master.clone();
-        let top = chain[0];
-        let rep = self.top_rep(top);
-        if self.plan.clique_measuring(&master, &rep).is_some() {
-            let mut segments = vec![Segment::Inter { a: master, b: rep.clone() }];
-            let mut down_segs = Vec::new();
-            let down = self.climb(other, &chain, &mut down_segs);
-            if down != rep {
-                down_segs.push(Segment::Within { net: top.label.clone(), a: rep, b: down });
-            }
-            segments.extend(down_segs.into_iter().rev());
-            return Some(self.finish(segments, source));
-        }
-
-        Some(self.finish(vec![Segment::StaticNet { net: leaf.label.clone() }], source))
-    }
-
-    /// Ancestry of the network containing `host`: root-level network
-    /// first, leaf network last.
-    fn ancestry(&self, host: &str) -> Option<Vec<&'a EnvNet>> {
-        fn rec<'b>(net: &'b EnvNet, host: &str, path: &mut Vec<&'b EnvNet>) -> bool {
-            path.push(net);
-            if net.hosts.iter().any(|h| h == host) {
-                return true;
-            }
-            for c in &net.children {
-                if rec(c, host, path) {
+        /// Ancestry of the network containing `host`: root-level network
+        /// first, leaf network last.
+        fn ancestry(&self, host: &str) -> Option<Vec<&'a EnvNet>> {
+            fn rec<'b>(net: &'b EnvNet, host: &str, path: &mut Vec<&'b EnvNet>) -> bool {
+                path.push(net);
+                if net.hosts.iter().any(|h| h == host) {
                     return true;
                 }
+                for c in &net.children {
+                    if rec(c, host, path) {
+                        return true;
+                    }
+                }
+                path.pop();
+                false
             }
-            path.pop();
-            false
+            for net in &self.view.networks {
+                let mut path = Vec::new();
+                if rec(net, host, &mut path) {
+                    return Some(path);
+                }
+            }
+            None
         }
-        for net in &self.view.networks {
-            let mut path = Vec::new();
-            if rec(net, host, &mut path) {
-                return Some(path);
+
+        /// Climb from `host` in the leaf of `chain` up to the first network of
+        /// `chain`, emitting within-segments; returns the host reached in the
+        /// first network of the chain (a gateway or `host` itself).
+        fn climb(&self, host: &str, chain: &[&EnvNet], segments: &mut Vec<Segment>) -> String {
+            let mut cur = host.to_string();
+            // Walk leaf→up; chain is top→leaf, so iterate in reverse, stopping
+            // before the first element.
+            for i in (1..chain.len()).rev() {
+                let net = chain[i];
+                let gw = net
+                    .via
+                    .clone()
+                    .unwrap_or_else(|| net.hosts.first().cloned().unwrap_or_else(|| cur.clone()));
+                if cur != gw {
+                    segments.push(Segment::Within {
+                        net: net.label.clone(),
+                        a: cur.clone(),
+                        b: gw.clone(),
+                    });
+                }
+                cur = gw;
+            }
+            cur
+        }
+
+        /// The inter-clique representative of a top-level network.
+        fn top_rep(&self, net: &EnvNet) -> String {
+            if let Some(inter) = self.plan.cliques.iter().find(|c| c.name == "inter-top") {
+                if let Some(rep) = inter.members.iter().find(|m| net.hosts.contains(m)) {
+                    return rep.clone();
+                }
+            }
+            net.hosts.first().cloned().unwrap_or_else(|| self.view.master.clone())
+        }
+
+        /// Resolve the segment chain to numbers.
+        fn finish(&self, segments: Vec<Segment>, source: &dyn MeasurementSource) -> Estimate {
+            let mut bw = f64::INFINITY;
+            let mut lat = Some(0.0f64);
+            let mut fresh = Freshness::Measured;
+            let mut descs = Vec::with_capacity(segments.len());
+
+            for seg in &segments {
+                match seg {
+                    Segment::Within { net, a, b } => {
+                        let (pa, pb, substituted) = self.substitute(net, a, b);
+                        let b_bw = self.pair_value(Resource::Bandwidth, &pa, &pb, source);
+                        let b_lat = self.pair_value(Resource::Latency, &pa, &pb, source);
+                        match b_bw {
+                            Some(v) => bw = bw.min(v),
+                            None => {
+                                // Static fallback for an unmeasured network.
+                                if let Some(n) = find_net(&self.view.networks, net) {
+                                    bw = bw.min(n.local_bw_mbps.unwrap_or(n.base_bw_mbps));
+                                }
+                                fresh = Freshness::PartiallyStatic;
+                            }
+                        }
+                        match b_lat {
+                            Some(v) => {
+                                if let Some(l) = lat.as_mut() {
+                                    *l += v;
+                                }
+                            }
+                            None => lat = None,
+                        }
+                        let sub = if substituted { " (representative)" } else { "" };
+                        descs.push(format!("{a}→{b} within {net}{sub}"));
+                    }
+                    Segment::Inter { a, b } => {
+                        match self.pair_value(Resource::Bandwidth, a, b, source) {
+                            Some(v) => bw = bw.min(v),
+                            None => fresh = Freshness::PartiallyStatic,
+                        }
+                        match self.pair_value(Resource::Latency, a, b, source) {
+                            Some(v) => {
+                                if let Some(l) = lat.as_mut() {
+                                    *l += v;
+                                }
+                            }
+                            None => lat = None,
+                        }
+                        descs.push(format!("{a}→{b} (direct)"));
+                    }
+                    Segment::StaticNet { net } => {
+                        if let Some(n) = find_net(&self.view.networks, net) {
+                            bw = bw.min(n.base_bw_mbps);
+                        }
+                        lat = None;
+                        fresh = Freshness::PartiallyStatic;
+                        descs.push(format!("ENV base bandwidth of {net} (static)"));
+                    }
+                }
+            }
+
+            if !bw.is_finite() {
+                bw = 0.0;
+                fresh = Freshness::PartiallyStatic;
+            }
+            Estimate { bandwidth_mbps: bw, latency_ms: lat, segments: descs, freshness: fresh }
+        }
+
+        /// Apply representative substitution on a shared network when the pair
+        /// itself is not measured.
+        fn substitute(&self, net_label: &str, a: &str, b: &str) -> (String, String, bool) {
+            if self.plan.clique_measuring(a, b).is_some() {
+                return (a.to_string(), b.to_string(), false);
+            }
+            let net = find_net(&self.view.networks, net_label);
+            if let Some(net) = net {
+                if matches!(net.kind, NetKind::Shared) {
+                    if let Some((r1, r2)) = self.plan.representatives.get(net_label) {
+                        return (r1.clone(), r2.clone(), true);
+                    }
+                }
+            }
+            (a.to_string(), b.to_string(), false)
+        }
+
+        /// Measured value for a pair, trying both directions (NWS measures
+        /// both over a clique round; early in a run only one may exist).
+        fn pair_value(
+            &self,
+            resource: Resource,
+            a: &str,
+            b: &str,
+            source: &dyn MeasurementSource,
+        ) -> Option<f64> {
+            source
+                .latest(&SeriesKey::link(resource, a, b))
+                .or_else(|| source.latest(&SeriesKey::link(resource, b, a)))
+        }
+    }
+
+    fn find_net<'b>(nets: &'b [EnvNet], label: &str) -> Option<&'b EnvNet> {
+        for n in nets {
+            if n.label == label {
+                return Some(n);
+            }
+            if let Some(f) = find_net(&n.children, label) {
+                return Some(f);
             }
         }
         None
     }
-
-    /// Climb from `host` in the leaf of `chain` up to the first network of
-    /// `chain`, emitting within-segments; returns the host reached in the
-    /// first network of the chain (a gateway or `host` itself).
-    fn climb(&self, host: &str, chain: &[&EnvNet], segments: &mut Vec<Segment>) -> String {
-        let mut cur = host.to_string();
-        // Walk leaf→up; chain is top→leaf, so iterate in reverse, stopping
-        // before the first element.
-        for i in (1..chain.len()).rev() {
-            let net = chain[i];
-            let gw = net
-                .via
-                .clone()
-                .unwrap_or_else(|| net.hosts.first().cloned().unwrap_or_else(|| cur.clone()));
-            if cur != gw {
-                segments.push(Segment::Within {
-                    net: net.label.clone(),
-                    a: cur.clone(),
-                    b: gw.clone(),
-                });
-            }
-            cur = gw;
-        }
-        cur
-    }
-
-    /// The inter-clique representative of a top-level network.
-    fn top_rep(&self, net: &EnvNet) -> String {
-        if let Some(inter) = self.plan.cliques.iter().find(|c| c.name == "inter-top") {
-            if let Some(rep) = inter.members.iter().find(|m| net.hosts.contains(m)) {
-                return rep.clone();
-            }
-        }
-        net.hosts.first().cloned().unwrap_or_else(|| self.view.master.clone())
-    }
-
-    /// Resolve the segment chain to numbers.
-    fn finish(&self, segments: Vec<Segment>, source: &dyn MeasurementSource) -> Estimate {
-        let mut bw = f64::INFINITY;
-        let mut lat = Some(0.0f64);
-        let mut fresh = Freshness::Measured;
-        let mut descs = Vec::with_capacity(segments.len());
-
-        for seg in &segments {
-            match seg {
-                Segment::Within { net, a, b } => {
-                    let (pa, pb, substituted) = self.substitute(net, a, b);
-                    let b_bw = self.pair_value(Resource::Bandwidth, &pa, &pb, source);
-                    let b_lat = self.pair_value(Resource::Latency, &pa, &pb, source);
-                    match b_bw {
-                        Some(v) => bw = bw.min(v),
-                        None => {
-                            // Static fallback for an unmeasured network.
-                            if let Some(n) = find_net(&self.view.networks, net) {
-                                bw = bw.min(n.local_bw_mbps.unwrap_or(n.base_bw_mbps));
-                            }
-                            fresh = Freshness::PartiallyStatic;
-                        }
-                    }
-                    match b_lat {
-                        Some(v) => {
-                            if let Some(l) = lat.as_mut() {
-                                *l += v;
-                            }
-                        }
-                        None => lat = None,
-                    }
-                    let sub = if substituted { " (representative)" } else { "" };
-                    descs.push(format!("{a}→{b} within {net}{sub}"));
-                }
-                Segment::Inter { a, b } => {
-                    match self.pair_value(Resource::Bandwidth, a, b, source) {
-                        Some(v) => bw = bw.min(v),
-                        None => fresh = Freshness::PartiallyStatic,
-                    }
-                    match self.pair_value(Resource::Latency, a, b, source) {
-                        Some(v) => {
-                            if let Some(l) = lat.as_mut() {
-                                *l += v;
-                            }
-                        }
-                        None => lat = None,
-                    }
-                    descs.push(format!("{a}→{b} (direct)"));
-                }
-                Segment::StaticNet { net } => {
-                    if let Some(n) = find_net(&self.view.networks, net) {
-                        bw = bw.min(n.base_bw_mbps);
-                    }
-                    lat = None;
-                    fresh = Freshness::PartiallyStatic;
-                    descs.push(format!("ENV base bandwidth of {net} (static)"));
-                }
-            }
-        }
-
-        if !bw.is_finite() {
-            bw = 0.0;
-            fresh = Freshness::PartiallyStatic;
-        }
-        Estimate { bandwidth_mbps: bw, latency_ms: lat, segments: descs, freshness: fresh }
-    }
-
-    /// Apply representative substitution on a shared network when the pair
-    /// itself is not measured.
-    fn substitute(&self, net_label: &str, a: &str, b: &str) -> (String, String, bool) {
-        if self.plan.clique_measuring(a, b).is_some() {
-            return (a.to_string(), b.to_string(), false);
-        }
-        let net = find_net(&self.view.networks, net_label);
-        if let Some(net) = net {
-            if matches!(net.kind, NetKind::Shared) {
-                if let Some((r1, r2)) = self.plan.representatives.get(net_label) {
-                    return (r1.clone(), r2.clone(), true);
-                }
-            }
-        }
-        (a.to_string(), b.to_string(), false)
-    }
-
-    /// Measured value for a pair, trying both directions (NWS measures
-    /// both over a clique round; early in a run only one may exist).
-    fn pair_value(
-        &self,
-        resource: Resource,
-        a: &str,
-        b: &str,
-        source: &dyn MeasurementSource,
-    ) -> Option<f64> {
-        source
-            .latest(&SeriesKey::link(resource, a, b))
-            .or_else(|| source.latest(&SeriesKey::link(resource, b, a)))
-    }
-}
-
-fn find_net<'a>(nets: &'a [EnvNet], label: &str) -> Option<&'a EnvNet> {
-    for n in nets {
-        if n.label == label {
-            return Some(n);
-        }
-        if let Some(f) = find_net(&n.children, label) {
-            return Some(f);
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -609,6 +664,69 @@ mod tests {
         let e = Estimator::new(&v, &p);
         assert!(e.estimate("nope", "s1", &s).is_none());
         assert!(e.estimate("s1", "s1", &s).is_none());
+    }
+
+    #[test]
+    fn compiled_estimator_matches_naive_on_fixture() {
+        // The interned engine must agree with the string-walking oracle on
+        // every ordered pair — values, segment text and freshness included.
+        let (mut v, p, s) = (view(), plan(), source());
+        v.networks[1].children.push(EnvNet {
+            label: "hubX".to_string(),
+            kind: NetKind::Shared,
+            hosts: vec!["x1".to_string(), "x2".to_string()],
+            via: Some("g2".to_string()),
+            router_path: vec![],
+            base_bw_mbps: 10.0,
+            local_bw_mbps: Some(50.0),
+            jam_ratio: Some(0.5),
+            children: vec![],
+        });
+        let fast = Estimator::new(&v, &p);
+        let slow = naive::NaiveEstimator::new(&v, &p);
+        let mut hosts: Vec<String> = p.hosts.clone();
+        hosts.extend(["master".to_string(), "x1".to_string(), "nope".to_string()]);
+        for a in &hosts {
+            for b in &hosts {
+                assert_eq!(fast.estimate(a, b, &s), slow.estimate(a, b, &s), "{a} → {b}");
+            }
+        }
+        // And against an empty source (all-static fallbacks).
+        let empty = StaticSource::default();
+        for a in &hosts {
+            for b in &hosts {
+                assert_eq!(fast.estimate(a, b, &empty), slow.estimate(a, b, &empty), "{a} → {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_estimator_matches_naive_on_duplicate_labels() {
+        // Degenerate but reachable: two sibling nets sharing a label (the
+        // mapper labels clusters by gateway name, so two clusters behind
+        // one gateway collide). The oracle's common-ancestor rule compares
+        // labels positionally, treating the two as common — the compiled
+        // engine must reproduce that, not identity-LCA semantics.
+        let mut v = view();
+        for host in ["x1", "x2"] {
+            v.networks[1].children.push(EnvNet {
+                label: "dup".to_string(),
+                kind: NetKind::Shared,
+                hosts: vec![host.to_string()],
+                via: Some("g2".to_string()),
+                router_path: vec![],
+                base_bw_mbps: 10.0,
+                local_bw_mbps: Some(50.0),
+                jam_ratio: Some(0.5),
+                children: vec![],
+            });
+        }
+        let (p, s) = (plan(), source());
+        let fast = Estimator::new(&v, &p);
+        let slow = naive::NaiveEstimator::new(&v, &p);
+        for (a, b) in [("x1", "x2"), ("x2", "x1"), ("x1", "s1"), ("a", "x2")] {
+            assert_eq!(fast.estimate(a, b, &s), slow.estimate(a, b, &s), "{a} → {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! The interned estimation engine: a [`CompiledView`] turns an
+//! [`EnvView`] + [`DeploymentPlan`] pair into dense tables so that
+//! estimability and estimation queries run on integer ids instead of
+//! `String` comparisons, `Vec::contains` scans and `BTreeMap<SeriesKey, _>`
+//! lookups.
+//!
+//! This is the third instance of the repo's engine pattern (after the
+//! fairness engine of PR 1 and the forecaster engine of PR 3): the fast
+//! interned implementation lives here, the original string-walking
+//! implementation survives as [`crate::aggregate::naive::NaiveEstimator`]
+//! and serves as the differential-test oracle.
+//!
+//! What gets precomputed, once per (view, plan):
+//!
+//! * a host-name interner over every name the estimator can ever see
+//!   (view members, the master, plan hosts, clique members, gateway `via`
+//!   names, representative pairs) → dense [`HostId`]s;
+//! * the flattened effective-network forest in pre-order (the order the
+//!   naive ancestry search resolves membership in) with parent, depth and
+//!   subtree-root links → dense [`NetId`]s, making ancestry chains a
+//!   pointer walk instead of a recursive `hosts.contains` scan;
+//! * per-net gateway (`via`), first-member, representative-substitution
+//!   pair and static-fallback bandwidths (resolved through the same
+//!   first-pre-order-label lookup `find_net` used);
+//! * per-top-net inter-clique representative;
+//! * per-host clique-membership bitsets, so "is this pair directly
+//!   measured by some clique?" is a word-AND instead of a scan over every
+//!   clique's member list.
+
+use std::collections::HashMap;
+
+use envmap::{EnvView, NetKind};
+use nws::Resource;
+
+use crate::aggregate::{Estimate, Freshness, MeasurementSource};
+use crate::plan::DeploymentPlan;
+use nws::SeriesKey;
+
+/// Dense id of an interned host name (index into [`CompiledView::host_name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Dense id of an effective network in the flattened forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+/// Sentinel for "no net" / "no host" in the dense tables.
+const NONE: u32 = u32::MAX;
+
+/// Measured values keyed by dense ids — the interned counterpart of
+/// [`MeasurementSource`]. Implementations answer "latest value for
+/// `(resource, src, dst)`" without ever materialising a [`SeriesKey`].
+pub trait DenseSource {
+    fn latest(&self, resource: Resource, src: HostId, dst: HostId) -> Option<f64>;
+}
+
+/// A dense static table: the interned counterpart of
+/// [`crate::aggregate::StaticSource`], keyed by
+/// ([`Resource::index`], src, dst).
+#[derive(Debug, Default)]
+pub struct DenseStaticSource(HashMap<(usize, u32, u32), f64>);
+
+impl DenseStaticSource {
+    /// Pre-size for `n` entries (e.g. a post-round table: two resources
+    /// per measured pair).
+    pub fn with_capacity(n: usize) -> Self {
+        DenseStaticSource(HashMap::with_capacity(n))
+    }
+
+    pub fn set(&mut self, resource: Resource, src: HostId, dst: HostId, value: f64) {
+        self.0.insert((resource.index(), src.0, dst.0), value);
+    }
+}
+
+impl DenseSource for DenseStaticSource {
+    fn latest(&self, resource: Resource, src: HostId, dst: HostId) -> Option<f64> {
+        self.0.get(&(resource.index(), src.0, dst.0)).copied()
+    }
+}
+
+/// The post-round source over dense ids: "has" both link resources for
+/// every pair some clique measures, at value 1.0 — the state after the
+/// deployed system has completed one full measurement round. Construction
+/// is O(1): it answers straight off the compiled clique bitsets instead
+/// of materialising one `SeriesKey` string pair per measured pair per
+/// resource.
+pub struct PostRoundDense<'c, 'a> {
+    compiled: &'c CompiledView<'a>,
+}
+
+impl DenseSource for PostRoundDense<'_, '_> {
+    fn latest(&self, resource: Resource, src: HostId, dst: HostId) -> Option<f64> {
+        if matches!(resource, Resource::Bandwidth | Resource::Latency)
+            && src != dst
+            && self.compiled.cliques_intersect(src, dst)
+        {
+            Some(1.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// Adapter exposing a string-keyed [`MeasurementSource`] through the dense
+/// interface (for callers holding legacy sources; each lookup builds one
+/// `SeriesKey`, so prefer a native [`DenseSource`] on hot paths).
+pub struct StringSourceAdapter<'c, 'a, 's> {
+    compiled: &'c CompiledView<'a>,
+    inner: &'s dyn MeasurementSource,
+}
+
+impl DenseSource for StringSourceAdapter<'_, '_, '_> {
+    fn latest(&self, resource: Resource, src: HostId, dst: HostId) -> Option<f64> {
+        self.inner.latest(&SeriesKey::link(
+            resource,
+            self.compiled.host_name(src),
+            self.compiled.host_name(dst),
+        ))
+    }
+}
+
+/// One compiled effective network.
+#[derive(Debug)]
+struct CNet<'a> {
+    label: &'a str,
+    /// Parent net, `NONE` for top-level.
+    parent: u32,
+    /// Root of this net's subtree (== own id for top-level nets).
+    top: u32,
+    depth: u32,
+    /// The gateway member of the parent this net is reached through.
+    via: u32,
+    /// First member listed, the fallback gateway when `via` is absent.
+    first_host: u32,
+    /// Representative-substitution pair, present iff the first net in
+    /// pre-order with this label is `Shared` and the plan records a pair —
+    /// exactly the condition the naive `substitute` + `find_net` resolve.
+    rep: Option<(u32, u32)>,
+    /// Static fallback for an unmeasured within-segment:
+    /// `local_bw_mbps.unwrap_or(base_bw_mbps)` of the label-resolved net.
+    fallback_bw: f64,
+    /// `base_bw_mbps` of the label-resolved net (master-path static).
+    static_bw: f64,
+    /// Inter-clique representative (meaningful for top-level nets only).
+    top_rep: u32,
+}
+
+/// The interned view/plan pair. Borrows both; build once, query many.
+pub struct CompiledView<'a> {
+    names: Vec<&'a str>,
+    index: HashMap<&'a str, u32>,
+    master: u32,
+    nets: Vec<CNet<'a>>,
+    /// Leaf net directly containing each host: the *first* net in
+    /// pre-order listing it as a member (the naive ancestry rule), `NONE`
+    /// when the host appears in no network.
+    net_of: Vec<u32>,
+    /// Per-host clique-membership bitsets, `clique_words` words per host.
+    clique_bits: Vec<u64>,
+    clique_words: usize,
+}
+
+impl<'a> CompiledView<'a> {
+    pub fn new(view: &'a EnvView, plan: &'a DeploymentPlan) -> Self {
+        let mut c = CompiledView {
+            names: Vec::new(),
+            index: HashMap::new(),
+            master: 0,
+            nets: Vec::new(),
+            net_of: Vec::new(),
+            clique_bits: Vec::new(),
+            clique_words: 0,
+        };
+        c.master = c.intern(&view.master);
+
+        // Flatten the forest in pre-order and intern all member names.
+        let flat = view.flatten();
+        let mut label_to_net: HashMap<&'a str, u32> = HashMap::new();
+        for (i, f) in flat.iter().enumerate() {
+            let id = i as u32;
+            let parent = f.parent.map(|p| p as u32).unwrap_or(NONE);
+            let top = if parent == NONE { id } else { c.nets[parent as usize].top };
+            let via = f.net.via.as_deref().map(|v| c.intern(v)).unwrap_or(NONE);
+            let mut first_host = NONE;
+            for h in &f.net.hosts {
+                let hid = c.intern(h);
+                if first_host == NONE {
+                    first_host = hid;
+                }
+                if c.net_of[hid as usize] == NONE {
+                    c.net_of[hid as usize] = id;
+                }
+            }
+            label_to_net.entry(f.net.label.as_str()).or_insert(id);
+            c.nets.push(CNet {
+                label: f.net.label.as_str(),
+                parent,
+                top,
+                depth: f.depth as u32,
+                via,
+                first_host,
+                rep: None,
+                fallback_bw: 0.0,
+                static_bw: 0.0,
+                top_rep: NONE,
+            });
+        }
+
+        // Label-resolved fields: the naive path looks nets up globally by
+        // label (`find_net`), first pre-order match winning, so every net
+        // reads its substitution pair and static fallbacks through the
+        // first net sharing its label (itself, unless labels collide).
+        for i in 0..c.nets.len() {
+            let label = c.nets[i].label;
+            let label_net = label_to_net[label] as usize;
+            let env = flat[label_net].net;
+            let rep = if matches!(env.kind, NetKind::Shared) {
+                plan.representatives.get(label).map(|(r1, r2)| {
+                    let a = c.intern(r1);
+                    let b = c.intern(r2);
+                    (a, b)
+                })
+            } else {
+                None
+            };
+            let n = &mut c.nets[i];
+            n.fallback_bw = env.local_bw_mbps.unwrap_or(env.base_bw_mbps);
+            n.static_bw = env.base_bw_mbps;
+            n.rep = rep;
+        }
+
+        // Inter-clique representative of each top-level network: the first
+        // inter-clique member (in ring order) directly listed among the
+        // net's hosts, else the first member, else the master.
+        let inter = plan.cliques.iter().find(|cl| cl.name == "inter-top");
+        for (i, f) in flat.iter().enumerate() {
+            if c.nets[i].parent != NONE {
+                continue;
+            }
+            let env = f.net;
+            let from_inter = inter.and_then(|cl| {
+                cl.members.iter().find(|m| env.hosts.contains(m)).map(|m| c.intern(m))
+            });
+            let fallback =
+                if c.nets[i].first_host != NONE { c.nets[i].first_host } else { c.master };
+            c.nets[i].top_rep = from_inter.unwrap_or(fallback);
+        }
+
+        // Intern everything the plan names, then freeze the name space and
+        // build the clique-membership bitsets.
+        for h in &plan.hosts {
+            c.intern(h);
+        }
+        c.intern(&plan.master);
+        for clique in &plan.cliques {
+            for m in &clique.members {
+                c.intern(m);
+            }
+        }
+        c.clique_words = plan.cliques.len().div_ceil(64);
+        c.clique_bits = vec![0u64; c.names.len() * c.clique_words];
+        for (ci, clique) in plan.cliques.iter().enumerate() {
+            for m in &clique.members {
+                let hid = c.index[m.as_str()] as usize;
+                c.clique_bits[hid * c.clique_words + ci / 64] |= 1u64 << (ci % 64);
+            }
+        }
+
+        c
+    }
+
+    fn intern(&mut self, name: &'a str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name);
+        self.index.insert(name, id);
+        self.net_of.push(NONE);
+        id
+    }
+
+    /// Resolve a host name, if the view or plan ever mentions it.
+    pub fn host_id(&self, name: &str) -> Option<HostId> {
+        self.index.get(name).map(|&i| HostId(i))
+    }
+
+    pub fn host_name(&self, id: HostId) -> &'a str {
+        self.names[id.0 as usize]
+    }
+
+    pub fn master_id(&self) -> HostId {
+        HostId(self.master)
+    }
+
+    pub fn host_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the view locates this host (member of some effective net).
+    pub fn is_located(&self, h: HostId) -> bool {
+        self.net_of[h.0 as usize] != NONE
+    }
+
+    /// The effective net directly containing `h` (first pre-order match).
+    pub fn net_of(&self, h: HostId) -> Option<NetId> {
+        let n = self.net_of[h.0 as usize];
+        (n != NONE).then_some(NetId(n))
+    }
+
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether some clique measures the ordered pair directly — the word-AND
+    /// replacement for `DeploymentPlan::clique_measuring(..).is_some()`.
+    pub fn cliques_intersect(&self, a: HostId, b: HostId) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        let wa = &self.clique_bits[a * self.clique_words..(a + 1) * self.clique_words];
+        let wb = &self.clique_bits[b * self.clique_words..(b + 1) * self.clique_words];
+        wa.iter().zip(wb).any(|(x, y)| x & y != 0)
+    }
+
+    /// The post-round measurement state over dense ids (O(1) to build).
+    pub fn post_round_source(&self) -> PostRoundDense<'_, 'a> {
+        PostRoundDense { compiled: self }
+    }
+
+    /// Wrap a legacy string-keyed source for use with [`Self::estimate_ids`].
+    pub fn adapt<'s>(&self, inner: &'s dyn MeasurementSource) -> StringSourceAdapter<'_, 'a, 's> {
+        StringSourceAdapter { compiled: self, inner }
+    }
+
+    /// Whether `src → dst` is estimable at all — the decision
+    /// [`Self::estimate_ids`] makes, without building the segment chain.
+    ///
+    /// The paper's constraint 3 is decidable at this granularity because
+    /// the chain construction cannot fail once both endpoints are located:
+    /// every located host climbs to its top-level net via gateways that
+    /// default to the first member, tops join through inter-clique
+    /// representatives (defaulting the same way), and every segment
+    /// resolves to a value or a static ENV fallback. So estimability
+    /// depends only on (is `src` the master / located, is `dst` the master
+    /// / located, does a clique measure the pair directly) — a per-cluster
+    /// property, not a per-host one.
+    pub fn estimable_ids(&self, src: HostId, dst: HostId) -> bool {
+        if src == dst {
+            return false;
+        }
+        if self.cliques_intersect(src, dst) {
+            return true;
+        }
+        if src.0 == self.master || dst.0 == self.master {
+            let other = if src.0 == self.master { dst } else { src };
+            return self.is_located(other);
+        }
+        self.is_located(src) && self.is_located(dst)
+    }
+
+    /// Estimate connectivity from `src` to `dst` — the interned port of the
+    /// naive estimator; returns bit-identical [`Estimate`]s.
+    pub fn estimate_ids(
+        &self,
+        src: HostId,
+        dst: HostId,
+        source: &dyn DenseSource,
+    ) -> Option<Estimate> {
+        if src == dst {
+            return None;
+        }
+        if self.cliques_intersect(src, dst) {
+            return Some(self.finish(&[Seg::Inter { a: src.0, b: dst.0 }], source));
+        }
+        if src.0 == self.master || dst.0 == self.master {
+            let other = if src.0 == self.master { dst } else { src };
+            return self.estimate_from_master(other.0, source);
+        }
+
+        let ls = self.net_of[src.0 as usize];
+        let ld = self.net_of[dst.0 as usize];
+        if ls == NONE || ld == NONE {
+            return None;
+        }
+
+        // Root-first ancestry chains, compared positionally *by label* —
+        // the oracle's common-ancestor rule (two distinct nets sharing a
+        // label at the same depth count as common, however degenerate).
+        let chain_s = self.chain(ls);
+        let chain_d = self.chain(ld);
+        let common_depth = chain_s
+            .iter()
+            .zip(chain_d.iter())
+            .take_while(|(&a, &b)| self.nets[a as usize].label == self.nets[b as usize].label)
+            .count();
+
+        let mut segs = Vec::new();
+        if common_depth > 0 {
+            // Same top-level subtree: climb both sides to the common net
+            // (each along its own chain — they differ only when labels
+            // collide, in which case the segment carries the src side's).
+            let stop_s = chain_s[common_depth - 1];
+            let stop_d = chain_d[common_depth - 1];
+            let up = self.climb(src.0, ls, stop_s, &mut segs);
+            let mut down_segs = Vec::new();
+            let down = self.climb(dst.0, ld, stop_d, &mut down_segs);
+            if up != down {
+                segs.push(Seg::Within { net: stop_s, a: up, b: down });
+            }
+            segs.extend(down_segs.into_iter().rev());
+        } else {
+            // Different top-level networks: go through the inter clique.
+            let ts = chain_s[0];
+            let td = chain_d[0];
+            let rep_s = self.nets[ts as usize].top_rep;
+            let rep_d = self.nets[td as usize].top_rep;
+            let up = self.climb(src.0, ls, ts, &mut segs);
+            if up != rep_s {
+                segs.push(Seg::Within { net: ts, a: up, b: rep_s });
+            }
+            segs.push(Seg::Inter { a: rep_s, b: rep_d });
+            let mut down_segs = Vec::new();
+            let down = self.climb(dst.0, ld, td, &mut down_segs);
+            if down != rep_d {
+                down_segs.push(Seg::Within { net: td, a: rep_d, b: down });
+            }
+            segs.extend(down_segs.into_iter().rev());
+        }
+        Some(self.finish(&segs, source))
+    }
+
+    /// Master-to-host estimates (see the naive `estimate_from_master`).
+    fn estimate_from_master(&self, other: u32, source: &dyn DenseSource) -> Option<Estimate> {
+        let leaf = self.net_of[other as usize];
+        if leaf == NONE {
+            return None;
+        }
+        let top = self.nets[leaf as usize].top;
+        let rep = self.nets[top as usize].top_rep;
+        if self.cliques_intersect(HostId(self.master), HostId(rep)) {
+            let mut segs = vec![Seg::Inter { a: self.master, b: rep }];
+            let mut down_segs = Vec::new();
+            let down = self.climb(other, leaf, top, &mut down_segs);
+            if down != rep {
+                down_segs.push(Seg::Within { net: top, a: rep, b: down });
+            }
+            segs.extend(down_segs.into_iter().rev());
+            return Some(self.finish(&segs, source));
+        }
+        Some(self.finish(&[Seg::StaticNet { net: leaf }], source))
+    }
+
+    /// Root-first ancestry chain of a net (root at index 0, `leaf` last).
+    fn chain(&self, leaf: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.nets[leaf as usize].depth as usize + 1);
+        let mut n = leaf;
+        while n != NONE {
+            out.push(n);
+            n = self.nets[n as usize].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Climb from `host` in `leaf` up to (exclusive) `stop`, emitting
+    /// within-segments; returns the host reached in `stop` (a gateway or
+    /// `host` itself).
+    fn climb(&self, host: u32, leaf: u32, stop: u32, segs: &mut Vec<Seg>) -> u32 {
+        let mut cur = host;
+        let mut n = leaf;
+        while n != stop {
+            let net = &self.nets[n as usize];
+            let gw = if net.via != NONE {
+                net.via
+            } else if net.first_host != NONE {
+                net.first_host
+            } else {
+                cur
+            };
+            if cur != gw {
+                segs.push(Seg::Within { net: n, a: cur, b: gw });
+            }
+            cur = gw;
+            n = net.parent;
+        }
+        cur
+    }
+
+    /// Apply representative substitution on a shared network when the pair
+    /// itself is not measured.
+    fn substitute(&self, net: u32, a: u32, b: u32) -> (u32, u32, bool) {
+        if self.cliques_intersect(HostId(a), HostId(b)) {
+            return (a, b, false);
+        }
+        if let Some((r1, r2)) = self.nets[net as usize].rep {
+            return (r1, r2, true);
+        }
+        (a, b, false)
+    }
+
+    /// Measured value for a pair, trying both directions.
+    fn pair_value(
+        &self,
+        resource: Resource,
+        a: u32,
+        b: u32,
+        source: &dyn DenseSource,
+    ) -> Option<f64> {
+        source
+            .latest(resource, HostId(a), HostId(b))
+            .or_else(|| source.latest(resource, HostId(b), HostId(a)))
+    }
+
+    /// Resolve the segment chain to numbers (mirror of the naive `finish`).
+    fn finish(&self, segs: &[Seg], source: &dyn DenseSource) -> Estimate {
+        let mut bw = f64::INFINITY;
+        let mut lat = Some(0.0f64);
+        let mut fresh = Freshness::Measured;
+        let mut descs = Vec::with_capacity(segs.len());
+
+        for seg in segs {
+            match *seg {
+                Seg::Within { net, a, b } => {
+                    let (pa, pb, substituted) = self.substitute(net, a, b);
+                    match self.pair_value(Resource::Bandwidth, pa, pb, source) {
+                        Some(v) => bw = bw.min(v),
+                        None => {
+                            bw = bw.min(self.nets[net as usize].fallback_bw);
+                            fresh = Freshness::PartiallyStatic;
+                        }
+                    }
+                    match self.pair_value(Resource::Latency, pa, pb, source) {
+                        Some(v) => {
+                            if let Some(l) = lat.as_mut() {
+                                *l += v;
+                            }
+                        }
+                        None => lat = None,
+                    }
+                    let sub = if substituted { " (representative)" } else { "" };
+                    descs.push(format!(
+                        "{}→{} within {}{sub}",
+                        self.names[a as usize],
+                        self.names[b as usize],
+                        self.nets[net as usize].label
+                    ));
+                }
+                Seg::Inter { a, b } => {
+                    match self.pair_value(Resource::Bandwidth, a, b, source) {
+                        Some(v) => bw = bw.min(v),
+                        None => fresh = Freshness::PartiallyStatic,
+                    }
+                    match self.pair_value(Resource::Latency, a, b, source) {
+                        Some(v) => {
+                            if let Some(l) = lat.as_mut() {
+                                *l += v;
+                            }
+                        }
+                        None => lat = None,
+                    }
+                    descs.push(format!(
+                        "{}→{} (direct)",
+                        self.names[a as usize], self.names[b as usize]
+                    ));
+                }
+                Seg::StaticNet { net } => {
+                    bw = bw.min(self.nets[net as usize].static_bw);
+                    lat = None;
+                    fresh = Freshness::PartiallyStatic;
+                    descs.push(format!(
+                        "ENV base bandwidth of {} (static)",
+                        self.nets[net as usize].label
+                    ));
+                }
+            }
+        }
+
+        if !bw.is_finite() {
+            bw = 0.0;
+            fresh = Freshness::PartiallyStatic;
+        }
+        Estimate { bandwidth_mbps: bw, latency_ms: lat, segments: descs, freshness: fresh }
+    }
+}
+
+/// One aggregation segment over dense ids.
+#[derive(Debug, Clone, Copy)]
+enum Seg {
+    /// a↔b within the net (substitution applies).
+    Within { net: u32, a: u32, b: u32 },
+    /// a↔b across the inter-network clique.
+    Inter { a: u32, b: u32 },
+    /// Static fallback: ENV's base bandwidth for the net.
+    StaticNet { net: u32 },
+}

@@ -31,15 +31,19 @@
 //!   applied per host (§5.2), plus actual deployment onto the simulator.
 
 pub mod aggregate;
+pub mod compiled;
 pub mod manager;
 pub mod plan;
 pub mod planner;
 pub mod validate;
 
-pub use aggregate::{Estimate, Estimator, Freshness, MeasurementSource};
+pub use aggregate::{naive::NaiveEstimator, Estimate, Estimator, Freshness, MeasurementSource};
+pub use compiled::{CompiledView, DenseSource, DenseStaticSource, HostId, NetId};
 pub use manager::{
     apply_plan, apply_plan_with, parse_config, plan_to_spec, plan_to_spec_with, render_config,
 };
 pub use plan::{diff_plans, CliqueRole, DeploymentPlan, PlanDelta, PlannedClique};
 pub use planner::{plan_deployment, PlannerConfig};
-pub use validate::{validate_plan, PlanReport};
+pub use validate::{
+    validate_plan, validate_plan_naive, validate_plan_with_routes, PlanReport, PostRoundSource,
+};

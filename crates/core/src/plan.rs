@@ -59,7 +59,7 @@ impl PlannedClique {
     /// Directed pairs this clique measures (token holder → each other
     /// member).
     pub fn measured_pairs(&self) -> Vec<(String, String)> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.measured_pair_count());
         for a in &self.members {
             for b in &self.members {
                 if a != b {
@@ -68,6 +68,19 @@ impl PlannedClique {
             }
         }
         out
+    }
+
+    /// `measured_pairs().len()` without materialising the pairs.
+    pub fn measured_pair_count(&self) -> usize {
+        let mut count = 0;
+        for (i, a) in self.members.iter().enumerate() {
+            for (j, b) in self.members.iter().enumerate() {
+                if i != j && a != b {
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 }
 
@@ -103,7 +116,7 @@ impl DeploymentPlan {
     /// Total directed pairs measured by all cliques (the intrusiveness
     /// numerator of constraint 4).
     pub fn measured_pair_count(&self) -> usize {
-        self.cliques.iter().map(|c| c.measured_pairs().len()).sum()
+        self.cliques.iter().map(|c| c.measured_pair_count()).sum()
     }
 
     /// Full-mesh pair count over the covered hosts (the denominator:

@@ -9,17 +9,20 @@
 //! not eliminated — "a possibility to lock hosts (and not networks) is
 //! still needed").
 
-use envmap::EnvView;
-use netsim::fairness::{path_resources, Resource as NetResource};
-use netsim::routing::RouteTable;
-use netsim::topology::Topology;
+use std::collections::BTreeSet;
 
-use crate::aggregate::{Estimator, MeasurementSource, StaticSource};
+use envmap::EnvView;
+use netsim::fairness::path_resources;
+use netsim::routing::RouteTable;
+use netsim::topology::{LinkMode, NodeId, Topology};
+
+use crate::aggregate::{naive::NaiveEstimator, MeasurementSource};
+use crate::compiled::{CompiledView, HostId};
 use crate::plan::DeploymentPlan;
 use nws::{Resource, SeriesKey};
 
 /// Validation outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanReport {
     /// Clique pairs whose measured paths share no physical resource.
     pub disjoint_clique_pairs: usize,
@@ -79,51 +82,261 @@ impl PlanReport {
     }
 }
 
-/// A synthetic measurement source that "has" every pair some clique
-/// measures — models the state after the system has run a full round.
-fn post_round_source(plan: &DeploymentPlan) -> StaticSource {
-    let mut s = StaticSource::default();
-    for c in &plan.cliques {
-        for (a, b) in c.measured_pairs() {
-            s.set(SeriesKey::link(Resource::Bandwidth, &a, &b), 1.0);
-            s.set(SeriesKey::link(Resource::Latency, &a, &b), 1.0);
+/// A measurement source that "has" every pair some clique measures —
+/// models the state after the system has run a full round. Answers
+/// straight off the plan's clique membership instead of materialising one
+/// `SeriesKey` string pair per measured pair per resource, so construction
+/// is O(1) and allocation-free.
+pub struct PostRoundSource<'a>(pub &'a DeploymentPlan);
+
+impl MeasurementSource for PostRoundSource<'_> {
+    fn latest(&self, key: &SeriesKey) -> Option<f64> {
+        if matches!(key.resource, Resource::Bandwidth | Resource::Latency)
+            && key.src != key.dst
+            && self.0.clique_measuring(&key.src, &key.dst).is_some()
+        {
+            Some(1.0)
+        } else {
+            None
         }
     }
-    s
 }
 
 /// Validate a plan against the effective view it came from and the ground
 /// truth topology.
+///
+/// This is the cluster-granular engine: completeness (constraint 3) is
+/// decided per effective-network pair — O(C² + n) instead of one estimator
+/// walk per ordered host pair — and the collision check of constraint 1
+/// intersects per-clique resource footprints as bitsets over the dense
+/// `LinkId`/`MediumId` space. The original per-host-pair implementation
+/// survives as [`validate_plan_naive`], the differential-test oracle; both
+/// produce identical reports.
 pub fn validate_plan(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> PlanReport {
+    let routes = RouteTable::compute(topo);
+    validate_plan_with_routes(plan, view, topo, &routes)
+}
+
+/// [`validate_plan`] against a precomputed route table — callers that
+/// already hold one (the simulator computes it at startup) skip the
+/// all-pairs Dijkstra, which dominates at several thousand hosts.
+pub fn validate_plan_with_routes(
+    plan: &DeploymentPlan,
+    view: &EnvView,
+    topo: &Topology,
+    routes: &RouteTable,
+) -> PlanReport {
+    let compiled = CompiledView::new(view, plan);
+
+    // --- constraint 1: collisions between cliques -------------------------
+    // Resource footprint of each clique as a bitset over the dense resource
+    // id space: bits [0, 2L) are directed full-duplex link halves, bits
+    // [2L, 2L + M) are hub mediums — the same resources
+    // `netsim::fairness::path_resources` extracts.
+    let link_bits = 2 * topo.link_count();
+    let words = (link_bits + topo.medium_count()).div_ceil(64);
+    let nc = plan.cliques.len();
+    let mut foot = vec![0u64; nc * words];
+    let mut unresolved: BTreeSet<&str> = BTreeSet::new();
+    let mut node_ids: Vec<Option<NodeId>> = Vec::new();
+    for (ci, c) in plan.cliques.iter().enumerate() {
+        node_ids.clear();
+        node_ids.extend(c.members.iter().map(|m| topo.node_by_name(m)));
+        // A member is reported unresolved when it takes part in at least
+        // one measured pair, i.e. when the clique has two distinct names.
+        if c.members.iter().any(|m| *m != c.members[0]) {
+            for (m, id) in c.members.iter().zip(&node_ids) {
+                if id.is_none() {
+                    unresolved.insert(m);
+                }
+            }
+        }
+        let fp = &mut foot[ci * words..(ci + 1) * words];
+        for (i, ida) in node_ids.iter().enumerate() {
+            let Some(na) = *ida else { continue };
+            for (j, idb) in node_ids.iter().enumerate() {
+                if c.members[i] == c.members[j] {
+                    continue;
+                }
+                let Some(nb) = *idb else { continue };
+                let Ok(hops) = routes.hops_rev(na, nb) else { continue };
+                for (from, l) in hops {
+                    let link = topo.link(l);
+                    let bit = match link.mode {
+                        LinkMode::FullDuplex { .. } => 2 * l.index() + usize::from(from == link.a),
+                        LinkMode::Shared { medium } => link_bits + medium.index(),
+                    };
+                    fp[bit / 64] |= 1 << (bit % 64);
+                }
+            }
+        }
+    }
+
+    let mut disjoint = 0usize;
+    let mut colliding = Vec::new();
+    for i in 0..nc {
+        for j in (i + 1)..nc {
+            let shared: u32 =
+                (0..words).map(|w| (foot[i * words + w] & foot[j * words + w]).count_ones()).sum();
+            if shared == 0 {
+                disjoint += 1;
+            } else {
+                let example = format!(
+                    "{} measured pairs share {} resource(s) with {}",
+                    plan.cliques[i].name, shared, plan.cliques[j].name
+                );
+                colliding.push((
+                    plan.cliques[i].name.clone(),
+                    plan.cliques[j].name.clone(),
+                    example,
+                ));
+            }
+        }
+    }
+
+    // --- constraint 3: completeness, at cluster granularity ---------------
+    // The paper defines completeness over effective networks: every member
+    // of a cluster is estimable through the same representative/gateway
+    // chain, so estimability is a property of the (source-net, dest-net)
+    // pair, not of the host pair (see `CompiledView::estimable_ids`). We
+    // decide it per cluster pair — O(C²) — and expand to host pairs only
+    // to report counterexamples (hosts the view cannot locate).
+    let master = compiled.master_id();
+    let mut all: Vec<(HostId, &str)> = plan
+        .hosts
+        .iter()
+        .map(|h| (compiled.host_id(h).expect("plan hosts are interned"), h.as_str()))
+        .collect();
+    if !plan.hosts.contains(&plan.master) {
+        all.push((
+            compiled.host_id(&plan.master).expect("plan master is interned"),
+            plan.master.as_str(),
+        ));
+    }
+    let is_bad: Vec<bool> =
+        all.iter().map(|&(h, _)| h != master && !compiled.is_located(h)).collect();
+
+    // One proxy pair per cluster (the master is its own pseudo-cluster):
+    // any member stands for the whole cluster.
+    let master_class = compiled.net_count();
+    let mut proxies: Vec<[Option<HostId>; 2]> = vec![[None, None]; master_class + 1];
+    for &(h, _) in &all {
+        let class = if h == master {
+            master_class
+        } else if let Some(n) = compiled.net_of(h) {
+            n.0 as usize
+        } else {
+            continue; // unlocated: the expansion below reports these
+        };
+        let p = &mut proxies[class];
+        if p[0].is_none() {
+            p[0] = Some(h);
+        } else if p[1].is_none() && p[0] != Some(h) {
+            p[1] = Some(h);
+        }
+    }
+
+    let mut cluster_ok = true;
+    'sweep: for a in 0..proxies.len() {
+        let Some(pa) = proxies[a][0] else { continue };
+        for b in 0..proxies.len() {
+            let pb = if a == b { proxies[a][1] } else { proxies[b][0] };
+            let Some(pb) = pb else { continue };
+            let ok = compiled.estimable_ids(pa, pb);
+            debug_assert_eq!(
+                ok,
+                compiled.estimate_ids(pa, pb, &compiled.post_round_source()).is_some(),
+                "estimable_ids must agree with the chain construction"
+            );
+            if !ok {
+                cluster_ok = false;
+                break 'sweep;
+            }
+        }
+    }
+
+    let mut incomplete: Vec<(String, String)> = Vec::new();
+    if !cluster_ok {
+        // Defensive path (a located cluster pair failed — structurally
+        // impossible, but never report "complete" on a shortcut): full
+        // per-pair expansion, still on dense ids.
+        for &(a, an) in &all {
+            for &(b, bn) in &all {
+                if a != b && !compiled.estimable_ids(a, b) {
+                    incomplete.push((an.to_string(), bn.to_string()));
+                }
+            }
+        }
+    } else {
+        // Every located pair is estimable; only hosts the view cannot
+        // locate produce counterexamples, and only when no clique measures
+        // them directly. Expansion is O(n · bad), in the oracle's order.
+        let bad_idx: Vec<usize> = (0..all.len()).filter(|&i| is_bad[i]).collect();
+        if !bad_idx.is_empty() {
+            for (ai, &(a, an)) in all.iter().enumerate() {
+                if is_bad[ai] {
+                    for &(b, bn) in &all {
+                        if a != b && !compiled.cliques_intersect(a, b) {
+                            incomplete.push((an.to_string(), bn.to_string()));
+                        }
+                    }
+                } else {
+                    for &bi in &bad_idx {
+                        let (b, bn) = all[bi];
+                        if a != b && !compiled.cliques_intersect(a, b) {
+                            incomplete.push((an.to_string(), bn.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    PlanReport {
+        disjoint_clique_pairs: disjoint,
+        colliding_clique_pairs: colliding,
+        complete: incomplete.is_empty(),
+        incomplete_pairs: incomplete,
+        measured_pairs: plan.measured_pair_count(),
+        full_mesh_pairs: plan.full_mesh_pair_count(),
+        unresolved_hosts: unresolved.into_iter().map(str::to_string).collect(),
+    }
+}
+
+/// The original per-host-pair validator, kept as the differential-test
+/// oracle: footprints by `Vec::contains` scan, completeness by one
+/// [`NaiveEstimator`] walk per ordered host pair. Reports are identical to
+/// [`validate_plan`]'s (the proptest suite in
+/// `tests/validate_differential.rs` proves it over all four synth
+/// families); only the asymptotics differ.
+pub fn validate_plan_naive(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> PlanReport {
+    use netsim::fairness::Resource as NetResource;
+
     let routes = RouteTable::compute(topo);
 
     // --- constraint 1: collisions between cliques -------------------------
-    // Resource footprint of each clique: union of resources of all its
-    // measured pairs' directed paths.
-    // (clique name, deduped resources, pairs actually routable)
-    type Footprint = (String, Vec<NetResource>, Vec<(String, String)>);
+    // (clique name, deduped resources)
+    type Footprint = (String, Vec<NetResource>);
     let mut footprints: Vec<Footprint> = Vec::new();
-    let mut unresolved = Vec::new();
+    let mut unresolved: BTreeSet<String> = BTreeSet::new();
     for c in &plan.cliques {
         let mut resources = Vec::new();
-        let mut pairs = Vec::new();
         for (a, b) in c.measured_pairs() {
             let (Some(na), Some(nb)) = (topo.node_by_name(&a), topo.node_by_name(&b)) else {
                 for h in [&a, &b] {
-                    if topo.node_by_name(h).is_none() && !unresolved.contains(h) {
-                        unresolved.push(h.clone());
+                    if topo.node_by_name(h).is_none() {
+                        unresolved.insert(h.clone());
                     }
                 }
                 continue;
             };
             if let Ok(path) = routes.path(na, nb) {
                 resources.extend(path_resources(topo, &path));
-                pairs.push((a, b));
             }
         }
         resources.sort_unstable();
         resources.dedup();
-        footprints.push((c.name.clone(), resources, pairs));
+        footprints.push((c.name.clone(), resources));
     }
 
     let mut disjoint = 0usize;
@@ -147,8 +360,17 @@ pub fn validate_plan(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> 
     }
 
     // --- constraint 3: completeness ---------------------------------------
-    let source = post_round_source(plan);
-    let estimator = Estimator::new(view, plan);
+    // The original materialised post-round table (one key per measured
+    // pair per resource): O(1) lookups keep this oracle's cost honest when
+    // it is benched against the cluster-granular validator.
+    let mut source = crate::aggregate::StaticSource::default();
+    for c in &plan.cliques {
+        for (a, b) in c.measured_pairs() {
+            source.set(SeriesKey::link(Resource::Bandwidth, &a, &b), 1.0);
+            source.set(SeriesKey::link(Resource::Latency, &a, &b), 1.0);
+        }
+    }
+    let estimator = NaiveEstimator::new(view, plan);
     let mut all_hosts = plan.hosts.clone();
     if !all_hosts.contains(&plan.master) {
         all_hosts.push(plan.master.clone());
@@ -172,7 +394,7 @@ pub fn validate_plan(plan: &DeploymentPlan, view: &EnvView, topo: &Topology) -> 
         incomplete_pairs: incomplete,
         measured_pairs: plan.measured_pair_count(),
         full_mesh_pairs: plan.full_mesh_pair_count(),
-        unresolved_hosts: unresolved,
+        unresolved_hosts: unresolved.into_iter().collect(),
     }
 }
 
@@ -285,6 +507,34 @@ mod tests {
         let report = validate_plan(&plan, &run.view, &net.topo);
         assert!(report.strictly_collision_free(), "{}", report.render());
         assert!(report.complete, "{}", report.render());
+    }
+
+    #[test]
+    fn fast_and_naive_reports_agree_on_ens_lyon() {
+        let (view, topo) = ens_view_and_topo();
+        let plan = plan_deployment(&view, &PlannerConfig::default());
+        assert_eq!(validate_plan(&plan, &view, &topo), validate_plan_naive(&plan, &view, &topo));
+    }
+
+    #[test]
+    fn fast_and_naive_agree_on_perturbed_plans() {
+        // Unresolvable clique members, a planned host the view cannot
+        // locate, a dropped representative entry, a dropped clique: the
+        // cluster-granular validator must report exactly what the per-pair
+        // oracle reports, incomplete-pair order included.
+        let (view, topo) = ens_view_and_topo();
+        let mut plan = plan_deployment(&view, &PlannerConfig::default());
+        plan.hosts.push("ghost.invalid".to_string());
+        plan.cliques[0].members[0] = "phantom.invalid".to_string();
+        plan.representatives.retain(|_, pair| pair.0 != "canaria.ens-lyon.fr");
+        plan.cliques.remove(1);
+
+        let fast = validate_plan(&plan, &view, &topo);
+        let slow = validate_plan_naive(&plan, &view, &topo);
+        assert_eq!(fast, slow);
+        assert!(!fast.complete);
+        assert!(fast.incomplete_pairs.iter().any(|(a, _)| a == "ghost.invalid"));
+        assert!(fast.unresolved_hosts.contains(&"phantom.invalid".to_string()));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Differential suite: the cluster-granular `validate_plan` against the
+//! per-host-pair `validate_plan_naive` oracle, over random platforms from
+//! all four `netsim::synth` families and randomly perturbed plans (dropped
+//! cliques, removed representative entries, unresolvable host names).
+//!
+//! Reports must agree field-for-field: completeness verdict,
+//! incomplete-pair list (content *and* order), colliding-clique-pair list,
+//! disjoint count, unresolved hosts and the intrusiveness numbers. The
+//! interned estimator is additionally checked against the naive estimator
+//! on every ordered host pair of the unperturbed plan.
+
+use envdeploy::{
+    plan_deployment, validate_plan, validate_plan_naive, DeploymentPlan, Estimator, NaiveEstimator,
+    PlannerConfig, PostRoundSource,
+};
+use envmap::{EnvConfig, EnvMapper, EnvView, HostInput};
+use netsim::synth::{synth, SynthFamily, SynthScenario};
+use netsim::Sim;
+use proptest::prelude::*;
+
+fn map_scenario(sc: &SynthScenario) -> EnvView {
+    let mut eng = Sim::new(sc.net.topo.clone());
+    let inputs: Vec<HostInput> = sc.input_names().iter().map(|n| HostInput::new(n)).collect();
+    EnvMapper::new(EnvConfig::fast_batched())
+        .map(&mut eng, &inputs, &sc.master_name(), sc.external_name().as_deref())
+        .expect("synth platforms map")
+        .view
+}
+
+/// One perturbation op, decoded from raw proptest integers so the strategy
+/// stays shrink-friendly: `(kind, x, y)` with modular indexing.
+fn perturb(plan: &mut DeploymentPlan, ops: &[(u8, usize, usize)]) {
+    for &(kind, x, y) in ops {
+        match kind % 5 {
+            // Drop a clique entirely (e.g. the inter clique: top-level
+            // representatives then fall back to first members).
+            0 => {
+                if !plan.cliques.is_empty() {
+                    let i = x % plan.cliques.len();
+                    plan.cliques.remove(i);
+                }
+            }
+            // Remove a representative entry: shared-net segments lose
+            // substitution and fall back to static ENV values.
+            1 => {
+                let keys: Vec<String> = plan.representatives.keys().cloned().collect();
+                if !keys.is_empty() {
+                    plan.representatives.remove(&keys[x % keys.len()]);
+                }
+            }
+            // Rename a clique member to a name the platform cannot
+            // resolve: exercises the unresolved-host reporting.
+            2 => {
+                if !plan.cliques.is_empty() {
+                    let i = x % plan.cliques.len();
+                    let c = &mut plan.cliques[i];
+                    if !c.members.is_empty() {
+                        let j = y % c.members.len();
+                        c.members[j] = format!("ghost-{x}-{y}.invalid");
+                    }
+                }
+            }
+            // Add a planned host the view cannot locate: exercises the
+            // incomplete-pair expansion.
+            3 => {
+                plan.hosts.push(format!("lost-{x}.invalid"));
+            }
+            // Replace a planned host with an unlocatable name.
+            4 => {
+                if !plan.hosts.is_empty() {
+                    let i = x % plan.hosts.len();
+                    plan.hosts[i] = format!("lost-{x}.invalid");
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn families() -> [SynthFamily; 4] {
+    SynthFamily::ALL
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fast validator ≡ naive oracle on pristine and perturbed plans.
+    #[test]
+    fn validate_reports_agree(
+        (fam, hosts, seed, ops) in (
+            0usize..4,
+            24usize..=56,
+            0u64..1024,
+            proptest::collection::vec((0u8..5, 0usize..64, 0usize..64), 0..6),
+        )
+    ) {
+        let sc = synth(families()[fam], seed, hosts);
+        let view = map_scenario(&sc);
+        let mut plan = plan_deployment(&view, &PlannerConfig::default());
+        perturb(&mut plan, &ops);
+
+        let fast = validate_plan(&plan, &view, &sc.net.topo);
+        let slow = validate_plan_naive(&plan, &view, &sc.net.topo);
+        prop_assert_eq!(&fast, &slow, "family {} seed {} ops {:?}", families()[fam].name(), seed, ops);
+        prop_assert_eq!(fast.intrusiveness().to_bits(), slow.intrusiveness().to_bits());
+        // Unperturbed plans over synth families are complete and resolved.
+        if ops.is_empty() {
+            prop_assert!(fast.complete, "{}", fast.render());
+            prop_assert!(fast.unresolved_hosts.is_empty());
+        }
+    }
+
+    /// Interned estimator ≡ naive estimator on every ordered host pair.
+    #[test]
+    fn estimates_agree(
+        (fam, hosts, seed) in (0usize..4, 24usize..=40, 0u64..1024)
+    ) {
+        let sc = synth(families()[fam], seed, hosts);
+        let view = map_scenario(&sc);
+        let plan = plan_deployment(&view, &PlannerConfig::default());
+        let source = PostRoundSource(&plan);
+
+        let fast = Estimator::new(&view, &plan);
+        let slow = NaiveEstimator::new(&view, &plan);
+        let mut all = plan.hosts.clone();
+        all.push(view.master.clone());
+        all.push("unknown.invalid".to_string());
+        for a in &all {
+            for b in &all {
+                prop_assert_eq!(fast.estimate(a, b, &source), slow.estimate(a, b, &source),
+                    "{} → {}", a, b);
+            }
+        }
+    }
+}

@@ -47,7 +47,7 @@ pub mod thresholds;
 pub use gridml_out::view_from_gridml;
 pub use mapper::{EnvConfig, EnvMapper, EnvRun, HostInput, ProbeStats};
 pub use merge::merge_runs;
-pub use net::{EnvNet, EnvView, NetKind};
+pub use net::{EnvNet, EnvView, FlatNet, NetKind};
 pub use score::cluster_agreement;
 pub use structural::StructNode;
 pub use thresholds::EnvThresholds;

@@ -82,6 +82,18 @@ impl EnvNet {
     }
 }
 
+/// One entry of [`EnvView::flatten`]: a network with its position in the
+/// tree made explicit.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatNet<'a> {
+    pub net: &'a EnvNet,
+    /// Index (into the flattened list) of the parent network, `None` for
+    /// top-level networks.
+    pub parent: Option<usize>,
+    /// Distance from the top level (top-level networks are depth 0).
+    pub depth: usize,
+}
+
 /// A complete effective view: what one ENV run (or a merge of runs)
 /// knows about the platform from `master`'s standpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +119,30 @@ impl EnvView {
 
     pub fn find_containing(&self, host: &str) -> Option<&EnvNet> {
         self.networks.iter().find_map(|n| n.find_containing(host))
+    }
+
+    /// Flatten the tree in depth-first pre-order (the order
+    /// [`EnvView::find_containing`] searches in), with parent indexes —
+    /// the accessor compilers of the view (e.g. `envdeploy`'s interned
+    /// estimator) build their dense tables from.
+    pub fn flatten(&self) -> Vec<FlatNet<'_>> {
+        fn rec<'a>(
+            net: &'a EnvNet,
+            parent: Option<usize>,
+            depth: usize,
+            out: &mut Vec<FlatNet<'a>>,
+        ) {
+            let idx = out.len();
+            out.push(FlatNet { net, parent, depth });
+            for c in &net.children {
+                rec(c, Some(idx), depth + 1, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.network_count());
+        for n in &self.networks {
+            rec(n, None, 0, &mut out);
+        }
+        out
     }
 
     /// Graphviz (DOT) rendering of the effective tree — a Figure 1(b)-style
@@ -219,6 +255,15 @@ mod tests {
         assert_eq!(view.find_containing("sci2").unwrap().kind, NetKind::Switched);
         assert_eq!(view.find_containing("moby").unwrap().label, "hub1");
         assert!(view.find_containing("ghost").is_none());
+
+        // Pre-order flatten: hub1, hub2, sw — with parent/depth wiring.
+        let flat = view.flatten();
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[0].net.label, "hub1");
+        assert_eq!((flat[0].parent, flat[0].depth), (None, 0));
+        assert_eq!(flat[1].net.label, "hub2");
+        assert_eq!(flat[2].net.label, "sci0");
+        assert_eq!((flat[2].parent, flat[2].depth), (Some(1), 1));
     }
 
     #[test]

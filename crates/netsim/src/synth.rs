@@ -165,13 +165,16 @@ pub fn synth_campus(seed: u64, hosts: usize) -> SynthScenario {
     b.link(backbone, border, Bandwidth::mbps(1000.0), Latency::micros(100.0));
 
     let sizes = group_sizes(&mut rng, hosts, 4, 10);
-    assert!(sizes.len() < 250, "campus IP plan supports < 250 LANs");
+    // LANs 0..248 live under 10/8 exactly as before; 249.. spill into 11/8
+    // (the 2000-host tier needs ~290 LANs).
+    assert!(sizes.len() < 500, "campus IP plan supports < 500 LANs");
     let mut all_hosts = Vec::new();
     let mut clusters = Vec::new();
     for (lan, &n) in sizes.iter().enumerate() {
         let is_hub = rng.gen_range(0.0..1.0) < 0.5;
         let rate = Bandwidth::mbps([10.0, 100.0][rng.gen_range(0..2)]);
-        let gw = b.router(&format!("gw{lan}.campus.synth"), &format!("10.{}.0.1", lan + 1));
+        let (net8, oct) = (10 + (lan + 1) / 250, (lan + 1) % 250);
+        let gw = b.router(&format!("gw{lan}.campus.synth"), &format!("{net8}.{oct}.0.1"));
         b.link(gw, backbone, Bandwidth::mbps(1000.0), Latency::micros(100.0));
         let infra = if is_hub {
             b.hub(&format!("lan{lan}"), rate, Latency::micros(50.0))
@@ -181,10 +184,8 @@ pub fn synth_campus(seed: u64, hosts: usize) -> SynthScenario {
         b.attach(gw, infra);
         let mut members = Vec::new();
         for h in 0..n {
-            let host = b.host(
-                &format!("h{h}.lan{lan}.campus.synth"),
-                &format!("10.{}.1.{}", lan + 1, h + 1),
-            );
+            let host = b
+                .host(&format!("h{h}.lan{lan}.campus.synth"), &format!("{net8}.{oct}.1.{}", h + 1));
             b.attach(host, infra);
             members.push(host);
             all_hosts.push(host);
@@ -304,15 +305,15 @@ pub fn synth_grid(seed: u64, hosts: usize, firewalled: bool) -> SynthScenario {
         // Site 0 carries the mapped LANs; other sites a little scenery.
         let site_hosts = if s == 0 { hosts - SITES } else { 4 };
         let sizes = group_sizes(&mut rng, site_hosts, 4, 10);
-        assert!(sizes.len() < 250, "grid IP plan supports < 250 LANs per site");
+        // LANs 0..248 of a site keep their 172.{16+s} octet; 249.. spill
+        // into 172.{32+s} (only site 0 is ever big enough to need it).
+        assert!(sizes.len() < 500, "grid IP plan supports < 500 LANs per site");
         let mut inner = Vec::new();
         for (lan, &n) in sizes.iter().enumerate() {
             let is_hub = rng.gen_range(0.0..1.0) < 0.5;
             let rate = Bandwidth::mbps([10.0, 100.0][rng.gen_range(0..2)]);
-            let lr = b.router(
-                &format!("r{lan}.site{s}.grid.synth"),
-                &format!("172.{}.{}.1", 16 + s, lan + 1),
-            );
+            let (o2, o3) = (16 + s + 16 * ((lan + 1) / 250), (lan + 1) % 250);
+            let lr = b.router(&format!("r{lan}.site{s}.grid.synth"), &format!("172.{o2}.{o3}.1"));
             b.link(lr, site_r, Bandwidth::mbps(1000.0), Latency::micros(100.0));
             let infra = if is_hub {
                 b.hub(&format!("s{s}lan{lan}"), rate, Latency::micros(50.0))
@@ -324,7 +325,7 @@ pub fn synth_grid(seed: u64, hosts: usize, firewalled: bool) -> SynthScenario {
             for h in 0..n {
                 let host = b.host(
                     &format!("h{h}.lan{lan}.site{s}.grid.synth"),
-                    &format!("172.{}.{}.{}", 16 + s, lan + 1, h + 2),
+                    &format!("172.{o2}.{o3}.{}", h + 2),
                 );
                 b.attach(host, infra);
                 members.push(host);

@@ -212,6 +212,13 @@ pub struct Topology {
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
     dns: Dns,
     firewall: Firewall,
+    /// Interface DNS name → owning node, built once at [`TopologyBuilder::build`].
+    /// Names and addresses are frozen after build — the mutable accessors
+    /// ([`Topology::link_mut`], [`Topology::medium_mut`], [`Topology::set_link_up`])
+    /// touch capacities and weights only — so the indexes never go stale.
+    name_index: HashMap<String, NodeId>,
+    /// Interface address → owning node (addresses are unique, enforced at build).
+    ip_index: HashMap<Ipv4, NodeId>,
 }
 
 impl Topology {
@@ -279,17 +286,18 @@ impl Topology {
         self.nodes.iter().find(|n| n.label == label).map(|n| n.id)
     }
 
-    /// Find the node owning an interface with the given DNS name.
+    /// Find the node owning an interface with the given DNS name — O(1)
+    /// via the index built at construction (ties, if a name were ever
+    /// duplicated, resolve to the lowest node id, as the old linear scan
+    /// did).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .find(|n| n.ifaces.iter().any(|i| i.name.as_deref() == Some(name)))
-            .map(|n| n.id)
+        self.name_index.get(name).copied()
     }
 
-    /// Find the node owning an interface with the given address.
+    /// Find the node owning an interface with the given address — O(1)
+    /// (addresses are unique; duplicates are rejected at build).
     pub fn node_by_ip(&self, ip: Ipv4) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.ifaces.iter().any(|i| i.ip == ip)).map(|n| n.id)
+        self.ip_index.get(&ip).copied()
     }
 
     /// The interface of node `n` bound to link `l` (used by traceroute to
@@ -728,7 +736,22 @@ impl TopologyBuilder {
             dns.add_alias(alias, canonical);
         }
 
-        Ok(Topology { nodes, links, mediums, adjacency, dns, firewall })
+        // Name / address indexes: `node_by_name` and `node_by_ip` used to
+        // scan every node × interface per call, which made every consumer
+        // that resolves host names per pair (plan validation, the
+        // structural phase) quadratic for no reason.
+        let mut name_index = HashMap::new();
+        let mut ip_index = HashMap::new();
+        for n in &nodes {
+            for i in &n.ifaces {
+                if let Some(name) = &i.name {
+                    name_index.entry(name.clone()).or_insert(n.id);
+                }
+                ip_index.insert(i.ip, n.id);
+            }
+        }
+
+        Ok(Topology { nodes, links, mediums, adjacency, dns, firewall, name_index, ip_index })
     }
 }
 
@@ -795,6 +818,21 @@ mod tests {
         assert!(t.node(gw).is_l3_hop());
         let aliases = t.dns().aliases_of("popc.ens-lyon.fr");
         assert!(aliases.contains(&"popc0.popc.private".to_string()));
+    }
+
+    #[test]
+    fn name_and_ip_indexes_resolve_every_interface() {
+        let mut b = TopologyBuilder::new();
+        let gw = b.host_multi("gw", &[("gw.out.x", "10.0.0.1"), ("gw.in.x", "192.168.0.1")]);
+        let h = b.host("h.x", "10.0.0.2");
+        let t = b.build().unwrap();
+        assert_eq!(t.node_by_name("gw.out.x"), Some(gw));
+        assert_eq!(t.node_by_name("gw.in.x"), Some(gw));
+        assert_eq!(t.node_by_name("h.x"), Some(h));
+        assert_eq!(t.node_by_name("missing.x"), None);
+        assert_eq!(t.node_by_ip("192.168.0.1".parse().unwrap()), Some(gw));
+        assert_eq!(t.node_by_ip("10.0.0.2".parse().unwrap()), Some(h));
+        assert_eq!(t.node_by_ip("10.9.9.9".parse().unwrap()), None);
     }
 
     #[test]

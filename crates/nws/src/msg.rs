@@ -26,6 +26,34 @@ pub enum Resource {
 }
 
 impl Resource {
+    /// All resource kinds, in [`Resource::index`] order — the dense axis of
+    /// interned `(resource, src, dst)` series tables.
+    pub const ALL: [Resource; 5] = [
+        Resource::Bandwidth,
+        Resource::Latency,
+        Resource::ConnectTime,
+        Resource::CpuLoad,
+        Resource::FreeMemory,
+    ];
+
+    /// Dense index (0..[`Resource::ALL`]`.len()`): lets consumers key
+    /// series by `(resource index, interned host id, interned host id)`
+    /// instead of a [`SeriesKey`] holding two heap strings.
+    pub fn index(self) -> usize {
+        match self {
+            Resource::Bandwidth => 0,
+            Resource::Latency => 1,
+            Resource::ConnectTime => 2,
+            Resource::CpuLoad => 3,
+            Resource::FreeMemory => 4,
+        }
+    }
+
+    /// Inverse of [`Resource::index`].
+    pub fn from_index(i: usize) -> Option<Resource> {
+        Resource::ALL.get(i).copied()
+    }
+
     pub fn as_str(self) -> &'static str {
         match self {
             Resource::Bandwidth => "bandwidthTcp",
@@ -224,5 +252,14 @@ mod tests {
         let a = SeriesKey::link(Resource::Bandwidth, "a", "b");
         let b = SeriesKey::link(Resource::Latency, "a", "b");
         assert!(a < b || b < a);
+    }
+
+    #[test]
+    fn resource_index_round_trips() {
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Resource::from_index(i), Some(*r));
+        }
+        assert_eq!(Resource::from_index(Resource::ALL.len()), None);
     }
 }
