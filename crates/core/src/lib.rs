@@ -35,15 +35,18 @@ pub mod compiled;
 pub mod manager;
 pub mod plan;
 pub mod planner;
+pub mod repair;
 pub mod validate;
 
 pub use aggregate::{naive::NaiveEstimator, Estimate, Estimator, Freshness, MeasurementSource};
 pub use compiled::{CompiledView, DenseSource, DenseStaticSource, HostId, NetId};
 pub use manager::{
-    apply_plan, apply_plan_with, parse_config, plan_to_spec, plan_to_spec_with, render_config,
+    apply_plan, apply_plan_delta, apply_plan_with, parse_config, plan_delta_to_reconfig,
+    plan_to_spec, plan_to_spec_with, render_config,
 };
 pub use plan::{diff_plans, CliqueRole, DeploymentPlan, PlanDelta, PlannedClique};
 pub use planner::{plan_deployment, PlannerConfig};
+pub use repair::{repair_plan, RepairConfig, RepairOutcome};
 pub use validate::{
     validate_plan, validate_plan_naive, validate_plan_with_routes, PlanReport, PostRoundSource,
 };

@@ -19,9 +19,9 @@ use netsim::engine::Engine;
 use netsim::error::{NetError, NetResult};
 use netsim::time::TimeDelta;
 
-use nws::{CliqueSpec, NwsMsg, NwsSystem, NwsSystemSpec, SensorMode, SensorSpec};
+use nws::{CliqueSpec, NwsMsg, NwsSystem, NwsSystemSpec, ReconfigSpec, SensorMode, SensorSpec};
 
-use crate::plan::{CliqueRole, DeploymentPlan, PlannedClique};
+use crate::plan::{CliqueRole, DeploymentPlan, PlanDelta, PlannedClique};
 
 /// Serialize a plan to the shared manager configuration.
 pub fn render_config(plan: &DeploymentPlan) -> String {
@@ -247,6 +247,60 @@ pub fn plan_to_spec_with(plan: &DeploymentPlan, host_locking: bool) -> NwsSystem
         seed: 42,
         host_locking,
     }
+}
+
+/// Convert a plan delta (from [`crate::plan::diff_plans`] or
+/// [`crate::repair::repair_plan`]) to the incremental reconfiguration the
+/// running NWS system applies in place. `new_plan` supplies memory
+/// assignments for joining sensors and the clique gaps — staggered by the
+/// clique's index in the new plan, exactly as [`plan_to_spec`] staggers a
+/// fresh deployment, so a reconfigured system and a freshly deployed one
+/// agree on measurement frequency.
+pub fn plan_delta_to_reconfig(delta: &PlanDelta, new_plan: &DeploymentPlan) -> ReconfigSpec {
+    let gap_of = |name: &str| {
+        let i = new_plan.cliques.iter().position(|c| c.name == name).unwrap_or(0);
+        new_plan.gap * (1.0 + 0.137 * i as f64)
+    };
+    let to_spec = |c: &PlannedClique| CliqueSpec {
+        name: c.name.clone(),
+        members: c.members.clone(),
+        gap: gap_of(&c.name),
+    };
+    ReconfigSpec {
+        cliques_to_stop: delta.cliques_to_stop.clone(),
+        cliques_to_upsert: delta
+            .cliques_to_start
+            .iter()
+            .chain(&delta.cliques_to_restart)
+            .map(to_spec)
+            .collect(),
+        sensors_to_add: delta
+            .sensors_to_add
+            .iter()
+            .map(|h| SensorSpec {
+                host: h.clone(),
+                mode: SensorMode::Clique,
+                host_sensing: true,
+                memory: Some(new_plan.memory_for(h).to_string()),
+            })
+            .collect(),
+        sensors_to_remove: delta.sensors_to_remove.clone(),
+        memories_to_add: delta.memories_to_add.clone(),
+        memories_to_remove: delta.memories_to_remove.clone(),
+    }
+}
+
+/// Apply a plan delta to a running system — the incremental counterpart of
+/// [`apply_plan`]: sensors, cliques and series are retargeted in place,
+/// preserving memory contents and forecaster watermarks across the
+/// transition.
+pub fn apply_plan_delta(
+    eng: &mut Engine<NwsMsg>,
+    sys: &mut NwsSystem,
+    delta: &PlanDelta,
+    new_plan: &DeploymentPlan,
+) -> NetResult<()> {
+    sys.reconfigure(eng, &plan_delta_to_reconfig(delta, new_plan))
 }
 
 /// Deploy the plan onto a simulated platform — the manager run on every

@@ -1,6 +1,7 @@
-//! Orchestration of a full ENV run (paper §4.2).
+//! Orchestration of a full ENV run (paper §4.2), and of incremental
+//! *re*-runs under topology churn ([`EnvMapper::remap`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use gridml::Property;
 use netsim::prelude::*;
@@ -9,8 +10,8 @@ use netsim::Engine;
 #[cfg(test)]
 use crate::net::NetKind;
 use crate::net::{EnvNet, EnvView};
-use crate::refine::{refine_cluster, RefHost, RefineParams};
-use crate::structural::{build_tree, clusters_with_gateways, StructNode};
+use crate::refine::{refine_cluster, RefHost, RefineParams, RefinedCluster};
+use crate::structural::{build_tree_from_chains, clusters_with_gateways, hop_key, StructNode};
 use crate::thresholds::EnvThresholds;
 
 /// A host given to the mapper: a hostname or a bare dotted-quad address
@@ -129,11 +130,37 @@ pub struct EnvRun {
     pub stats: ProbeStats,
     /// The master's resolved input name.
     pub master: String,
+    /// name/alias → index into `machines`, built once at construction
+    /// (mirrors `Topology::node_by_name`): [`EnvRun::machine`] used to scan
+    /// every record's name *and* aliases per lookup, which made per-host
+    /// consumers quadratic. First machine carrying the name wins, exactly
+    /// like the old scan.
+    machine_index: HashMap<String, usize>,
 }
 
 impl EnvRun {
+    /// Assemble a run, building the machine name/alias index.
+    pub fn new(
+        view: EnvView,
+        structural: StructNode,
+        machines: Vec<MachineRecord>,
+        stats: ProbeStats,
+        master: String,
+    ) -> Self {
+        let mut machine_index = HashMap::with_capacity(machines.len() * 2);
+        for (i, m) in machines.iter().enumerate() {
+            machine_index.entry(m.name.clone()).or_insert(i);
+            for a in &m.aliases {
+                machine_index.entry(a.clone()).or_insert(i);
+            }
+        }
+        EnvRun { view, structural, machines, stats, master, machine_index }
+    }
+
+    /// The record owning `name` (input name or alias) — O(1) via the index
+    /// built at construction.
     pub fn machine(&self, name: &str) -> Option<&MachineRecord> {
-        self.machines.iter().find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
+        self.machine_index.get(name).map(|&i| &self.machines[i])
     }
 }
 
@@ -164,56 +191,170 @@ impl EnvMapper {
         let mut stats = ProbeStats::default();
 
         // ---- phase 1: lookup ---------------------------------------------
-        let mut machines = Vec::with_capacity(hosts.len());
-        for h in hosts {
-            machines.push(resolve_host(eng.topo(), &h.0)?);
-        }
-        let master_rec = machines
-            .iter()
-            .find(|m| m.name == master || m.aliases.iter().any(|a| a == master))
-            .cloned()
-            .ok_or_else(|| NetError::NameNotFound(format!("master {master} not in host list")))?;
-
-        let external_node = match external {
-            Some(name) => Some(
-                eng.topo()
-                    .node_by_name(name)
-                    .or_else(|| name.parse().ok().and_then(|ip| eng.topo().node_by_ip(ip)))
-                    .ok_or_else(|| NetError::NameNotFound(name.to_string()))?,
-            ),
-            None => None,
-        };
+        let machines = resolve_inputs(eng.topo(), hosts)?;
+        let master_rec = master_record(&machines, master)?;
+        let external_node = resolve_external(eng.topo(), external)?;
 
         // ---- phase 3: structural topology ---------------------------------
-        let mut paths = Vec::with_capacity(machines.len());
+        let mut chains = Vec::with_capacity(machines.len());
         for m in &machines {
-            let target = external_node.unwrap_or(master_rec.node);
-            if m.node == target {
-                paths.push((m.name.clone(), Vec::new()));
-                continue;
-            }
-            match eng.traceroute(m.node, target) {
-                Ok(hops) => {
-                    stats.traceroutes += 1;
-                    paths.push((m.name.clone(), hops));
-                }
-                Err(_) => {
-                    // Unreachable external (firewalled side): fall back to
-                    // the master as destination for this host.
-                    if external_node.is_some() && m.node != master_rec.node {
-                        if let Ok(hops) = eng.traceroute(m.node, master_rec.node) {
-                            stats.traceroutes += 1;
-                            paths.push((m.name.clone(), hops));
-                            continue;
-                        }
-                    }
-                    paths.push((m.name.clone(), Vec::new()));
-                }
+            chains.push((
+                m.name.clone(),
+                trace_chain(eng, m, external_node, master_rec.node, &mut stats),
+            ));
+        }
+        let structural = build_tree_from_chains(&chains);
+
+        // ---- phases 4–7 + assembly ----------------------------------------
+        let flat = self.refine_all(eng, &machines, &master_rec, &structural, &mut stats, |_| None);
+        let networks = assemble_tree(flat);
+        stats.mapping_seconds = eng.now().since(t_start).as_secs();
+
+        Ok(EnvRun::new(
+            EnvView { master: master_rec.name.clone(), networks },
+            structural,
+            machines,
+            stats,
+            master_rec.name,
+        ))
+    }
+
+    /// Incrementally re-map after topology churn: re-probe only the hosts
+    /// whose site/structural neighborhood is **dirty**, splicing the
+    /// previous run's refined clusters over everything untouched. Clean
+    /// clusters cost *zero* probe experiments — their traceroute chains
+    /// are reused from `prev`'s structural tree and their measurements
+    /// from `prev`'s effective view.
+    ///
+    /// `hosts` is the complete current host list (departed hosts simply
+    /// absent); `dirty` names the hosts whose master-relative measurements
+    /// may have changed. The **dirty-neighborhood contract**: the caller
+    /// must mark every host whose path to the master gained/lost capacity
+    /// or whose cluster's membership changed (a joiner's whole LAN, a
+    /// leaver's remaining neighbors, every member of a re-provisioned
+    /// LAN). Hosts unknown to `prev` are implicitly dirty. Under that
+    /// contract the splice is sound (see DESIGN.md §7): measurements are
+    /// functions of the quiescent platform along master↔member paths, so a
+    /// cluster with no dirty member and unchanged membership re-measures
+    /// to exactly its previous values — reuse and re-probe are
+    /// indistinguishable, which the differential suite asserts
+    /// (`remap == map` on the mutated platform, bit for bit).
+    ///
+    /// The master must be clean and present; a dirtied master (or a master
+    /// swap) invalidates every measurement, so callers should fall back to
+    /// a full [`EnvMapper::map`].
+    pub fn remap<M>(
+        &self,
+        eng: &mut Engine<M>,
+        prev: &EnvRun,
+        hosts: &[HostInput],
+        dirty: &[String],
+        master: &str,
+        external: Option<&str>,
+    ) -> NetResult<EnvRun> {
+        let t_start = eng.now();
+        let mut stats = ProbeStats::default();
+
+        let machines = resolve_inputs(eng.topo(), hosts)?;
+        let master_rec = master_record(&machines, master)?;
+        let external_node = resolve_external(eng.topo(), external)?;
+
+        // Dirty set: declared dirty, plus anything the previous run never
+        // saw (joiners are dirty by definition).
+        let mut dirty_set: BTreeSet<&str> = dirty.iter().map(String::as_str).collect();
+        for m in &machines {
+            if prev.machine(&m.name).is_none() {
+                dirty_set.insert(m.name.as_str());
             }
         }
-        let structural = build_tree(&paths);
 
-        // ---- phases 4–7: master-dependent refinement ------------------------
+        // ---- structural phase, incremental --------------------------------
+        // Clean hosts reuse the chain recorded in the previous tree; dirty
+        // hosts re-traceroute. Rebuilding from merged chains is
+        // bit-identical to a full rebuild over the same paths.
+        let mut prev_chain: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (chain, cluster_hosts) in prev.structural.clusters() {
+            for h in cluster_hosts {
+                prev_chain.insert(h, chain.clone());
+            }
+        }
+        let mut chains = Vec::with_capacity(machines.len());
+        for m in &machines {
+            if !dirty_set.contains(m.name.as_str()) {
+                if let Some(c) = prev_chain.get(m.name.as_str()) {
+                    chains.push((m.name.clone(), c.clone()));
+                    continue;
+                }
+            }
+            chains.push((
+                m.name.clone(),
+                trace_chain(eng, m, external_node, master_rec.node, &mut stats),
+            ));
+        }
+        let structural = build_tree_from_chains(&chains);
+
+        // ---- refinement, incremental --------------------------------------
+        // A structural cluster is spliced from the previous view iff no
+        // member is dirty and its member set is exactly a union of
+        // previous refined clusters (each previous cluster fully inside
+        // it). Everything else is re-refined from scratch.
+        let prev_flat = prev.view.flatten();
+        let mut prev_net_of: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, f) in prev_flat.iter().enumerate() {
+            for h in &f.net.hosts {
+                prev_net_of.insert(h.as_str(), i);
+            }
+        }
+        let flat = self.refine_all(eng, &machines, &master_rec, &structural, &mut stats, |refs| {
+            if refs.iter().any(|h| dirty_set.contains(h.name.as_str())) {
+                return None;
+            }
+            let mut net_ids: Vec<usize> = Vec::new();
+            for h in refs {
+                match prev_net_of.get(h.name.as_str()) {
+                    Some(&i) => {
+                        if !net_ids.contains(&i) {
+                            net_ids.push(i);
+                        }
+                    }
+                    None => return None, // previously unplaced
+                }
+            }
+            // Exact cover: every ref is in some previous cluster, and
+            // those clusters hold no host outside this one (sizes
+            // match because a view's clusters partition its hosts).
+            let total: usize = net_ids.iter().map(|&i| prev_flat[i].net.hosts.len()).sum();
+            if total != refs.len() {
+                return None;
+            }
+            net_ids.sort_unstable(); // pre-order, deterministic
+            Some(net_ids.iter().map(|&i| splice_cluster(prev_flat[i].net, refs)).collect())
+        });
+        let networks = assemble_tree(flat);
+        stats.mapping_seconds = eng.now().since(t_start).as_secs();
+
+        Ok(EnvRun::new(
+            EnvView { master: master_rec.name.clone(), networks },
+            structural,
+            machines,
+            stats,
+            master_rec.name,
+        ))
+    }
+
+    /// Phases 4–7 over every structural cluster: refine each cluster,
+    /// unless `reuse` can answer it from a previous run (the incremental
+    /// path); returns the flat (gateway chain, router chain, refined
+    /// cluster) list [`assemble_tree`] consumes.
+    fn refine_all<M>(
+        &self,
+        eng: &mut Engine<M>,
+        machines: &[MachineRecord],
+        master_rec: &MachineRecord,
+        structural: &StructNode,
+        stats: &mut ProbeStats,
+        mut reuse: impl FnMut(&[RefHost]) -> Option<Vec<RefinedCluster>>,
+    ) -> Vec<(Vec<String>, Vec<String>, RefinedCluster)> {
         let by_name: BTreeMap<&str, &MachineRecord> = machines
             .iter()
             .flat_map(|m| {
@@ -221,11 +362,10 @@ impl EnvMapper {
                     .chain(m.aliases.iter().map(move |a| (a.as_str(), m)))
             })
             .collect();
-        let clusters = clusters_with_gateways(&structural, |hop| by_name.contains_key(hop));
+        let clusters = clusters_with_gateways(structural, |hop| by_name.contains_key(hop));
 
         let params = self.config.refine_params();
-        // Flat list of (gateway chain, refined cluster).
-        let mut flat: Vec<(Vec<String>, Vec<String>, crate::refine::RefinedCluster)> = Vec::new();
+        let mut flat: Vec<(Vec<String>, Vec<String>, RefinedCluster)> = Vec::new();
         for (gateways, routers, cluster_hosts) in clusters {
             let refs: Vec<RefHost> = cluster_hosts
                 .iter()
@@ -239,23 +379,111 @@ impl EnvMapper {
             if refs.is_empty() {
                 continue;
             }
-            let refined = refine_cluster(eng, master_rec.node, &refs, &params, &mut stats);
+            let refined = match reuse(&refs) {
+                Some(spliced) => spliced,
+                None => refine_cluster(eng, master_rec.node, &refs, &params, stats),
+            };
             for rc in refined {
                 flat.push((gateways.clone(), routers.clone(), rc));
             }
         }
+        flat
+    }
+}
 
-        // ---- assemble the network tree -------------------------------------
-        let networks = assemble_tree(flat);
-        stats.mapping_seconds = eng.now().since(t_start).as_secs();
+/// Phase-1 lookup over all inputs.
+fn resolve_inputs(topo: &Topology, hosts: &[HostInput]) -> NetResult<Vec<MachineRecord>> {
+    let mut machines = Vec::with_capacity(hosts.len());
+    for h in hosts {
+        machines.push(resolve_host(topo, &h.0)?);
+    }
+    Ok(machines)
+}
 
-        Ok(EnvRun {
-            view: EnvView { master: master_rec.name.clone(), networks },
-            structural,
-            machines,
-            stats,
-            master: master_rec.name,
-        })
+/// The master's record among the resolved inputs.
+fn master_record(machines: &[MachineRecord], master: &str) -> NetResult<MachineRecord> {
+    machines
+        .iter()
+        .find(|m| m.name == master || m.aliases.iter().any(|a| a == master))
+        .cloned()
+        .ok_or_else(|| NetError::NameNotFound(format!("master {master} not in host list")))
+}
+
+/// Resolve the optional external traceroute target.
+fn resolve_external(topo: &Topology, external: Option<&str>) -> NetResult<Option<NodeId>> {
+    match external {
+        Some(name) => Ok(Some(
+            topo.node_by_name(name)
+                .or_else(|| name.parse().ok().and_then(|ip| topo.node_by_ip(ip)))
+                .ok_or_else(|| NetError::NameNotFound(name.to_string()))?,
+        )),
+        None => Ok(None),
+    }
+}
+
+/// One host's structural traceroute, as an outermost-first key chain
+/// (empty when the host *is* the target or nothing answers). Falls back to
+/// the master as destination when the external target is unreachable (the
+/// firewalled side, §4.2.1.3).
+fn trace_chain<M>(
+    eng: &mut Engine<M>,
+    m: &MachineRecord,
+    external_node: Option<NodeId>,
+    master_node: NodeId,
+    stats: &mut ProbeStats,
+) -> Vec<String> {
+    let target = external_node.unwrap_or(master_node);
+    if m.node == target {
+        return Vec::new();
+    }
+    let keys = |hops: Vec<netsim::probes::TracerouteHop>| {
+        let mut keys: Vec<String> = hops.iter().map(hop_key).collect();
+        keys.reverse(); // outermost first
+        keys
+    };
+    match eng.traceroute(m.node, target) {
+        Ok(hops) => {
+            stats.traceroutes += 1;
+            keys(hops)
+        }
+        Err(_) => {
+            // Unreachable external (firewalled side): fall back to the
+            // master as destination for this host.
+            if external_node.is_some() && m.node != master_node {
+                if let Ok(hops) = eng.traceroute(m.node, master_node) {
+                    stats.traceroutes += 1;
+                    return keys(hops);
+                }
+            }
+            Vec::new()
+        }
+    }
+}
+
+/// Reconstruct a previous effective network as a refined cluster, so the
+/// incremental path can feed it through the same assembly as fresh
+/// refinements. Nodes are re-resolved from the current lookup; the
+/// measurements are the previous run's (sound under the dirty-neighborhood
+/// contract — see [`EnvMapper::remap`]).
+fn splice_cluster(net: &EnvNet, refs: &[RefHost]) -> RefinedCluster {
+    RefinedCluster {
+        hosts: net
+            .hosts
+            .iter()
+            .map(|h| {
+                let node = refs
+                    .iter()
+                    .find(|r| r.name == *h)
+                    .expect("splice candidates cover the cluster")
+                    .node;
+                RefHost { name: h.clone(), node }
+            })
+            .collect(),
+        kind: net.kind,
+        base_bw_mbps: net.base_bw_mbps,
+        local_bw_mbps: net.local_bw_mbps,
+        jam_ratio: net.jam_ratio,
+        pairwise_dependent: net.hosts.len() >= 2,
     }
 }
 

@@ -80,6 +80,36 @@ impl EnvNet {
         }
         self.children.iter().find_map(|c| c.find_containing(host))
     }
+
+    /// Structural equality with tolerant measurements: labels, kinds,
+    /// membership, gateways and tree shape must match exactly; bandwidths
+    /// and jam ratios within `tol` relative. The comparator differential
+    /// suites need: simulated probe values carry epoch-dependent
+    /// floating-point noise (a fluid drain at clock 80 s rounds differently
+    /// than the same drain at clock 0), so two runs of the *same* schedule
+    /// at different simulation times agree to ~1e-12 but not bit-for-bit.
+    pub fn approx_eq(&self, other: &EnvNet, tol: f64) -> bool {
+        fn close(a: f64, b: f64, tol: f64) -> bool {
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+        }
+        fn opt_close(a: Option<f64>, b: Option<f64>, tol: f64) -> bool {
+            match (a, b) {
+                (Some(a), Some(b)) => close(a, b, tol),
+                (None, None) => true,
+                _ => false,
+            }
+        }
+        self.label == other.label
+            && self.kind == other.kind
+            && self.hosts == other.hosts
+            && self.via == other.via
+            && self.router_path == other.router_path
+            && close(self.base_bw_mbps, other.base_bw_mbps, tol)
+            && opt_close(self.local_bw_mbps, other.local_bw_mbps, tol)
+            && opt_close(self.jam_ratio, other.jam_ratio, tol)
+            && self.children.len() == other.children.len()
+            && self.children.iter().zip(&other.children).all(|(a, b)| a.approx_eq(b, tol))
+    }
 }
 
 /// One entry of [`EnvView::flatten`]: a network with its position in the
@@ -119,6 +149,14 @@ impl EnvView {
 
     pub fn find_containing(&self, host: &str) -> Option<&EnvNet> {
         self.networks.iter().find_map(|n| n.find_containing(host))
+    }
+
+    /// See [`EnvNet::approx_eq`]: exact structure, measurements within
+    /// `tol` relative — the equality the churn differential suites assert.
+    pub fn approx_eq(&self, other: &EnvView, tol: f64) -> bool {
+        self.master == other.master
+            && self.networks.len() == other.networks.len()
+            && self.networks.iter().zip(&other.networks).all(|(a, b)| a.approx_eq(b, tol))
     }
 
     /// Flatten the tree in depth-first pre-order (the order

@@ -39,12 +39,87 @@ fn view_labels(view: &EnvView) -> BTreeMap<&str, usize> {
 /// of a refined cluster). Hosts the view failed to place count as
 /// singletons. Returns 1.0 when fewer than two hosts are scorable.
 ///
+/// Computed by contingency-table counting in O(n log n + cells) — cells is
+/// at most min(n, C_truth · C_view) — instead of enumerating all O(n²)
+/// host pairs: with `a_i` the truth cluster sizes, `b_j` the view cluster
+/// sizes and `n_ij` the contingency counts, the number of *disagreeing*
+/// pairs is `Σ C(a_i,2) + Σ C(b_j,2) − 2 Σ C(n_ij,2)`. All counts are
+/// exact integers, so the result is bit-identical to the pairwise
+/// enumeration (kept as [`cluster_agreement_naive`], the differential
+/// oracle) — the pipeline fingerprints embed the formatted agreement, and
+/// those must not move.
+///
 /// With many small truth clusters almost all pairs are cross-cluster, so
 /// the raw Rand index saturates near 1.0 and barely penalises
 /// *fragmentation* (a mapper reporting every host as a singleton still
 /// scores ~`1 − 1/clusters`). Always gate it together with
 /// [`intact_fraction`], which is exactly the split detector.
 pub fn cluster_agreement(view: &EnvView, truth: &[Vec<String>], exclude: &[&str]) -> f64 {
+    let view_label = view_labels(view);
+
+    // The scorable universe: (truth label, view label) per host, with
+    // unplaced hosts given unique singleton view labels distinct from
+    // every real cluster id.
+    let mut unplaced = view_label.values().copied().max().map_or(0, |m| m + 1);
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (t, cluster) in truth.iter().enumerate() {
+        for h in cluster {
+            if !exclude.contains(&h.as_str()) {
+                let v = view_label.get(h.as_str()).copied().unwrap_or_else(|| {
+                    unplaced += 1;
+                    unplaced
+                });
+                cells.push((t, v));
+            }
+        }
+    }
+    let n = cells.len();
+    if n < 2 {
+        return 1.0;
+    }
+
+    let c2 = |k: usize| k * k.saturating_sub(1) / 2;
+
+    // Same-truth pairs: truth labels arrive grouped (cells are pushed per
+    // truth cluster), so one pass counts the a_i.
+    let mut same_truth = 0usize;
+    let mut run = 0usize;
+    for i in 0..n {
+        run += 1;
+        if i + 1 == n || cells[i + 1].0 != cells[i].0 {
+            same_truth += c2(run);
+            run = 0;
+        }
+    }
+
+    // Same-view and same-both pairs: sort by (view, truth) and count runs.
+    cells.sort_unstable_by_key(|&(t, v)| (v, t));
+    let mut same_view = 0usize;
+    let mut same_both = 0usize;
+    let (mut vrun, mut brun) = (0usize, 0usize);
+    for i in 0..n {
+        vrun += 1;
+        brun += 1;
+        if i + 1 == n || cells[i + 1].1 != cells[i].1 {
+            same_view += c2(vrun);
+            vrun = 0;
+        }
+        if i + 1 == n || cells[i + 1] != cells[i] {
+            same_both += c2(brun);
+            brun = 0;
+        }
+    }
+
+    let total = c2(n);
+    let agree = total - (same_truth + same_view - 2 * same_both);
+    agree as f64 / total as f64
+}
+
+/// The pre-contingency pairwise enumeration of [`cluster_agreement`] —
+/// O(n²), kept as the differential oracle (the repo's naive-vs-engine
+/// pattern).
+#[doc(hidden)]
+pub fn cluster_agreement_naive(view: &EnvView, truth: &[Vec<String>], exclude: &[&str]) -> f64 {
     let view_label = view_labels(view);
 
     // The scorable universe, with its truth label.
@@ -182,6 +257,90 @@ mod tests {
         assert_eq!(cluster_agreement(&view, &truth(&[&["a"]]), &[]), 1.0);
         assert_eq!(cluster_agreement(&view, &[], &[]), 1.0);
         assert_eq!(intact_fraction(&view, &truth(&[&["a"]]), &[]), 1.0);
+    }
+
+    /// The counting implementation must be bit-identical to the pairwise
+    /// oracle — including splits, merges, unplaced hosts and exclusions —
+    /// because the pipeline fingerprints embed the formatted agreement.
+    #[test]
+    fn counting_agreement_matches_pairwise_oracle_bit_for_bit() {
+        let views = [
+            EnvView {
+                master: "m".into(),
+                networks: vec![net("a", &["a1", "a2"]), net("b", &["a3", "a4"])],
+            },
+            EnvView {
+                master: "m".into(),
+                networks: vec![net("x", &["a1", "a2", "b1", "b2"]), net("y", &["c1"])],
+            },
+            EnvView { master: "m".into(), networks: vec![] },
+            {
+                let mut parent = net("a", &["a1", "a2"]);
+                parent.children.push(net("c", &["c1", "c2"]));
+                EnvView { master: "m".into(), networks: vec![parent] }
+            },
+        ];
+        let truths = [
+            truth(&[&["a1", "a2", "a3", "a4"]]),
+            truth(&[&["a1", "a2"], &["b1", "b2"], &["c1", "c2"]]),
+            truth(&[&["m", "a1", "a2"], &["c1", "c2"], &["z1"], &["z2"]]),
+            truth(&[&["a1"], &["a2", "c1"], &["c2", "ghost"]]),
+        ];
+        for v in &views {
+            for t in &truths {
+                for ex in [&[][..], &["m"][..], &["a1", "c2"][..]] {
+                    let fast = cluster_agreement(v, t, ex);
+                    let slow = cluster_agreement_naive(v, t, ex);
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "fast {fast} vs naive {slow} on {t:?} excl {ex:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A pseudo-random partition-vs-partition sweep of the same identity.
+    #[test]
+    fn counting_agreement_matches_oracle_on_random_partitions() {
+        // Deterministic xorshift so no rand dependency is needed here.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move |m: usize| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as usize) % m
+        };
+        for case in 0..40 {
+            let n = 3 + next(40);
+            let tclusters = 1 + next(6);
+            let vclusters = 1 + next(6);
+            let names: Vec<String> = (0..n).map(|i| format!("h{i}.case{case}")).collect();
+            let mut t: Vec<Vec<String>> = vec![Vec::new(); tclusters];
+            let mut v: Vec<Vec<&str>> = vec![Vec::new(); vclusters];
+            for name in &names {
+                t[next(tclusters)].push(name.clone());
+                // ~1 in 5 hosts is unplaced in the view.
+                if next(5) != 0 {
+                    v[next(vclusters)].push(name.as_str());
+                }
+            }
+            let t: Vec<Vec<String>> = t.into_iter().filter(|c| !c.is_empty()).collect();
+            let view = EnvView {
+                master: "m".into(),
+                networks: v
+                    .iter()
+                    .filter(|c| !c.is_empty())
+                    .enumerate()
+                    .map(|(i, c)| net(&format!("n{i}"), c))
+                    .collect(),
+            };
+            let exclude = if next(2) == 0 { vec![] } else { vec![names[0].as_str()] };
+            let fast = cluster_agreement(&view, &t, &exclude);
+            let slow = cluster_agreement_naive(&view, &t, &exclude);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "case {case}: {fast} vs {slow}");
+        }
     }
 
     #[test]

@@ -93,23 +93,46 @@ pub fn hop_key(hop: &TracerouteHop) -> String {
 /// the *outermost* hop; hosts whose traceroute saw no hops at all cluster
 /// under a synthetic `(local)` root child.
 pub fn build_tree(paths: &[(String, Vec<TracerouteHop>)]) -> StructNode {
+    let chains: Vec<(String, Vec<String>)> = paths
+        .iter()
+        .map(|(host, hops)| {
+            let mut keys: Vec<String> = hops.iter().map(hop_key).collect();
+            keys.reverse(); // outermost first
+            (host.clone(), keys)
+        })
+        .collect();
+    build_tree_from_chains(&chains)
+}
+
+/// Build the structural tree from per-host *key chains* (outermost hop
+/// first; an empty chain clusters under the synthetic `(local)` root
+/// child, and a leading `(root)` marker — as produced by
+/// [`StructNode::clusters`] on an uncollapsed tree — is ignored).
+///
+/// This is [`build_tree`] with the hop→key conversion already done: the
+/// incremental re-mapper reuses the chains recorded in a previous run's
+/// tree for clean hosts and re-traceroutes only dirty ones, then rebuilds
+/// the tree from the merged chain set — bit-identical to a full rebuild
+/// over the same paths.
+pub fn build_tree_from_chains(chains: &[(String, Vec<String>)]) -> StructNode {
     // A virtual super-root lets several distinct outermost hops coexist.
     let mut root = StructNode::new("(root)");
 
-    for (host, hops) in paths {
-        let mut keys: Vec<String> = hops.iter().map(hop_key).collect();
-        keys.reverse(); // outermost first
+    for (host, keys) in chains {
+        let mut keys: Vec<&str> =
+            keys.iter().map(String::as_str).filter(|k| *k != "(root)").collect();
         if keys.is_empty() {
-            keys.push("(local)".to_string());
+            keys.push("(local)");
         }
         let mut cur = &mut root;
-        for k in &keys {
+        for k in keys {
             // BTree-ordered insertion keeps the tree deterministic.
-            let pos = cur.children.iter().position(|c| &c.key == k);
+            let pos = cur.children.iter().position(|c| c.key == k);
             let idx = match pos {
                 Some(i) => i,
                 None => {
-                    let insert_at = cur.children.binary_search_by(|c| c.key.cmp(k)).unwrap_err();
+                    let insert_at =
+                        cur.children.binary_search_by(|c| c.key.as_str().cmp(k)).unwrap_err();
                     cur.children.insert(insert_at, StructNode::new(k));
                     insert_at
                 }
@@ -286,6 +309,40 @@ mod tests {
         let keys1: Vec<&str> = t1.children.iter().map(|c| c.key.as_str()).collect();
         let keys2: Vec<&str> = t2.children.iter().map(|c| c.key.as_str()).collect();
         assert_eq!(keys1, keys2);
+    }
+
+    /// Chains recorded in a built tree rebuild the identical tree — the
+    /// invariant the incremental re-mapper relies on when it reuses clean
+    /// hosts' chains and re-traceroutes only dirty ones.
+    #[test]
+    fn chains_round_trip_rebuilds_identical_tree() {
+        // Collapsed single-root tree.
+        let paths = vec![
+            ("a".to_string(), vec![hop(Some("r1"), "10.0.0.1"), hop(Some("top"), "10.0.0.9")]),
+            ("b".to_string(), vec![hop(Some("r1"), "10.0.0.1"), hop(Some("top"), "10.0.0.9")]),
+            ("c".to_string(), vec![hop(Some("top"), "10.0.0.9")]),
+        ];
+        let tree = build_tree(&paths);
+        let chains: Vec<(String, Vec<String>)> = tree
+            .clusters()
+            .into_iter()
+            .flat_map(|(chain, hosts)| hosts.into_iter().map(move |h| (h, chain.clone())))
+            .collect();
+        assert_eq!(build_tree_from_chains(&chains), tree);
+
+        // Uncollapsed tree (virtual root retained): chains lead with
+        // "(root)", which the rebuild must ignore.
+        let paths =
+            vec![("a".to_string(), vec![]), ("b".to_string(), vec![hop(Some("r"), "10.0.0.1")])];
+        let tree = build_tree(&paths);
+        assert_eq!(tree.key, "(root)");
+        let chains: Vec<(String, Vec<String>)> = tree
+            .clusters()
+            .into_iter()
+            .flat_map(|(chain, hosts)| hosts.into_iter().map(move |h| (h, chain.clone())))
+            .collect();
+        assert!(chains.iter().all(|(_, c)| c[0] == "(root)"));
+        assert_eq!(build_tree_from_chains(&chains), tree);
     }
 
     #[test]

@@ -637,8 +637,11 @@ impl<M> Engine<M> {
         self.core.routes = RouteTable::compute(&self.core.topo);
         // Capacity mutations through topo_mut() must reach the interned
         // tables too; like the old from-scratch allocator, they take
-        // effect on the next reallocation.
-        self.core.fair.refresh_capacities(&self.core.topo);
+        // effect on the next reallocation. Structural growth (hosts and
+        // access links appended by the churn mutators) extends the interned
+        // tables in place — resource ids are append-stable, so flows in
+        // flight keep their resource lists and this is safe mid-traffic.
+        self.core.fair.sync_topology(&self.core.topo);
     }
 
     pub fn routes(&self) -> &RouteTable {
@@ -1193,6 +1196,105 @@ mod tests {
         e.run_until_flows_done(&[f_long], TimeDelta::from_secs(600.0)).unwrap();
         assert_eq!(e.active_flow_count(), 0);
         assert_eq!(e.completion_heap_len(), 0, "idle heap must be empty");
+    }
+
+    #[test]
+    fn mid_flight_capacity_and_growth_keep_heap_and_tables_consistent() {
+        // Extends completion_heap_stays_bounded_under_tiny_flow_churn with
+        // the churn subsystem's engine mutations *while flows are active*:
+        // set_link_capacity-style edits (link_mut + medium_mut +
+        // recompute_routes) and structural growth (add_host_like) must keep
+        // the completion heap bounded and the interned capacity tables
+        // consistent — the long-lived flow keeps draining throughout and
+        // new rates take effect on the next flow-set change.
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let a = b.host("a.x", "10.0.0.1");
+        let c = b.host("c.x", "10.0.0.2");
+        let r = b.router("r.x", "10.0.1.1");
+        b.attach(a, hub);
+        b.attach(c, hub);
+        let l_r = b.link(a, r, Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let d = b.host("d.x", "10.0.1.2");
+        b.link(r, d, Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let mut e: Sim = Engine::new(b.build().unwrap());
+
+        let f_long = e.start_probe_flow(a, c, Bytes::mib(64)).unwrap();
+        let mut max_seen = 0usize;
+        for round in 0..60 {
+            // Tiny churn flows on the shared medium keep bumping f_long.
+            let f2 = e.start_probe_flow(c, a, Bytes::kib(16)).unwrap();
+            e.run_until_flows_done(&[f2], TimeDelta::from_secs(60.0)).unwrap();
+            match round {
+                20 => {
+                    // Degrade the hub medium mid-flight.
+                    let m = crate::topology::MediumId(0);
+                    e.topo_mut().medium_mut(m).capacity = Bandwidth::mbps(50.0);
+                    e.recompute_routes();
+                }
+                30 => {
+                    // Degrade the router link mid-flight (unused by f_long;
+                    // proves unrelated capacity edits don't disturb it).
+                    if let LinkMode::FullDuplex { capacity_ab, capacity_ba } =
+                        &mut e.topo_mut().link_mut(l_r).mode
+                    {
+                        *capacity_ab = Bandwidth::mbps(10.0);
+                        *capacity_ba = Bandwidth::mbps(10.0);
+                    }
+                    e.recompute_routes();
+                }
+                40 => {
+                    // Grow the topology mid-flight: a new host on the hub.
+                    e.topo_mut().add_host_like("new.x", "10.0.0.99".parse().unwrap(), c).unwrap();
+                    e.recompute_routes();
+                }
+                _ => {}
+            }
+            assert_eq!(e.active_flow_count(), 1, "f_long must outlive the churn");
+            max_seen = max_seen.max(e.completion_heap_len());
+            assert!(
+                e.completion_heap_len() <= 16,
+                "round {round}: heap grew to {} with one live flow",
+                e.completion_heap_len()
+            );
+            if round == 41 {
+                // The appended host is fully wired: flows route to it and
+                // share the (degraded) medium with f_long.
+                let new = e.topo().node_by_name("new.x").unwrap();
+                let f3 = e.start_probe_flow(a, new, Bytes::kib(64)).unwrap();
+                e.run_until_flows_done(&[f3], TimeDelta::from_secs(60.0)).unwrap();
+                let bw = e.outcome(f3).unwrap().throughput().as_mbps();
+                assert!(bw < 51.0, "degraded medium must cap the new host's flow, got {bw}");
+            }
+        }
+        assert!(max_seen > 2, "churn must actually accumulate stale entries, saw {max_seen}");
+        // After the medium degrade, a fresh exclusive probe sees 50 Mbps —
+        // the interned capacities are consistent with the topology.
+        e.run_until_flows_done(&[f_long], TimeDelta::from_secs(600.0)).unwrap();
+        assert_eq!(e.completion_heap_len(), 0, "idle heap must be empty");
+        let f4 = e.start_probe_flow(a, c, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f4], TimeDelta::from_secs(60.0)).unwrap();
+        let bw = e.outcome(f4).unwrap().throughput().as_mbps();
+        assert!((bw - 50.0).abs() < 2.0, "expected ~50 Mbps on degraded hub, got {bw}");
+        // And the degraded router link binds too.
+        let f5 = e.start_probe_flow(a, d, Bytes::mib(1)).unwrap();
+        e.run_until_flows_done(&[f5], TimeDelta::from_secs(60.0)).unwrap();
+        let bw = e.outcome(f5).unwrap().throughput().as_mbps();
+        assert!(bw < 11.0, "degraded link must cap the flow, got {bw}");
+    }
+
+    #[test]
+    fn isolated_node_becomes_unreachable_after_recompute() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Sim = Engine::new(t);
+        assert!(e.start_probe_flow(a, c, Bytes::kib(4)).is_ok());
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        e.topo_mut().isolate_node(c);
+        e.recompute_routes();
+        assert!(matches!(
+            e.start_probe_flow(a, c, Bytes::kib(4)),
+            Err(NetError::Unreachable { .. })
+        ));
     }
 
     #[test]

@@ -337,6 +337,52 @@ impl ResourceTable {
         self.capacity[r.index()]
     }
 
+    /// Whether the table still covers the topology's structure (same link
+    /// and medium populations). False after links were appended through
+    /// the churn mutators, meaning the table must be extended.
+    pub fn covers(&self, topo: &Topology) -> bool {
+        self.link_dir.len() == topo.link_count()
+            && self.resources.iter().filter(|r| matches!(r, Resource::Medium(_))).count()
+                == topo.medium_count()
+    }
+
+    /// Extend the table over links appended to the topology since it was
+    /// built, and re-read every capacity. Existing [`ResourceId`]s are
+    /// stable (new resources are appended), so flows registered before the
+    /// growth stay valid — this is what makes topology churn safe under
+    /// live traffic. Mediums cannot be added post-build; links cannot be
+    /// removed (only administratively downed), both enforced here.
+    pub fn sync(&mut self, topo: &Topology) {
+        assert!(
+            self.link_dir.len() <= topo.link_count(),
+            "links cannot be removed from a topology, only downed"
+        );
+        assert_eq!(
+            self.resources.iter().filter(|r| matches!(r, Resource::Medium(_))).count(),
+            topo.medium_count(),
+            "mediums cannot be added or removed after build"
+        );
+        for link in topo.links().skip(self.link_dir.len()) {
+            match link.mode {
+                LinkMode::Shared { medium } => {
+                    let r = ResourceId(medium.index() as u32);
+                    self.link_dir.push([r, r]);
+                }
+                LinkMode::FullDuplex { .. } => {
+                    let ab = ResourceId(self.resources.len() as u32);
+                    self.resources.push(Resource::LinkDir { link: link.id, from_a: true });
+                    let ba = ResourceId(self.resources.len() as u32);
+                    self.resources.push(Resource::LinkDir { link: link.id, from_a: false });
+                    self.link_dir.push([ab, ba]);
+                }
+            }
+        }
+        self.capacity.clear();
+        self.capacity.extend(self.resources.iter().map(|r| r.capacity(topo).as_bytes_per_sec()));
+        self.freeze_eps.clear();
+        self.freeze_eps.extend(self.capacity.iter().map(|c| EPS * c.max(1.0)));
+    }
+
     /// Intern a path's resource set (sorted, deduplicated) — the id-space
     /// equivalent of [`path_resources`].
     pub fn intern_path(&self, topo: &Topology, path: &Path, out: &mut Vec<ResourceId>) {
@@ -460,6 +506,26 @@ impl FairEngine {
             self.table.capacity[i] = cap;
             self.table.freeze_eps[i] = EPS * cap.max(1.0);
         }
+    }
+
+    /// Bring the engine in sync with a topology that may have *grown* (new
+    /// hosts and access links appended by the churn mutators) as well as
+    /// changed capacities. Resource ids are stable under growth, so live
+    /// flows keep their interned resource lists; the per-resource state
+    /// arrays are extended to match. Safe to call with flows active — the
+    /// new capacities take effect on the next reallocate, exactly like
+    /// [`refresh_capacities`](Self::refresh_capacities).
+    pub fn sync_topology(&mut self, topo: &Topology) {
+        if self.table.covers(topo) {
+            self.refresh_capacities(topo);
+            return;
+        }
+        self.table.sync(topo);
+        let n = self.table.len();
+        self.users.resize(n, 0);
+        self.active_pos.resize(n, u32::MAX);
+        self.scratch.remaining.resize(n, 0.0);
+        self.scratch.unfrozen.resize(n, 0);
     }
 
     pub fn flow_count(&self) -> usize {

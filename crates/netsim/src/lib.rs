@@ -51,6 +51,7 @@
 //! assert!((bw.as_mbps() - 100.0).abs() < 1.0); // alone, the probe sees the hub rate
 //! ```
 
+pub mod churn;
 pub mod dot;
 pub mod engine;
 pub mod error;

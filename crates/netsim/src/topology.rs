@@ -212,10 +212,12 @@ pub struct Topology {
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
     dns: Dns,
     firewall: Firewall,
-    /// Interface DNS name → owning node, built once at [`TopologyBuilder::build`].
-    /// Names and addresses are frozen after build — the mutable accessors
-    /// ([`Topology::link_mut`], [`Topology::medium_mut`], [`Topology::set_link_up`])
-    /// touch capacities and weights only — so the indexes never go stale.
+    /// Interface DNS name → owning node, built at [`TopologyBuilder::build`].
+    /// The capacity-only mutators ([`Topology::link_mut`],
+    /// [`Topology::medium_mut`], [`Topology::set_link_up`]) never touch
+    /// names or addresses, and the structural mutators
+    /// ([`Topology::add_host_like`], [`Topology::isolate_node`]) maintain
+    /// the indexes themselves — so they never go stale.
     name_index: HashMap<String, NodeId>,
     /// Interface address → owning node (addresses are unique, enforced at build).
     ip_index: HashMap<Ipv4, NodeId>,
@@ -341,6 +343,91 @@ impl Topology {
 
     pub(crate) fn mediums_internal(&self) -> &[Medium] {
         &self.mediums
+    }
+
+    // ---- post-build mutation (topology churn) ----------------------------
+    //
+    // The churn subsystem grows and shrinks a *running* platform: hosts
+    // join a LAN, leave it, or a LAN's medium is re-provisioned. Node and
+    // link ids are dense and never recycled, so additions append and
+    // removals are administrative (links go down, the node stays). All
+    // indexes (DNS, name, address, adjacency) are maintained here, and
+    // `Engine::recompute_routes` must run afterwards so routing and the
+    // allocator's interned capacity tables pick the change up.
+
+    /// Add a named host attached like `sibling`: the new host gets one
+    /// interface and one access link cloning the latency and capacity mode
+    /// (shared medium or per-port duplex) of `sibling`'s first live link,
+    /// to the same hub/switch. This is how churn joins a host to an
+    /// existing LAN without re-running the builder.
+    pub fn add_host_like(&mut self, fqdn: &str, ip: Ipv4, sibling: NodeId) -> NetResult<NodeId> {
+        if self.name_index.contains_key(fqdn) {
+            return Err(NetError::InvalidTopology(format!("name {fqdn} already in use")));
+        }
+        if self.ip_index.contains_key(&ip) {
+            return Err(NetError::InvalidTopology(format!("address {ip} already in use")));
+        }
+        let &(sib_link, infra) = self
+            .adjacency
+            .get(sibling.index())
+            .and_then(|adj| adj.iter().find(|(l, _)| self.links[l.index()].up))
+            .ok_or_else(|| {
+                NetError::InvalidTopology(format!("sibling {sibling} has no live link to clone"))
+            })?;
+        let template = &self.links[sib_link.index()];
+        // Orient the cloned duplex capacities host→infra like the sibling's.
+        let mode = match template.mode {
+            LinkMode::Shared { medium } => LinkMode::Shared { medium },
+            LinkMode::FullDuplex { capacity_ab, capacity_ba } => {
+                if template.a == sibling {
+                    LinkMode::FullDuplex { capacity_ab, capacity_ba }
+                } else {
+                    LinkMode::FullDuplex { capacity_ab: capacity_ba, capacity_ba: capacity_ab }
+                }
+            }
+        };
+        let latency = template.latency;
+
+        let id = NodeId(self.nodes.len() as u32);
+        let short = fqdn.split('.').next().unwrap_or(fqdn).to_string();
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Host,
+            label: short,
+            ifaces: vec![Iface { ip, name: Some(fqdn.to_string()) }],
+            forwards: false,
+            responds_to_traceroute: true,
+        });
+        let lid = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id: lid,
+            a: id,
+            b: infra,
+            a_iface: 0,
+            b_iface: 0,
+            latency,
+            mode,
+            weight_ab: 1.0,
+            weight_ba: 1.0,
+            up: true,
+        });
+        self.adjacency.push(vec![(lid, infra)]);
+        self.adjacency[infra.index()].push((lid, id));
+        self.dns.register(fqdn, ip);
+        self.name_index.insert(fqdn.to_string(), id);
+        self.ip_index.insert(ip, id);
+        Ok(id)
+    }
+
+    /// Administratively down every link attached to `n` — how churn models
+    /// a host leaving the platform (or a partitioned LAN member). The node
+    /// and its DNS entries remain: lookups still resolve, but nothing
+    /// routes to it after `Engine::recompute_routes`.
+    pub fn isolate_node(&mut self, n: NodeId) {
+        let links: Vec<LinkId> = self.adjacency[n.index()].iter().map(|(l, _)| *l).collect();
+        for l in links {
+            self.links[l.index()].up = false;
+        }
     }
 }
 

@@ -112,6 +112,24 @@ impl CliqueMembership {
     }
 }
 
+/// A clique (re)configuration shipped to a member sensor over the wire
+/// (`NwsMsg::Retarget`): everything the sensor needs to build its
+/// [`CliqueMembership`] in place, without being torn down and redeployed.
+#[derive(Debug, Clone)]
+pub struct CliqueRetarget {
+    pub clique: String,
+    /// Ring order: (sensor pid, host name, host node) per member.
+    pub ring: Vec<(ProcessId, String, NodeId)>,
+    pub gap: TimeDelta,
+    pub watchdog: TimeDelta,
+    /// Whether ring member 0 should inject an initial token (true for a
+    /// brand-new clique; restarts of an existing clique rely on token
+    /// continuity — a live token is accepted into the new membership by
+    /// name — with the watchdog regenerating it if it died with a removed
+    /// member).
+    pub start_token: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,8 @@ pub mod sensor;
 pub mod series;
 pub mod system;
 
+pub use clique::CliqueRetarget;
 pub use forecast::{Forecast, ForecasterBattery};
 pub use msg::{NwsMsg, Resource, SeriesKey};
 pub use series::{Series, SeriesPoint};
-pub use system::{CliqueSpec, NwsSystem, NwsSystemSpec, SensorMode, SensorSpec};
+pub use system::{CliqueSpec, NwsSystem, NwsSystemSpec, ReconfigSpec, SensorMode, SensorSpec};

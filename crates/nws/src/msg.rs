@@ -7,6 +7,7 @@
 
 use netsim::units::Bytes;
 
+use crate::clique::CliqueRetarget;
 use crate::forecast::Forecast;
 
 /// What a series measures — the NWS resource kinds of §2 (network link
@@ -172,6 +173,16 @@ pub enum NwsMsg {
         round: u64,
     },
 
+    // ---- live reconfiguration (plan repair under topology churn) ----------
+    /// Retarget a sensor's clique memberships in place: retire the cliques
+    /// in `remove`, install the configurations in `add`. Sent by the
+    /// deployment manager when an incremental plan repair migrates cliques
+    /// instead of tearing the system down.
+    Retarget {
+        add: Vec<CliqueRetarget>,
+        remove: Vec<String>,
+    },
+
     // ---- host-level measurement locks (the paper's §6 proposal:
     // "a possibility to lock hosts (and not networks) is still needed") ----
     /// A token holder asks a peer for permission to probe it.
@@ -203,6 +214,9 @@ impl NwsMsg {
             NwsMsg::FetchSince { .. } => 72,
             NwsMsg::FetchReply { points, .. } => 64 + 16 * points.len(),
             NwsMsg::Token { .. } => 32,
+            NwsMsg::Retarget { add, remove } => {
+                64 + add.iter().map(|a| 48 + 24 * a.ring.len()).sum::<usize>() + 24 * remove.len()
+            }
             NwsMsg::LockRequest | NwsMsg::LockGrant | NwsMsg::LockRelease => 16,
             NwsMsg::Query { .. } => 64,
             NwsMsg::QueryReply { .. } => 128,

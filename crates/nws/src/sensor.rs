@@ -31,7 +31,7 @@ use netsim::time::TimeDelta;
 use netsim::topology::NodeId;
 use netsim::units::Bytes;
 
-use crate::clique::CliqueMembership;
+use crate::clique::{CliqueMembership, CliqueRetarget};
 use crate::hostload::HostLoadModel;
 use crate::msg::{NwsMsg, Resource, SeriesKey, ServerKind};
 
@@ -124,7 +124,14 @@ type TokenWork = (usize, u64, u64);
 pub struct Sensor {
     cfg: SensorConfig,
     memberships: Vec<CliqueMembership>,
+    /// Slots retired by a `Retarget`: membership indexes are baked into
+    /// timer tags, so slots are never removed — a retired slot ignores
+    /// tokens and watchdogs and may be recycled by a later retarget.
+    retired: Vec<bool>,
     watchdogs: Vec<Option<TimerId>>,
+    /// Pending initial-token timers per slot, cancelled on retirement so a
+    /// recycled slot cannot receive a stale injection.
+    initial_timers: Vec<Option<TimerId>>,
     /// Peers still to probe in the current activation.
     queue: VecDeque<Target>,
     active: Option<ActiveProbe>,
@@ -160,7 +167,9 @@ impl Sensor {
         Sensor {
             cfg,
             memberships,
+            retired: vec![false; n],
             watchdogs: vec![None; n],
+            initial_timers: vec![None; n],
             queue: VecDeque::new(),
             active: None,
             current: None,
@@ -218,8 +227,9 @@ impl Sensor {
 
     fn start_work(&mut self, ctx: &mut Ctx<'_, NwsMsg>, work: TokenWork) {
         let (m, seq, _) = work;
-        // Drop work made stale by a newer token for the same clique.
-        if self.memberships[m].last_seq != seq {
+        // Drop work made stale by a newer token for the same clique, or by
+        // the clique's retirement while the work was queued.
+        if self.retired[m] || self.memberships[m].last_seq != seq {
             self.next_pending(ctx);
             return;
         }
@@ -319,6 +329,30 @@ impl Sensor {
     fn pass_token(&mut self, ctx: &mut Ctx<'_, NwsMsg>, m: usize) {
         let Some((cm, seq, round)) = self.current.take() else { return };
         debug_assert_eq!(cm, m);
+        // If the clique was retargeted while we held its token, migrate the
+        // token into the replacement membership of the same name — a
+        // restart must not cost a full watchdog period of silence (the
+        // holder is where the token almost always lives). Only a clique
+        // that was *stopped* outright drops its token here.
+        let m = if self.retired[m] {
+            let name = self.memberships[m].clique.clone();
+            let replacement = (0..self.memberships.len())
+                .find(|&i| !self.retired[i] && self.memberships[i].clique == name);
+            match replacement {
+                Some(i) => i,
+                None => {
+                    self.next_pending(ctx);
+                    return;
+                }
+            }
+        } else {
+            m
+        };
+        let membership = &mut self.memberships[m];
+        // Keep acceptance monotonic in the replacement ring even if it has
+        // seen its own (regenerated) tokens meanwhile.
+        let seq = seq.max(membership.last_seq);
+        membership.last_seq = membership.last_seq.max(seq);
         let membership = &self.memberships[m];
         let next = membership.next_member();
         let round = round + u64::from(membership.pass_completes_round());
@@ -327,8 +361,77 @@ impl Sensor {
         let _ = ctx.send(next, size, msg);
         // Re-arm the watchdog for the token's return.
         let delay = membership.watchdog_delay();
+        if let Some(t) = self.watchdogs[m].take() {
+            ctx.cancel_timer(t);
+        }
         self.watchdogs[m] = Some(ctx.set_timer(delay, TAG_WATCHDOG + m as u64));
         self.next_pending(ctx);
+    }
+
+    /// Retire a clique membership by name (idempotent).
+    fn retire_clique(&mut self, ctx: &mut Ctx<'_, NwsMsg>, name: &str) {
+        for m in 0..self.memberships.len() {
+            if self.retired[m] || self.memberships[m].clique != name {
+                continue;
+            }
+            self.retired[m] = true;
+            if let Some(t) = self.watchdogs[m].take() {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = self.initial_timers[m].take() {
+                ctx.cancel_timer(t);
+            }
+            self.pending.retain(|(pm, _, _)| *pm != m);
+            // Work in flight for the retired clique is allowed to finish;
+            // pass_token migrates its token into a same-name replacement
+            // (or drops it when the clique was stopped outright).
+        }
+    }
+
+    /// Apply a `Retarget`: retire removed cliques, install added ones —
+    /// the in-place reconfiguration path of incremental plan repair.
+    fn retarget(&mut self, ctx: &mut Ctx<'_, NwsMsg>, add: Vec<CliqueRetarget>, remove: &[String]) {
+        for name in remove {
+            self.retire_clique(ctx, name);
+        }
+        for r in add {
+            if !r.ring.iter().any(|(p, _, _)| *p == ctx.me()) {
+                continue; // defensive: not addressed to this sensor
+            }
+            // A restart of an existing clique retires the old membership.
+            let name = r.clique.clone();
+            self.retire_clique(ctx, &name);
+            let membership = CliqueMembership::new(&r.clique, r.ring, ctx.me(), r.gap, r.watchdog);
+            // Recycle a retired slot that carries no in-flight work, so
+            // membership indexes (baked into timer tags) stay bounded by
+            // the concurrent-clique count, not the retarget history.
+            let reusable = (0..self.memberships.len()).find(|&m| {
+                self.retired[m]
+                    && self.current.map(|(cm, _, _)| cm != m).unwrap_or(true)
+                    && !self.pending.iter().any(|(pm, _, _)| *pm == m)
+            });
+            let m = match reusable {
+                Some(m) => {
+                    self.memberships[m] = membership;
+                    self.retired[m] = false;
+                    m
+                }
+                None => {
+                    self.memberships.push(membership);
+                    self.retired.push(false);
+                    self.watchdogs.push(None);
+                    self.initial_timers.push(None);
+                    self.memberships.len() - 1
+                }
+            };
+            debug_assert!(m < (TAG_PASS - TAG_WATCHDOG) as usize, "timer tag space exhausted");
+            let delay = self.memberships[m].watchdog_delay();
+            self.watchdogs[m] = Some(ctx.set_timer(delay, TAG_WATCHDOG + m as u64));
+            if r.start_token && self.memberships[m].me_idx == 0 {
+                self.initial_timers[m] =
+                    Some(ctx.set_timer(self.cfg.initial_token_delay, TAG_INITIAL + m as u64));
+            }
+        }
     }
 
     fn enqueue_free_run(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
@@ -366,7 +469,8 @@ impl Process<NwsMsg> for Sensor {
             let delay = self.memberships[m].watchdog_delay();
             self.watchdogs[m] = Some(ctx.set_timer(delay, TAG_WATCHDOG + m as u64));
             if self.memberships[m].me_idx == 0 {
-                ctx.set_timer(self.cfg.initial_token_delay, TAG_INITIAL + m as u64);
+                self.initial_timers[m] =
+                    Some(ctx.set_timer(self.cfg.initial_token_delay, TAG_INITIAL + m as u64));
             }
         }
     }
@@ -374,9 +478,17 @@ impl Process<NwsMsg> for Sensor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
         match msg {
             NwsMsg::Token { clique, seq, round } => {
-                if let Some(m) = self.memberships.iter().position(|c| c.clique == clique) {
+                let slot = self
+                    .memberships
+                    .iter()
+                    .enumerate()
+                    .position(|(m, c)| !self.retired[m] && c.clique == clique);
+                if let Some(m) = slot {
                     self.accept_token(ctx, m, seq, round);
                 }
+            }
+            NwsMsg::Retarget { add, remove } => {
+                self.retarget(ctx, add, &remove);
             }
             NwsMsg::LockRequest => {
                 if self.engaged() {
@@ -431,6 +543,9 @@ impl Process<NwsMsg> for Sensor {
             }
             t if (TAG_WATCHDOG..TAG_PASS).contains(&t) => {
                 let m = (t - TAG_WATCHDOG) as usize;
+                if self.retired[m] {
+                    return; // stale watchdog of a retargeted clique
+                }
                 self.watchdogs[m] = None;
                 // Ignore if we are the holder (or have the work queued).
                 let holding = self.current.map(|(cm, _, _)| cm == m).unwrap_or(false)
@@ -453,7 +568,8 @@ impl Process<NwsMsg> for Sensor {
             }
             t if t >= TAG_INITIAL => {
                 let m = (t - TAG_INITIAL) as usize;
-                if self.memberships[m].last_seq == 0 {
+                self.initial_timers[m] = None;
+                if !self.retired[m] && self.memberships[m].last_seq == 0 {
                     self.accept_token(ctx, m, 1, 0);
                 }
             }

@@ -8,7 +8,7 @@ use std::rc::Rc;
 use netsim::engine::{Ctx, Engine, Process, ProcessId};
 use netsim::prelude::*;
 
-use crate::clique::CliqueMembership;
+use crate::clique::{CliqueMembership, CliqueRetarget};
 use crate::forecast::{Forecast, ForecasterBattery};
 use crate::memory::{MemoryHandle, MemoryServer};
 use crate::msg::{NwsMsg, SeriesKey, ServerKind};
@@ -275,6 +275,39 @@ impl NwsSystemSpec {
     }
 }
 
+/// The incremental counterpart of [`NwsSystemSpec`]: what
+/// [`NwsSystem::reconfigure`] applies to a *running* system instead of
+/// tearing it down and redeploying. Derived from a plan delta by
+/// `envdeploy::manager::plan_delta_to_reconfig`.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigSpec {
+    /// Cliques to retire everywhere.
+    pub cliques_to_stop: Vec<String>,
+    /// Cliques to (re)start; an existing clique of the same name is
+    /// retargeted in place at every member.
+    pub cliques_to_upsert: Vec<CliqueSpec>,
+    pub sensors_to_add: Vec<SensorSpec>,
+    pub sensors_to_remove: Vec<String>,
+    pub memories_to_add: Vec<String>,
+    pub memories_to_remove: Vec<String>,
+}
+
+/// One-shot controller process: delivers the retarget messages of a
+/// reconfiguration, then goes quiet (the manager "running on each
+/// machine", §5.2, compressed into a message burst).
+struct Reconfigurer {
+    sends: Vec<(ProcessId, NwsMsg)>,
+}
+
+impl Process<NwsMsg> for Reconfigurer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        for (to, msg) in self.sends.drain(..) {
+            let size = msg.wire_size();
+            let _ = ctx.send(to, size, msg);
+        }
+    }
+}
+
 /// A deployed NWS system: process ids plus shared-state handles for
 /// inspection by tests, benches and the deployment validator.
 pub struct NwsSystem {
@@ -287,6 +320,10 @@ pub struct NwsSystem {
     pub sensors: BTreeMap<String, ProcessId>,
     /// Node used to run ad-hoc query clients.
     client_node: NodeId,
+    /// The spec currently in force (updated by reconfigurations).
+    spec: NwsSystemSpec,
+    /// Monotonic counter seeding newly added sensors.
+    sensors_spawned: usize,
 }
 
 impl NwsSystem {
@@ -406,6 +443,7 @@ impl NwsSystem {
             sensors.insert(s.host.clone(), pid);
         }
 
+        let sensors_spawned = spec.sensors.len();
         Ok(NwsSystem {
             nameserver: ns_pid,
             registry,
@@ -413,7 +451,175 @@ impl NwsSystem {
             forecaster: fc_pid,
             sensors,
             client_node: fc_node,
+            spec: spec.clone(),
+            sensors_spawned,
         })
+    }
+
+    /// The spec currently in force (reflects past reconfigurations).
+    pub fn spec(&self) -> &NwsSystemSpec {
+        &self.spec
+    }
+
+    /// Apply an incremental reconfiguration to the *running* system:
+    /// sensors, cliques and series are retargeted in place instead of
+    /// being torn down and redeployed. Memory servers and the forecaster
+    /// are never restarted, so every stored series — and the forecaster's
+    /// per-series battery state and delta-fetch watermarks — survive the
+    /// transition; only hosts that left the platform lose their processes.
+    ///
+    /// Clique changes travel as [`NwsMsg::Retarget`] control messages
+    /// delivered through the simulated network; measurements continue
+    /// meanwhile (a clique's old token keeps circulating until the new
+    /// membership absorbs or regenerates it).
+    pub fn reconfigure(&mut self, eng: &mut Engine<NwsMsg>, re: &ReconfigSpec) -> NetResult<()> {
+        let resolve = |eng: &Engine<NwsMsg>, name: &str| -> NetResult<NodeId> {
+            eng.topo()
+                .node_by_name(name)
+                .or_else(|| name.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip)))
+                .ok_or_else(|| NetError::NameNotFound(name.to_string()))
+        };
+
+        // --- per-sensor retarget accumulation ------------------------------
+        let mut removes: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut adds: BTreeMap<String, Vec<CliqueRetarget>> = BTreeMap::new();
+        let old_members = |spec: &NwsSystemSpec, name: &str| -> Vec<String> {
+            spec.cliques
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.members.clone())
+                .unwrap_or_default()
+        };
+        for name in &re.cliques_to_stop {
+            for m in old_members(&self.spec, name) {
+                removes.entry(m).or_default().push(name.clone());
+            }
+        }
+        for c in &re.cliques_to_upsert {
+            // Members dropped by a restart must retire the old membership;
+            // staying members are retargeted by the add alone.
+            for m in old_members(&self.spec, &c.name) {
+                if !c.members.contains(&m) {
+                    removes.entry(m).or_default().push(c.name.clone());
+                }
+            }
+        }
+
+        // --- process churn -------------------------------------------------
+        for host in &re.sensors_to_remove {
+            if let Some(pid) = self.sensors.remove(host) {
+                eng.kill_process(pid);
+            }
+            self.spec.sensors.retain(|s| &s.host != host);
+            removes.remove(host); // no point messaging a dead process
+        }
+        for host in &re.memories_to_add {
+            if self.memories.contains_key(host) {
+                continue;
+            }
+            let node = resolve(eng, host)?;
+            let (mem, handle) = MemoryServer::new(
+                &format!("memory{}@{host}", self.memories.len()),
+                self.nameserver,
+                self.spec.series_capacity,
+            );
+            let pid = eng.add_process(node, Box::new(mem));
+            self.memories.insert(host.clone(), (pid, handle));
+            self.spec.memory_hosts.push(host.clone());
+        }
+        for host in &re.memories_to_remove {
+            if let Some((pid, _)) = self.memories.remove(host) {
+                eng.kill_process(pid);
+            }
+            self.spec.memory_hosts.retain(|h| h != host);
+        }
+        for s in &re.sensors_to_add {
+            if self.sensors.contains_key(&s.host) {
+                continue;
+            }
+            let node = resolve(eng, &s.host)?;
+            let memory = match &s.memory {
+                Some(mh) => self
+                    .memories
+                    .get(mh)
+                    .map(|(p, _)| *p)
+                    .ok_or_else(|| NetError::NameNotFound(format!("memory host {mh}")))?,
+                None => {
+                    let first = self.spec.memory_hosts.first().cloned().unwrap_or_default();
+                    self.memories
+                        .get(&first)
+                        .map(|(p, _)| *p)
+                        .ok_or_else(|| NetError::NameNotFound("no memory hosts".to_string()))?
+                }
+            };
+            let mut cfg = SensorConfig::new(&s.host, self.nameserver, memory);
+            cfg.probe_bytes = self.spec.probe_bytes;
+            cfg.seed =
+                self.spec.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.sensors_spawned as u64);
+            self.sensors_spawned += 1;
+            cfg.host_locking = self.spec.host_locking;
+            if s.host_sensing {
+                cfg.host_sense = Some(HostSense {
+                    period: self.spec.host_sense_period,
+                    seed: self.spec.seed.wrapping_add(self.sensors_spawned as u64),
+                });
+            }
+            // Memberships arrive via Retarget once every member's pid is
+            // known; the sensor starts bare.
+            let pid = eng.add_process(node, Box::new(Sensor::new(cfg, Vec::new())));
+            self.sensors.insert(s.host.clone(), pid);
+            self.spec.sensors.push(s.clone());
+        }
+
+        // --- clique retargets ----------------------------------------------
+        for c in &re.cliques_to_upsert {
+            let started = self.spec.cliques.iter().any(|old| old.name == c.name);
+            let ring: Vec<(ProcessId, String, NodeId)> =
+                c.members
+                    .iter()
+                    .map(|m| {
+                        let pid =
+                            self.sensors.get(m).copied().ok_or_else(|| {
+                                NetError::NameNotFound(format!("clique member {m}"))
+                            })?;
+                        Ok((pid, m.clone(), eng.process_node(pid)))
+                    })
+                    .collect::<NetResult<_>>()?;
+            for m in &c.members {
+                adds.entry(m.clone()).or_default().push(CliqueRetarget {
+                    clique: c.name.clone(),
+                    ring: ring.clone(),
+                    gap: c.gap,
+                    watchdog: self.spec.watchdog,
+                    start_token: !started,
+                });
+            }
+        }
+
+        // --- spec bookkeeping ----------------------------------------------
+        self.spec.cliques.retain(|c| {
+            !re.cliques_to_stop.contains(&c.name)
+                && !re.cliques_to_upsert.iter().any(|u| u.name == c.name)
+        });
+        self.spec.cliques.extend(re.cliques_to_upsert.iter().cloned());
+
+        // --- deliver -------------------------------------------------------
+        let mut sends: Vec<(ProcessId, NwsMsg)> = Vec::new();
+        let mut hosts: Vec<&String> = removes.keys().chain(adds.keys()).collect();
+        hosts.sort();
+        hosts.dedup();
+        for host in hosts {
+            let Some(&pid) = self.sensors.get(host) else { continue };
+            let msg = NwsMsg::Retarget {
+                add: adds.get(host).cloned().unwrap_or_default(),
+                remove: removes.get(host).cloned().unwrap_or_default(),
+            };
+            sends.push((pid, msg));
+        }
+        if !sends.is_empty() {
+            eng.add_process(self.client_node, Box::new(Reconfigurer { sends }));
+        }
+        Ok(())
     }
 
     /// Run the deployed system for a simulated duration.
@@ -703,6 +909,182 @@ mod tests {
         let k1 = SeriesKey::link(Resource::Bandwidth, &names[1], &names[2]);
         assert!(sys.query(&mut eng, k0, TimeDelta::from_secs(10.0)).is_some());
         assert!(sys.query(&mut eng, k1, TimeDelta::from_secs(10.0)).is_some());
+    }
+
+    /// In-place reconfiguration: growing a clique keeps every stored
+    /// series (prefix intact — the memory server is never restarted) while
+    /// the new member starts being measured; the forecaster's watermark
+    /// state survives, so queries keep answering across the transition.
+    #[test]
+    fn reconfigure_grows_clique_preserving_series_and_queries() {
+        let (mut eng, names) = hub_engine(4);
+        let refs: Vec<&str> = names.iter().take(3).map(|s| s.as_str()).collect();
+        let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
+        spec.watchdog = TimeDelta::from_secs(15.0);
+        let mut sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(90.0));
+
+        let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let before = sys.series(&key).expect("series exists before reconfigure");
+        assert!(!before.is_empty());
+        assert!(sys.query(&mut eng, key.clone(), TimeDelta::from_secs(10.0)).is_some());
+
+        // Grow clique0 with names[3]: one new sensor, one clique restart.
+        let re = ReconfigSpec {
+            cliques_to_upsert: vec![CliqueSpec {
+                name: "clique0".to_string(),
+                members: names.clone(),
+                gap: TimeDelta::from_millis(500.0),
+            }],
+            sensors_to_add: vec![SensorSpec::clique_member(&names[3])],
+            ..ReconfigSpec::default()
+        };
+        sys.reconfigure(&mut eng, &re).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(180.0));
+
+        // Old series continued: the prefix survived and it kept growing.
+        let after = sys.series(&key).expect("series survives");
+        assert!(after.len() > before.len(), "{} -> {}", before.len(), after.len());
+        assert_eq!(after[..before.len()], before[..], "stored prefix must be untouched");
+
+        // The new member is measured in both directions.
+        let new_out = SeriesKey::link(Resource::Bandwidth, &names[3], &names[0]);
+        let new_in = SeriesKey::link(Resource::Bandwidth, &names[0], &names[3]);
+        assert!(sys.series(&new_out).map(|s| !s.is_empty()).unwrap_or(false));
+        assert!(sys.series(&new_in).map(|s| !s.is_empty()).unwrap_or(false));
+
+        // Queries still work, with more samples than before.
+        let f = sys.query(&mut eng, key, TimeDelta::from_secs(10.0)).expect("query survives");
+        assert!(f.samples as usize >= after.len().min(before.len()));
+        // The spec in force reflects the new membership.
+        assert_eq!(sys.spec().cliques[0].members.len(), 4);
+    }
+
+    /// Stopping a clique and removing its spare sensor quiesces those
+    /// measurements while the remaining clique keeps running.
+    #[test]
+    fn reconfigure_stops_clique_and_removes_sensor() {
+        let (mut eng, names) = hub_engine(5);
+        let mut spec = NwsSystemSpec::minimal(&names[0], &[]);
+        spec.sensors = names.iter().map(|h| SensorSpec::clique_member(h)).collect();
+        spec.cliques = vec![
+            CliqueSpec {
+                name: "keep".to_string(),
+                members: names[..3].to_vec(),
+                gap: TimeDelta::from_millis(500.0),
+            },
+            CliqueSpec {
+                name: "drop".to_string(),
+                members: names[3..].to_vec(),
+                gap: TimeDelta::from_millis(500.0),
+            },
+        ];
+        let mut sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(60.0));
+        let dropped_key = SeriesKey::link(Resource::Bandwidth, &names[3], &names[4]);
+        let kept_key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let dropped_before = sys.series(&dropped_key).expect("dropped clique measured").len();
+        let kept_before = sys.series(&kept_key).expect("kept clique measured").len();
+
+        let re = ReconfigSpec {
+            cliques_to_stop: vec!["drop".to_string()],
+            sensors_to_remove: vec![names[3].clone(), names[4].clone()],
+            ..ReconfigSpec::default()
+        };
+        sys.reconfigure(&mut eng, &re).unwrap();
+        // Let any in-flight work drain, then measure the steady state.
+        sys.run_for(&mut eng, TimeDelta::from_secs(30.0));
+        let dropped_mid = sys.series(&dropped_key).unwrap().len();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+
+        let dropped_after = sys.series(&dropped_key).unwrap().len();
+        let kept_after = sys.series(&kept_key).unwrap().len();
+        assert_eq!(dropped_mid, dropped_after, "stopped clique must stop measuring");
+        assert!(kept_after > kept_before, "kept clique must keep measuring");
+        assert!(dropped_after >= dropped_before);
+        assert!(!sys.sensors.contains_key(&names[3]));
+        assert_eq!(sys.spec().cliques.len(), 1);
+    }
+
+    /// A clique restart migrates the live token into the new membership
+    /// at whichever member holds it — it must NOT wait out a watchdog.
+    /// Pinned with an enormous watchdog: if the token were dropped on
+    /// retirement, measurements would never resume within the horizon.
+    #[test]
+    fn reconfigure_restart_migrates_the_live_token() {
+        let (mut eng, names) = hub_engine(4);
+        let refs: Vec<&str> = names.iter().take(3).map(|s| s.as_str()).collect();
+        let mut spec = NwsSystemSpec::minimal(&names[0], &refs);
+        spec.watchdog = TimeDelta::from_secs(100_000.0);
+        let mut sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(60.0));
+        let key = SeriesKey::link(Resource::Bandwidth, &names[0], &names[1]);
+        let before = sys.series(&key).expect("measured before restart").len();
+
+        // Restart clique0 with a grown membership. The token is being held
+        // by some member right now (gap holds dominate the round).
+        let re = ReconfigSpec {
+            cliques_to_upsert: vec![CliqueSpec {
+                name: "clique0".to_string(),
+                members: names.clone(),
+                gap: TimeDelta::from_millis(500.0),
+            }],
+            sensors_to_add: vec![SensorSpec::clique_member(&names[3])],
+            ..ReconfigSpec::default()
+        };
+        sys.reconfigure(&mut eng, &re).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+        let after = sys.series(&key).unwrap().len();
+        assert!(
+            after > before + 3,
+            "token must migrate across the restart, not wait for the watchdog: \
+             {before} -> {after} points"
+        );
+        // And the joiner is measured too.
+        let joined = SeriesKey::link(Resource::Bandwidth, &names[3], &names[0]);
+        assert!(sys.series(&joined).map(|s| !s.is_empty()).unwrap_or(false));
+    }
+
+    /// A reconfiguration can add a memory server and point a new sensor's
+    /// stores at it.
+    #[test]
+    fn reconfigure_adds_memory_for_new_sensor() {
+        let (mut eng, names) = hub_engine(4);
+        let refs: Vec<&str> = names.iter().take(2).map(|s| s.as_str()).collect();
+        let spec = NwsSystemSpec::minimal(&names[0], &refs);
+        let mut sys = NwsSystem::deploy(&mut eng, &spec).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(30.0));
+
+        let re = ReconfigSpec {
+            cliques_to_upsert: vec![CliqueSpec {
+                name: "side".to_string(),
+                members: vec![names[2].clone(), names[3].clone()],
+                gap: TimeDelta::from_millis(500.0),
+            }],
+            sensors_to_add: vec![
+                SensorSpec {
+                    host: names[2].clone(),
+                    mode: SensorMode::Clique,
+                    host_sensing: false,
+                    memory: Some(names[2].clone()),
+                },
+                SensorSpec {
+                    host: names[3].clone(),
+                    mode: SensorMode::Clique,
+                    host_sensing: false,
+                    memory: Some(names[2].clone()),
+                },
+            ],
+            memories_to_add: vec![names[2].clone()],
+            ..ReconfigSpec::default()
+        };
+        sys.reconfigure(&mut eng, &re).unwrap();
+        sys.run_for(&mut eng, TimeDelta::from_secs(120.0));
+
+        let (_, handle) = &sys.memories[&names[2]];
+        assert!(handle.borrow().stores > 0, "new memory must receive stores");
+        let key = SeriesKey::link(Resource::Bandwidth, &names[2], &names[3]);
+        assert!(sys.query(&mut eng, key, TimeDelta::from_secs(10.0)).is_some());
     }
 
     #[test]
