@@ -62,8 +62,8 @@ struct Injector {
 
 impl Process<NwsMsg> for Injector {
     fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
-        for (key, t, value) in self.batch.drain(..) {
-            let m = NwsMsg::Store { key, t, value };
+        for (seq, (key, t, value)) in self.batch.drain(..).enumerate() {
+            let m = NwsMsg::Store { key, seq: seq as u64 + 1, t, value };
             let size = m.wire_size();
             let _ = ctx.send(self.memory, size, m);
         }

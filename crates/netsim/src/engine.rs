@@ -17,12 +17,16 @@
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
 use crate::error::{NetError, NetResult};
 use crate::fairness::{FairEngine, FairnessModel, ResourceId};
+use crate::faults::LossModel;
 use crate::flow::{FlowId, FlowOutcome};
 use crate::routing::RouteTable;
 use crate::time::{SimTime, TimeDelta};
-use crate::topology::{NodeId, Topology};
+use crate::topology::{LinkId, NodeId, Topology};
 use crate::units::{Bandwidth, Bytes};
 
 /// Identifier of a process (actor) registered with an [`Engine`].
@@ -82,6 +86,11 @@ pub struct EngineStats {
     pub flows_started: u64,
     pub messages_sent: u64,
     pub bytes_transferred: f64,
+    /// Control messages silently lost by the fault plane (see
+    /// [`crate::faults`]). Zero unless a fault seed is armed.
+    pub messages_dropped: u64,
+    /// Extra copies injected by the fault plane.
+    pub messages_duplicated: u64,
 }
 
 #[derive(Debug)]
@@ -215,8 +224,19 @@ pub struct Core<M> {
     /// Last scheduled delivery per (sender, receiver): control messages
     /// between two processes are FIFO, like the TCP connections real NWS
     /// servers keep open (a short message must not overtake a longer one
-    /// sent earlier).
+    /// sent earlier). Entries of killed processes are pruned in
+    /// [`Engine::kill_process`] so crash/restart churn cannot grow the map
+    /// unboundedly.
     last_delivery: HashMap<(ProcessId, ProcessId), SimTime>,
+    /// Fault plane (see [`crate::faults`]): armed by
+    /// [`Engine::set_fault_seed`]. While armed, every cross-node send
+    /// draws a fixed number of uniforms so the stream stays a function of
+    /// the message sequence alone.
+    fault_rng: Option<SmallRng>,
+    /// Engine-wide loss model applied to every cross-node message.
+    default_loss: Option<LossModel>,
+    /// Additional per-link loss models, composed along the message's path.
+    link_loss: HashMap<LinkId, LossModel>,
 }
 
 impl<M> Core<M> {
@@ -483,20 +503,79 @@ impl<'a, M> Ctx<'a, M> {
     /// Send a control message to another process. Delivery takes the
     /// one-way path latency plus serialization at the path bottleneck;
     /// control messages are small and do not compete with bulk flows.
-    pub fn send(&mut self, to: ProcessId, bytes: Bytes, msg: M) -> NetResult<()> {
+    ///
+    /// When a fault plane is armed ([`Engine::set_fault_seed`]) cross-node
+    /// messages are subject to the active [`LossModel`]s: a dropped
+    /// message vanishes silently (`Ok` is still returned — the sender
+    /// learns nothing, like a UDP datagram lost in flight), a duplicated
+    /// message delivers an extra copy that bypasses the per-pair FIFO
+    /// clamp (so it may arrive reordered), and jitter delays delivery
+    /// before the FIFO clamp (so the pair stream stays ordered).
+    pub fn send(&mut self, to: ProcessId, bytes: Bytes, msg: M) -> NetResult<()>
+    where
+        M: Clone,
+    {
         let src = self.my_node();
         let dst = *self.core.proc_nodes.get(to.index()).ok_or(NetError::UnknownProcess(to.0))?;
         self.core.stats.messages_sent += 1;
-        let mut at = if src == dst {
-            self.core.now
-        } else {
-            if !self.core.topo.allows(src, dst) {
-                return Err(NetError::Firewalled { src, dst });
+        if src == dst {
+            // Local delivery never traverses a link: the fault plane does
+            // not apply (and draws nothing, keeping the random stream a
+            // function of cross-node traffic only).
+            let mut at = self.core.now;
+            if let Some(prev) = self.core.last_delivery.get(&(self.me, to)) {
+                if *prev > at {
+                    at = *prev;
+                }
             }
-            let (lat, bw) = self.core.routes.latency_and_bottleneck(&self.core.topo, src, dst)?;
-            let bw = bw.as_bytes_per_sec().max(1.0);
-            self.core.now + TimeDelta::from_secs(lat.as_secs() + bytes.as_f64() / bw)
-        };
+            self.core.last_delivery.insert((self.me, to), at);
+            self.core.push_event(at, EventKind::Deliver { from: self.me, to, msg });
+            return Ok(());
+        }
+        if !self.core.topo.allows(src, dst) {
+            return Err(NetError::Firewalled { src, dst });
+        }
+        let (lat, bw) = self.core.routes.latency_and_bottleneck(&self.core.topo, src, dst)?;
+        let bw = bw.as_bytes_per_sec().max(1.0);
+        let mut at = self.core.now + TimeDelta::from_secs(lat.as_secs() + bytes.as_f64() / bw);
+        // Fault plane: fixed draw count per send (drop, dup, jitter,
+        // dup-delay) so the consumed stream is deterministic regardless of
+        // which faults fire.
+        let mut duplicate_at = None;
+        if let Some(rng) = self.core.fault_rng.as_mut() {
+            let r_drop = rng.next_f64();
+            let r_dup = rng.next_f64();
+            let r_jit = rng.next_f64();
+            let r_dup_delay = rng.next_f64();
+            let mut eff = self.core.default_loss.unwrap_or(LossModel::NONE);
+            if !self.core.link_loss.is_empty() {
+                if let Ok(hops) = self.core.routes.hops_rev(src, dst) {
+                    for (_, l) in hops {
+                        if let Some(lm) = self.core.link_loss.get(&l) {
+                            eff = eff.and(lm);
+                        }
+                    }
+                }
+            }
+            if !eff.is_none() {
+                if r_drop < eff.drop_p {
+                    // Silent loss: no delivery, no FIFO update, the sender
+                    // is not told (recovery is the protocol layer's job).
+                    self.core.stats.messages_dropped += 1;
+                    return Ok(());
+                }
+                let jitter = eff.jitter.as_secs();
+                if jitter > 0.0 {
+                    at += TimeDelta::from_secs(jitter * r_jit);
+                }
+                if r_dup < eff.dup_p {
+                    // The copy takes an independently jittered path and
+                    // does not advance the FIFO clamp: it may overtake or
+                    // trail later messages, exercising receiver dedup.
+                    duplicate_at = Some(at + TimeDelta::from_secs(jitter * r_dup_delay));
+                }
+            }
+        }
         // FIFO per process pair: model the ordered TCP connection.
         if let Some(prev) = self.core.last_delivery.get(&(self.me, to)) {
             if *prev > at {
@@ -504,6 +583,11 @@ impl<'a, M> Ctx<'a, M> {
             }
         }
         self.core.last_delivery.insert((self.me, to), at);
+        if let Some(dup_at) = duplicate_at {
+            self.core.stats.messages_duplicated += 1;
+            let copy = msg.clone();
+            self.core.push_event(dup_at, EventKind::Deliver { from: self.me, to, msg: copy });
+        }
         self.core.push_event(at, EventKind::Deliver { from: self.me, to, msg });
         Ok(())
     }
@@ -567,6 +651,9 @@ impl<M> Engine<M> {
                 stats: EngineStats::default(),
                 owner_of_finished: HashMap::new(),
                 last_delivery: HashMap::new(),
+                fault_rng: None,
+                default_loss: None,
+                link_loss: HashMap::new(),
             },
             procs: Vec::new(),
         }
@@ -582,6 +669,33 @@ impl<M> Engine<M> {
     /// Takes effect on the next flow-set change, as before.
     pub fn set_fairness_model(&mut self, model: FairnessModel) {
         self.core.fair.set_model(model);
+    }
+
+    /// Arm the fault plane with a dedicated seed (see [`crate::faults`]).
+    /// Until armed, sends never consult the loss models and draw nothing.
+    /// Re-arming resets the stream, so a run is reproducible from any
+    /// checkpoint that re-seeds.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.core.fault_rng = Some(SmallRng::seed_from_u64(seed ^ 0x10_55_1e_af));
+    }
+
+    /// Engine-wide loss model applied to every cross-node control message
+    /// (composed with any per-link models on the path). `None` clears it.
+    pub fn set_default_loss(&mut self, model: Option<LossModel>) {
+        self.core.default_loss = model;
+    }
+
+    /// Attach (or clear) a loss model on one link. Messages whose route
+    /// crosses the link compose it into their effective model.
+    pub fn set_link_loss(&mut self, link: LinkId, model: Option<LossModel>) {
+        match model {
+            Some(m) => {
+                self.core.link_loss.insert(link, m);
+            }
+            None => {
+                self.core.link_loss.remove(&link);
+            }
+        }
     }
 
     /// Register a process on a host. Its `on_start` runs when the engine
@@ -607,11 +721,21 @@ impl<M> Engine<M> {
 
     /// Kill a process: it stops receiving events immediately (failure
     /// injection — e.g. a crashed NWS sensor whose clique must recover its
-    /// token). Messages and timers addressed to it are silently dropped.
+    /// token). Messages already in flight to it bounce back to their
+    /// senders as [`Process::on_send_failed`] (the TCP-RST analog); its
+    /// FIFO clamp entries are pruned so crash/restart churn cannot grow
+    /// `last_delivery` unboundedly.
     pub fn kill_process(&mut self, pid: ProcessId) {
         if let Some(slot) = self.procs.get_mut(pid.index()) {
             *slot = None;
         }
+        self.core.last_delivery.retain(|&(s, r), _| s != pid && r != pid);
+    }
+
+    /// Number of live `(sender, receiver)` FIFO clamp entries
+    /// (diagnostics: the crash-churn regression test asserts pruning).
+    pub fn last_delivery_len(&self) -> usize {
+        self.core.last_delivery.len()
     }
 
     /// Whether a process is still alive.
@@ -688,7 +812,16 @@ impl<M> Engine<M> {
                 self.with_proc(pid, |p, ctx| p.on_start(ctx));
             }
             EventKind::Deliver { from, to, msg } => {
-                self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
+                let alive = self.procs.get(to.index()).is_some_and(|s| s.is_some());
+                if alive {
+                    self.with_proc(to, |p, ctx| p.on_message(ctx, from, msg));
+                } else {
+                    // The receiver died with the message in flight: notify
+                    // the sender (the connection-reset a real NWS server
+                    // would see) instead of losing the send silently.
+                    let err = NetError::UnknownProcess(to.0);
+                    self.with_proc(from, |p, ctx| p.on_send_failed(ctx, to, &err));
+                }
             }
             EventKind::Timer { to, timer, tag } => {
                 if self.core.cancelled_timers.remove(&timer) {
@@ -1306,5 +1439,119 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.flows_started, 1);
         assert!(s.bytes_transferred >= 1024.0 * 1024.0 * 0.99);
+    }
+
+    /// Sends `count` numbered pings to a peer on start.
+    struct Sprayer {
+        to: ProcessId,
+        count: u32,
+    }
+    impl Process<TestMsg> for Sprayer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            for n in 0..self.count {
+                ctx.send(self.to, Bytes::new(64), TestMsg::Ping(n)).unwrap();
+            }
+        }
+    }
+
+    fn lossy_run(seed: u64) -> (Vec<u32>, u64, u64) {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        e.set_fault_seed(seed);
+        e.set_default_loss(Some(LossModel::degraded(0.3, 0.3, TimeDelta::from_millis(5.0))));
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        e.add_process(a, Box::new(Sprayer { to: rx, count: 200 }));
+        e.run_until_quiescent(TimeDelta::from_secs(60.0)).unwrap();
+        let s = e.stats();
+        let seen = seen.borrow().clone();
+        (seen, s.messages_dropped, s.messages_duplicated)
+    }
+
+    #[test]
+    fn fault_plane_is_deterministic_and_accounts_every_message() {
+        let (seen_a, dropped_a, duped_a) = lossy_run(11);
+        let (seen_b, dropped_b, duped_b) = lossy_run(11);
+        assert_eq!(seen_a, seen_b, "same fault seed must replay bit-identically");
+        assert_eq!((dropped_a, duped_a), (dropped_b, duped_b));
+        assert!(dropped_a > 0, "30% drop over 200 sends must lose something");
+        assert!(duped_a > 0, "30% dup over 200 sends must duplicate something");
+        // Delivery conservation: every survivor arrives once, plus a copy
+        // per duplication.
+        assert_eq!(seen_a.len() as u64, 200 - dropped_a + duped_a);
+        let (seen_c, ..) = lossy_run(12);
+        assert_ne!(seen_a, seen_c, "different fault seed must change the trace");
+    }
+
+    #[test]
+    fn unarmed_fault_plane_changes_nothing() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        // Loss configured but no seed armed: all messages sail through.
+        e.set_default_loss(Some(LossModel::lossy(1.0)));
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        e.add_process(a, Box::new(Sprayer { to: rx, count: 10 }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert_eq!(seen.borrow().len(), 10);
+        assert_eq!(e.stats().messages_dropped, 0);
+    }
+
+    #[test]
+    fn jitter_preserves_pair_fifo() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        e.set_fault_seed(3);
+        // Jitter only: nothing lost or duplicated, order must still hold.
+        e.set_default_loss(Some(LossModel::degraded(0.0, 0.0, TimeDelta::from_millis(50.0))));
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        e.add_process(a, Box::new(Sprayer { to: rx, count: 50 }));
+        e.run_until_quiescent(TimeDelta::from_secs(60.0)).unwrap();
+        let expect: Vec<u32> = (0..50).collect();
+        assert_eq!(*seen.borrow(), expect, "jitter must not reorder a pair's stream");
+    }
+
+    /// Records `on_send_failed` notifications.
+    struct BounceWatcher {
+        to: ProcessId,
+        bounced: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+    }
+    impl Process<TestMsg> for BounceWatcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.send(self.to, Bytes::new(8), TestMsg::Ping(7)).unwrap();
+        }
+        fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, TestMsg>, to: ProcessId, err: &NetError) {
+            assert!(matches!(err, NetError::UnknownProcess(_)));
+            self.bounced.borrow_mut().push(to.0);
+        }
+    }
+
+    #[test]
+    fn in_flight_message_to_killed_process_bounces_to_sender() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        let bounced = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        e.add_process(a, Box::new(BounceWatcher { to: rx, bounced: bounced.clone() }));
+        e.kill_process(rx);
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert!(seen.borrow().is_empty());
+        assert_eq!(*bounced.borrow(), vec![rx.0], "sender must hear about the dead receiver");
+    }
+
+    #[test]
+    fn kill_process_prunes_fifo_clamp_entries() {
+        let (t, a, c) = two_hosts_hub();
+        let mut e: Engine<TestMsg> = Engine::new(t);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let rx = e.add_process(c, Box::new(OrderCheck { seen: seen.clone() }));
+        let tx = e.add_process(a, Box::new(Sprayer { to: rx, count: 3 }));
+        e.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+        assert_eq!(e.last_delivery_len(), 1, "one live (tx, rx) clamp entry");
+        e.kill_process(rx);
+        assert_eq!(e.last_delivery_len(), 0, "entries touching the corpse must go");
+        let _ = tx;
     }
 }

@@ -56,6 +56,7 @@ pub mod dot;
 pub mod engine;
 pub mod error;
 pub mod fairness;
+pub mod faults;
 pub mod firewall;
 pub mod flow;
 pub mod ip;
@@ -72,6 +73,7 @@ pub mod units;
 pub use engine::{Ctx, Engine, NoMsg, Process, ProcessId, Sim};
 pub use error::{NetError, NetResult};
 pub use fairness::{FairEngine, FairnessModel, ResourceId, ResourceTable};
+pub use faults::{FaultEvent, FaultPlan, LossModel, ScheduledFault, StormConfig};
 pub use flow::{FlowId, FlowOutcome};
 pub use ip::Ipv4;
 pub use routing::{Path, RouteTable};

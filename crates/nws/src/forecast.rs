@@ -555,6 +555,11 @@ pub struct Forecast {
     pub mae: f64,
     /// Number of observations behind this forecast.
     pub samples: u64,
+    /// True when the forecaster could not reach the series' memory and
+    /// served its last-known battery state instead of a fresh delta — the
+    /// caller gets a prediction (better than an error during an outage)
+    /// but is told its provenance.
+    pub stale: bool,
 }
 
 /// The racing battery: every predictor forecasts each next value, errors
@@ -713,6 +718,7 @@ impl ForecasterBattery {
             mae_method: self.predictors[mae_i].name().to_string(),
             mae: mae_mean,
             samples: self.samples,
+            stale: false,
         })
     }
 

@@ -33,10 +33,12 @@ pub mod msg;
 pub mod registry;
 pub mod sensor;
 pub mod series;
+pub mod supervisor;
 pub mod system;
 
 pub use clique::CliqueRetarget;
 pub use forecast::{Forecast, ForecasterBattery};
 pub use msg::{NwsMsg, Resource, SeriesKey};
 pub use series::{Series, SeriesPoint};
+pub use supervisor::{SupervisorConfig, SupervisorHandle, SupervisorState};
 pub use system::{CliqueSpec, NwsSystem, NwsSystemSpec, ReconfigSpec, SensorMode, SensorSpec};

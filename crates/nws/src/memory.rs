@@ -5,15 +5,46 @@
 //! the first store of a series the memory registers itself as that
 //! series' home with the name server, which is how the forecaster's
 //! directory lookup (step 2 of §2.1) finds the right memory.
+//!
+//! Stores are acknowledged and deduplicated: every `Store` carries a
+//! per-sender sequence number, the memory acks it (even when the point is
+//! rejected — an ack means *received*), and a seq seen before is counted
+//! in [`MemoryStore::dup_stores`] without touching `stores` or the series.
+//! The dedup ledger lives inside [`MemoryStore`] — the "disk" — so a
+//! supervisor restart via [`MemoryServer::with_store`] keeps it, and a
+//! retry that straddles the crash still cannot double-count.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use netsim::engine::{Ctx, Process, ProcessId};
+use netsim::error::NetError;
 
 use crate::msg::{NwsMsg, SeriesKey, ServerKind};
 use crate::series::Series;
+
+/// Per-sender record of which store sequence numbers have been received:
+/// a contiguous watermark plus the sparse set above it (duplicated copies
+/// bypass the engine's FIFO clamp, so seqs can arrive out of order).
+#[derive(Debug, Default, Clone)]
+pub struct SeenSeqs {
+    watermark: u64,
+    above: BTreeSet<u64>,
+}
+
+impl SeenSeqs {
+    /// Record `seq`; returns `true` the first time it is seen.
+    fn note(&mut self, seq: u64) -> bool {
+        if seq <= self.watermark || !self.above.insert(seq) {
+            return false;
+        }
+        while self.above.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+        true
+    }
+}
 
 /// The stored series, shared with the harness for direct inspection.
 #[derive(Debug, Default)]
@@ -21,6 +52,15 @@ pub struct MemoryStore {
     pub series: BTreeMap<SeriesKey, Series>,
     pub stores: u64,
     pub fetches: u64,
+    /// Stores recognized as retries or network duplicates by the
+    /// per-sender seq ledger: acked but never counted in `stores`, never
+    /// pushed into a series.
+    pub dup_stores: u64,
+    /// Replies (acks, fetch replies) that bounced off a dead requester.
+    pub reply_failures: u64,
+    /// sender pid → received store seqs (the dedup ledger; on "disk" so it
+    /// survives a supervised restart of the server process).
+    pub seen: BTreeMap<ProcessId, SeenSeqs>,
     /// Stores dropped by `Series::push`: non-finite points (a sensor NaN
     /// that must never reach a forecaster's ring) and points whose
     /// timestamp is not strictly newer than the last stored one (clock
@@ -54,6 +94,14 @@ impl MemoryServer {
         let store = Rc::new(RefCell::new(MemoryStore::default()));
         (MemoryServer { name: name.to_string(), ns, capacity, store: store.clone() }, store)
     }
+
+    /// Rebuild a memory server around an existing store — the supervised
+    /// restart path: the process died but its disk (the [`MemoryHandle`])
+    /// survived, so the replacement resumes with every series, counter and
+    /// dedup watermark intact and re-registers them on start.
+    pub fn with_store(name: &str, ns: ProcessId, capacity: usize, store: MemoryHandle) -> Self {
+        MemoryServer { name: name.to_string(), ns, capacity, store }
+    }
 }
 
 impl Process<NwsMsg> for MemoryServer {
@@ -61,28 +109,57 @@ impl Process<NwsMsg> for MemoryServer {
         let reg = NwsMsg::Register { name: self.name.clone(), kind: ServerKind::Memory };
         let size = reg.wire_size();
         let _ = ctx.send(self.ns, size, reg);
+        // Restarted under a fresh pid: re-claim every series read off disk
+        // so directory lookups stop pointing at the dead predecessor.
+        let keys: Vec<SeriesKey> = self.store.borrow().series.keys().cloned().collect();
+        for key in keys {
+            let reg = NwsMsg::RegisterSeries { key, memory: ctx.me() };
+            let size = reg.wire_size();
+            let _ = ctx.send(self.ns, size, reg);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
         match msg {
-            NwsMsg::Store { key, t, value } => {
+            NwsMsg::Store { key, seq, t, value } => {
                 let mut st = self.store.borrow_mut();
-                st.stores += 1;
-                let is_new = !st.series.contains_key(&key);
-                let stored = st
-                    .series
-                    .entry(key.clone())
-                    .or_insert_with(|| Series::new(self.capacity))
-                    .push(t, value);
-                if !stored {
-                    st.rejected += 1;
+                let first_time = st.seen.entry(from).or_default().note(seq);
+                let mut register = None;
+                if first_time {
+                    st.stores += 1;
+                    let is_new = !st.series.contains_key(&key);
+                    let stored = st
+                        .series
+                        .entry(key.clone())
+                        .or_insert_with(|| Series::new(self.capacity))
+                        .push(t, value);
+                    if !stored {
+                        st.rejected += 1;
+                    }
+                    if is_new {
+                        register = Some(key);
+                    }
+                } else {
+                    st.dup_stores += 1;
                 }
                 drop(st);
-                if is_new {
+                // Ack in every case — including duplicates and rejected
+                // points — so the sender releases its buffer slot; without
+                // the dup-ack a sensor whose first ack was lost would
+                // retry forever.
+                let ack = NwsMsg::StoreAck { seq };
+                let size = ack.wire_size();
+                let _ = ctx.send(from, size, ack);
+                if let Some(key) = register {
                     let reg = NwsMsg::RegisterSeries { key, memory: ctx.me() };
                     let size = reg.wire_size();
                     let _ = ctx.send(self.ns, size, reg);
                 }
+            }
+            NwsMsg::Ping => {
+                let pong = NwsMsg::Pong;
+                let size = pong.wire_size();
+                let _ = ctx.send(from, size, pong);
             }
             NwsMsg::Fetch { key } => {
                 let points = {
@@ -111,6 +188,15 @@ impl Process<NwsMsg> for MemoryServer {
             }
             _ => {}
         }
+    }
+
+    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, _to: ProcessId, _err: &NetError) {
+        // An ack or fetch reply bounced off a requester that died while it
+        // was in flight. There is nothing to resend — the requester is
+        // gone — but the loss is accounted rather than silent; a retried
+        // Store from a restarted sensor arrives under a fresh pid and seq
+        // space, so dropping this reply cannot wedge anyone.
+        self.store.borrow_mut().reply_failures += 1;
     }
 }
 
@@ -146,8 +232,8 @@ mod tests {
     impl Process<NwsMsg> for StoreFetch {
         fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
             let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
-            for (t, v) in [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0)] {
-                let m = NwsMsg::Store { key: key.clone(), t, value: v };
+            for (seq, (t, v)) in [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0)].iter().enumerate() {
+                let m = NwsMsg::Store { key: key.clone(), seq: seq as u64 + 1, t: *t, value: *v };
                 let size = m.wire_size();
                 ctx.send(self.memory, size, m).unwrap();
             }
@@ -229,8 +315,10 @@ mod tests {
         impl Process<NwsMsg> for DeltaFetch {
             fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
                 let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
-                for (t, v) in [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0), (f64::NAN, 88.0)] {
-                    let m = NwsMsg::Store { key: key.clone(), t, value: v };
+                let points = [(1.0, 90.0), (2.0, 95.0), (3.0, 92.0), (f64::NAN, 88.0)];
+                for (seq, (t, v)) in points.iter().enumerate() {
+                    let m =
+                        NwsMsg::Store { key: key.clone(), seq: seq as u64 + 1, t: *t, value: *v };
                     let size = m.wire_size();
                     ctx.send(self.memory, size, m).unwrap();
                 }
@@ -254,6 +342,55 @@ mod tests {
         assert_eq!(st.stores, 4);
         assert_eq!(st.rejected, 1);
         assert_eq!(st.points_served, 2);
+    }
+
+    /// Retried and duplicated stores are idempotent: the seq ledger routes
+    /// them to `dup_stores`, so `stores`, the series contents and the
+    /// rejection counter all match what the deduplicated subsequence alone
+    /// would have produced — and every copy is still acked.
+    #[test]
+    fn duplicate_and_retried_stores_are_idempotent() {
+        struct Retrier {
+            memory: ProcessId,
+            acks: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Process<NwsMsg> for Retrier {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+                let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+                // seqs 1,2,3 delivered; 2 and 3 retried out of order; a
+                // late duplicate of 1; then fresh 4.
+                let sends = [(1, 1.0), (2, 2.0), (3, 3.0), (3, 3.0), (2, 2.0), (1, 1.0), (4, 4.0)];
+                for (seq, t) in sends {
+                    let m = NwsMsg::Store { key: key.clone(), seq, t, value: 90.0 + t };
+                    let size = m.wire_size();
+                    ctx.send(self.memory, size, m).unwrap();
+                }
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, NwsMsg>, _f: ProcessId, msg: NwsMsg) {
+                if let NwsMsg::StoreAck { seq } = msg {
+                    self.acks.borrow_mut().push(seq);
+                }
+            }
+        }
+
+        let (mut eng, hosts) = net3();
+        let (ns, _) = NameServer::new();
+        let ns_pid = eng.add_process(hosts[0], Box::new(ns));
+        let (mem, store) = MemoryServer::new("mem0", ns_pid, 128);
+        let mem_pid = eng.add_process(hosts[1], Box::new(mem));
+        let acks = Rc::new(RefCell::new(Vec::new()));
+        eng.add_process(hosts[2], Box::new(Retrier { memory: mem_pid, acks: acks.clone() }));
+        eng.run_until_quiescent(TimeDelta::from_secs(10.0)).unwrap();
+
+        let st = store.borrow();
+        assert_eq!(st.stores, 4, "each unique seq counted exactly once");
+        assert_eq!(st.dup_stores, 3);
+        assert_eq!(st.rejected, 0);
+        let key = SeriesKey::link(Resource::Bandwidth, "a.x", "b.x");
+        let pairs = st.series[&key].to_pairs();
+        assert_eq!(pairs, vec![(1.0, 91.0), (2.0, 92.0), (3.0, 93.0), (4.0, 94.0)]);
+        // Every copy — duplicate or not — was acked.
+        assert_eq!(*acks.borrow(), vec![1, 2, 3, 3, 2, 1, 4]);
     }
 
     #[test]

@@ -141,12 +141,35 @@ pub enum NwsMsg {
     },
 
     // ---- memory ----------------------------------------------------------
-    /// A sensor stores one measurement.
+    /// A sensor stores one measurement. `seq` is a per-sender sequence
+    /// number (starting at 1) so the memory can acknowledge receipt and
+    /// deduplicate retries and network-duplicated copies; a sensor buffers
+    /// the store until the matching [`NwsMsg::StoreAck`] arrives.
     Store {
         key: SeriesKey,
+        seq: u64,
         t: f64,
         value: f64,
     },
+    /// The memory acknowledges receipt of the sender's store `seq`. Sent
+    /// even when the point itself is rejected (non-monotone timestamp) or
+    /// recognized as a duplicate — an ack means "received", not "stored",
+    /// so retries stop exactly when the wire delivered the message once.
+    StoreAck {
+        seq: u64,
+    },
+    /// Point a sensor's stores at a different memory server (sent by the
+    /// supervisor after it restarts a memory under a fresh pid); the
+    /// sensor immediately drains its unacked buffer to the new target.
+    RetargetMemory {
+        memory: netsim::ProcessId,
+    },
+
+    // ---- supervision heartbeats -------------------------------------------
+    /// Liveness probe from the supervisor.
+    Ping,
+    /// Liveness reply.
+    Pong,
     /// A forecaster fetches the history of a series (step 3).
     Fetch {
         key: SeriesKey,
@@ -209,7 +232,10 @@ impl NwsMsg {
             NwsMsg::Register { name, .. } => 64 + name.len(),
             NwsMsg::RegisterSeries { .. } => 128,
             NwsMsg::WhereIs { .. } | NwsMsg::WhereIsReply { .. } => 96,
-            NwsMsg::Store { .. } => 64,
+            NwsMsg::Store { .. } => 72,
+            NwsMsg::StoreAck { .. } => 24,
+            NwsMsg::RetargetMemory { .. } => 24,
+            NwsMsg::Ping | NwsMsg::Pong => 16,
             NwsMsg::Fetch { .. } => 64,
             NwsMsg::FetchSince { .. } => 72,
             NwsMsg::FetchReply { points, .. } => 64 + 16 * points.len(),

@@ -20,12 +20,13 @@
 //!
 //! All results are `Store`d to the sensor's memory server.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use netsim::engine::{Ctx, Process, ProcessId, TimerId};
+use netsim::error::NetError;
 use netsim::flow::FlowOutcome;
 use netsim::time::TimeDelta;
 use netsim::topology::NodeId;
@@ -39,6 +40,7 @@ const TAG_HOST_SENSE: u64 = 0;
 const TAG_FREE_RUN: u64 = 1;
 const TAG_LOCK_TIMEOUT: u64 = 2;
 const TAG_GRANT_EXPIRY: u64 = 3;
+const TAG_RETRY: u64 = 4;
 const TAG_WATCHDOG: u64 = 100;
 const TAG_PASS: u64 = 200;
 const TAG_INITIAL: u64 = 300;
@@ -78,6 +80,13 @@ pub struct SensorConfig {
     pub lock_timeout: TimeDelta,
     /// Safety expiry on a grant (in case the holder dies mid-probe).
     pub grant_timeout: TimeDelta,
+    /// First store-retry backoff; doubles per attempt up to `retry_max`.
+    pub retry_initial: TimeDelta,
+    pub retry_max: TimeDelta,
+    /// Unacked stores buffered while the memory is unreachable; beyond
+    /// this the oldest measurement is shed (newest data wins — NWS series
+    /// are rings for the same reason).
+    pub unacked_cap: usize,
 }
 
 impl SensorConfig {
@@ -94,6 +103,9 @@ impl SensorConfig {
             host_locking: false,
             lock_timeout: TimeDelta::from_secs(2.0),
             grant_timeout: TimeDelta::from_secs(10.0),
+            retry_initial: TimeDelta::from_secs(1.0),
+            retry_max: TimeDelta::from_secs(30.0),
+            unacked_cap: 1024,
         }
     }
 }
@@ -157,6 +169,18 @@ pub struct Sensor {
     pub holds: u64,
     /// Probes skipped because a lock was not granted in time.
     pub lock_skips: u64,
+    // --- store reliability (seq + ack + retry) ---
+    /// Last allocated store sequence number (first store carries seq 1).
+    next_store_seq: u64,
+    /// Sent-but-unacked stores, by seq: the outage buffer, drained in seq
+    /// order on every retry or memory retarget.
+    unacked: BTreeMap<u64, (SeriesKey, f64, f64)>,
+    retry_timer: Option<TimerId>,
+    retry_backoff: TimeDelta,
+    /// Stores resent by the retry machinery (for tests/benches).
+    pub store_retries: u64,
+    /// Oldest unacked stores shed by the buffer cap during a long outage.
+    pub stores_shed: u64,
 }
 
 impl Sensor {
@@ -164,6 +188,7 @@ impl Sensor {
         let load = cfg.host_sense.as_ref().map(|h| HostLoadModel::new(h.seed));
         let n = memberships.len();
         let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5e4_50e5);
+        let retry_backoff = cfg.retry_initial;
         Sensor {
             cfg,
             memberships,
@@ -183,6 +208,12 @@ impl Sensor {
             lock_wait_timer: None,
             holds: 0,
             lock_skips: 0,
+            next_store_seq: 0,
+            unacked: BTreeMap::new(),
+            retry_timer: None,
+            retry_backoff,
+            store_retries: 0,
+            stores_shed: 0,
         }
     }
 
@@ -196,10 +227,52 @@ impl Sensor {
         self.active.is_some() || self.waiting_grant.is_some() || self.granted_to.is_some()
     }
 
-    fn store(&self, ctx: &mut Ctx<'_, NwsMsg>, key: SeriesKey, value: f64) {
-        let msg = NwsMsg::Store { key, t: ctx.now().as_secs(), value };
+    /// Send one measurement to the memory, reliably: the point is buffered
+    /// under a fresh sequence number until the memory's `StoreAck` releases
+    /// it, with [`Sensor::resend_unacked`] retrying on a backoff timer. A
+    /// send that fails outright (memory dead or unreachable) leaves the
+    /// point in the buffer to drain on recovery.
+    fn store(&mut self, ctx: &mut Ctx<'_, NwsMsg>, key: SeriesKey, value: f64) {
+        self.next_store_seq += 1;
+        let seq = self.next_store_seq;
+        let t = ctx.now().as_secs();
+        if self.unacked.len() >= self.cfg.unacked_cap {
+            self.unacked.pop_first();
+            self.stores_shed += 1;
+        }
+        self.unacked.insert(seq, (key.clone(), t, value));
+        let msg = NwsMsg::Store { key, seq, t, value };
         let size = msg.wire_size();
         let _ = ctx.send(self.cfg.memory, size, msg);
+        self.arm_retry(ctx);
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        if self.retry_timer.is_none() {
+            self.retry_timer = Some(ctx.set_timer(self.retry_backoff, TAG_RETRY));
+        }
+    }
+
+    /// Resend every unacked store in seq order, double the backoff (capped)
+    /// and schedule the next attempt. No-op when the buffer is empty.
+    fn resend_unacked(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        if self.unacked.is_empty() {
+            self.retry_backoff = self.cfg.retry_initial;
+            return;
+        }
+        let resend: Vec<(u64, SeriesKey, f64, f64)> =
+            self.unacked.iter().map(|(s, (k, t, v))| (*s, k.clone(), *t, *v)).collect();
+        self.store_retries += resend.len() as u64;
+        for (seq, key, t, value) in resend {
+            let msg = NwsMsg::Store { key, seq, t, value };
+            let size = msg.wire_size();
+            let _ = ctx.send(self.cfg.memory, size, msg);
+        }
+        self.retry_backoff = self.retry_backoff * 2.0;
+        if self.retry_backoff > self.cfg.retry_max {
+            self.retry_backoff = self.cfg.retry_max;
+        }
+        self.retry_timer = Some(ctx.set_timer(self.retry_backoff, TAG_RETRY));
     }
 
     fn send_small(&self, ctx: &mut Ctx<'_, NwsMsg>, to: ProcessId, msg: NwsMsg) {
@@ -490,6 +563,28 @@ impl Process<NwsMsg> for Sensor {
             NwsMsg::Retarget { add, remove } => {
                 self.retarget(ctx, add, &remove);
             }
+            NwsMsg::StoreAck { seq } => {
+                self.unacked.remove(&seq);
+                if self.unacked.is_empty() {
+                    self.retry_backoff = self.cfg.retry_initial;
+                    if let Some(t) = self.retry_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+            }
+            NwsMsg::RetargetMemory { memory } => {
+                // The supervisor restarted our memory under a new pid:
+                // drain the outage buffer to it right away.
+                self.cfg.memory = memory;
+                self.retry_backoff = self.cfg.retry_initial;
+                if let Some(t) = self.retry_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+                self.resend_unacked(ctx);
+            }
+            NwsMsg::Ping => {
+                self.send_small(ctx, from, NwsMsg::Pong);
+            }
             NwsMsg::LockRequest => {
                 if self.engaged() {
                     self.grant_queue.push_back(from);
@@ -540,6 +635,10 @@ impl Process<NwsMsg> for Sensor {
                 self.granted_to = None;
                 self.grant_expiry = None;
                 self.service_grants(ctx);
+            }
+            TAG_RETRY => {
+                self.retry_timer = None;
+                self.resend_unacked(ctx);
             }
             t if (TAG_WATCHDOG..TAG_PASS).contains(&t) => {
                 let m = (t - TAG_WATCHDOG) as usize;
@@ -615,6 +714,18 @@ impl Process<NwsMsg> for Sensor {
                 }
                 self.start_next_probe(ctx);
             }
+        }
+    }
+
+    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, NwsMsg>, to: ProcessId, _err: &NetError) {
+        // A store bounced off a dead memory (the TCP-RST analog). The
+        // measurement is still in the unacked buffer; keep the retry timer
+        // running so the buffer drains once the memory — or, after a
+        // `RetargetMemory`, its successor — is back. Failed token or lock
+        // sends need no action here: the clique watchdog regenerates lost
+        // tokens and lock waits time out on their own.
+        if to == self.cfg.memory && !self.unacked.is_empty() {
+            self.arm_retry(ctx);
         }
     }
 }

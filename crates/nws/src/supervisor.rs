@@ -1,0 +1,242 @@
+//! Heartbeat-driven supervision of a deployed NWS system.
+//!
+//! Deployment is not done when the plan is applied: a long-running NWS
+//! must detect and repair its own component failures (the autonomic-
+//! management argument of Dearle/Kirby/McCarthy). The supervisor is a
+//! plain actor on the simulated network — it learns about deaths the same
+//! way a real one would, by missed heartbeats, not by peeking at engine
+//! state:
+//!
+//! * every [`SupervisorConfig::period`] it sends [`crate::NwsMsg::Ping`]
+//!   to every monitored pid (sensors and memory servers);
+//! * a pid that misses [`SupervisorConfig::miss_threshold`] consecutive
+//!   replies is moved to [`SupervisorState::suspected`];
+//! * a late Pong clears the suspicion — a lossy episode that delays
+//!   heartbeats must not get a live process restarted;
+//! * the harness ([`crate::NwsSystem::heal`]) drains `suspected` and
+//!   restarts the components via the existing reconfigure/Retarget
+//!   machinery, swapping the monitored pid for the replacement's.
+//!
+//! Detection latency is therefore bounded by `miss_threshold × period`
+//! plus one heal sweep; the recovery bound on top is the Retarget
+//! delivery (sensors) or the `RetargetMemory` burst + buffer drain
+//! (memories).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use netsim::engine::{Ctx, Process, ProcessId};
+use netsim::time::TimeDelta;
+
+use crate::msg::NwsMsg;
+
+/// Heartbeat tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Heartbeat period.
+    pub period: TimeDelta,
+    /// Consecutive missed heartbeats before a pid is suspected dead.
+    pub miss_threshold: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig { period: TimeDelta::from_secs(5.0), miss_threshold: 3 }
+    }
+}
+
+/// The liveness ledger, shared between the supervisor process and the
+/// harness that performs the restarts.
+#[derive(Debug, Default)]
+pub struct SupervisorState {
+    /// The monitored pids. The harness edits this as restarts swap pids.
+    pub targets: BTreeSet<ProcessId>,
+    /// Pids declared dead, awaiting [`crate::NwsSystem::heal`].
+    pub suspected: BTreeSet<ProcessId>,
+    /// pid → consecutive missed heartbeats.
+    misses: BTreeMap<ProcessId, u32>,
+    /// Pids pinged this period that have not answered yet.
+    awaiting: BTreeSet<ProcessId>,
+    pub pings_sent: u64,
+    pub pongs_seen: u64,
+}
+
+impl SupervisorState {
+    /// Swap a restarted component's pid: the dead pid stops being
+    /// monitored (and suspected), the replacement starts fresh.
+    pub fn replace_target(&mut self, dead: ProcessId, replacement: ProcessId) {
+        self.targets.remove(&dead);
+        self.suspected.remove(&dead);
+        self.misses.remove(&dead);
+        self.awaiting.remove(&dead);
+        self.targets.insert(replacement);
+    }
+}
+
+/// Shared handle onto the supervisor's ledger.
+pub type SupervisorHandle = Rc<RefCell<SupervisorState>>;
+
+const TAG_BEAT: u64 = 0;
+
+/// The supervisor actor. Spawned by [`crate::NwsSystem::attach_supervisor`].
+pub struct SupervisorProc {
+    cfg: SupervisorConfig,
+    state: SupervisorHandle,
+}
+
+impl SupervisorProc {
+    pub fn new(cfg: SupervisorConfig, state: SupervisorHandle) -> Self {
+        SupervisorProc { cfg, state }
+    }
+
+    fn beat(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        let targets: Vec<ProcessId> = {
+            let mut st = self.state.borrow_mut();
+            let targets: Vec<ProcessId> = st.targets.iter().copied().collect();
+            // Score the previous period: anyone still awaited missed it.
+            for pid in &targets {
+                if st.awaiting.contains(pid) {
+                    let m = st.misses.entry(*pid).or_insert(0);
+                    *m += 1;
+                    if *m >= self.cfg.miss_threshold {
+                        st.suspected.insert(*pid);
+                    }
+                } else {
+                    st.misses.insert(*pid, 0);
+                }
+            }
+            st.awaiting = targets.iter().copied().collect();
+            st.pings_sent += targets.len() as u64;
+            targets
+        };
+        for pid in targets {
+            let ping = NwsMsg::Ping;
+            let size = ping.wire_size();
+            // A synchronous failure (already-dead pid) is fine: the pong
+            // simply never comes and the miss counter does its job.
+            let _ = ctx.send(pid, size, ping);
+        }
+        ctx.set_timer(self.cfg.period, TAG_BEAT);
+    }
+}
+
+impl Process<NwsMsg> for SupervisorProc {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        self.beat(ctx);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
+        if let NwsMsg::Pong = msg {
+            let mut st = self.state.borrow_mut();
+            st.pongs_seen += 1;
+            st.awaiting.remove(&from);
+            if st.targets.contains(&from) {
+                st.misses.insert(from, 0);
+                // A late pong exonerates: better to tolerate a slow pid
+                // than to restart a live one over a lossy episode.
+                st.suspected.remove(&from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NwsMsg>, tag: u64) {
+        if tag == TAG_BEAT {
+            self.beat(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::Engine;
+    use netsim::topology::{NodeId, TopologyBuilder};
+    use netsim::units::{Bandwidth, Latency};
+
+    fn hub3() -> (Engine<NwsMsg>, Vec<NodeId>) {
+        let mut b = TopologyBuilder::new();
+        let hub = b.hub("hub", Bandwidth::mbps(100.0), Latency::micros(50.0));
+        let hosts: Vec<NodeId> = (0..3)
+            .map(|i| {
+                let h = b.host(&format!("h{i}.x"), &format!("10.0.0.{}", i + 1));
+                b.attach(h, hub);
+                h
+            })
+            .collect();
+        (Engine::new(b.build().unwrap()), hosts)
+    }
+
+    /// A process that answers pings until `deaf` flips.
+    struct Echo {
+        deaf: Rc<RefCell<bool>>,
+    }
+    impl Process<NwsMsg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
+            if let NwsMsg::Ping = msg {
+                if !*self.deaf.borrow() {
+                    let pong = NwsMsg::Pong;
+                    let size = pong.wire_size();
+                    let _ = ctx.send(from, size, pong);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn responsive_targets_are_never_suspected() {
+        let (mut eng, hosts) = hub3();
+        let deaf = Rc::new(RefCell::new(false));
+        let echo = eng.add_process(hosts[1], Box::new(Echo { deaf }));
+        let state: SupervisorHandle = Rc::new(RefCell::new(SupervisorState::default()));
+        state.borrow_mut().targets.insert(echo);
+        let cfg = SupervisorConfig { period: TimeDelta::from_secs(1.0), miss_threshold: 3 };
+        eng.add_process(hosts[0], Box::new(SupervisorProc::new(cfg, state.clone())));
+        let deadline = eng.now() + TimeDelta::from_secs(30.0);
+        eng.run_until(deadline);
+        let st = state.borrow();
+        assert!(st.suspected.is_empty());
+        assert!(st.pongs_seen >= 25, "pongs: {}", st.pongs_seen);
+    }
+
+    #[test]
+    fn dead_target_is_suspected_within_threshold_periods() {
+        let (mut eng, hosts) = hub3();
+        let deaf = Rc::new(RefCell::new(false));
+        let echo = eng.add_process(hosts[1], Box::new(Echo { deaf }));
+        let state: SupervisorHandle = Rc::new(RefCell::new(SupervisorState::default()));
+        state.borrow_mut().targets.insert(echo);
+        let cfg = SupervisorConfig { period: TimeDelta::from_secs(1.0), miss_threshold: 3 };
+        eng.add_process(hosts[0], Box::new(SupervisorProc::new(cfg, state.clone())));
+        let warm = eng.now() + TimeDelta::from_secs(5.0);
+        eng.run_until(warm);
+        assert!(state.borrow().suspected.is_empty());
+
+        eng.kill_process(echo);
+        // Detection bound: miss_threshold (3) + 1 scoring period + slack.
+        let deadline = eng.now() + TimeDelta::from_secs(5.5);
+        eng.run_until(deadline);
+        assert!(state.borrow().suspected.contains(&echo), "dead pid must be suspected");
+    }
+
+    #[test]
+    fn late_pong_exonerates_a_suspect() {
+        let (mut eng, hosts) = hub3();
+        let deaf = Rc::new(RefCell::new(false));
+        let echo = eng.add_process(hosts[1], Box::new(Echo { deaf: deaf.clone() }));
+        let state: SupervisorHandle = Rc::new(RefCell::new(SupervisorState::default()));
+        state.borrow_mut().targets.insert(echo);
+        let cfg = SupervisorConfig { period: TimeDelta::from_secs(1.0), miss_threshold: 2 };
+        eng.add_process(hosts[0], Box::new(SupervisorProc::new(cfg, state.clone())));
+
+        // Go deaf long enough to be suspected, then recover.
+        *deaf.borrow_mut() = true;
+        let deadline = eng.now() + TimeDelta::from_secs(6.0);
+        eng.run_until(deadline);
+        assert!(state.borrow().suspected.contains(&echo));
+        *deaf.borrow_mut() = false;
+        let deadline = eng.now() + TimeDelta::from_secs(3.0);
+        eng.run_until(deadline);
+        assert!(state.borrow().suspected.is_empty(), "a pid that answers again must be exonerated");
+    }
+}

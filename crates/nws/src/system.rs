@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use netsim::engine::{Ctx, Engine, Process, ProcessId};
+use netsim::engine::{Ctx, Engine, Process, ProcessId, TimerId};
 use netsim::prelude::*;
 
 use crate::clique::{CliqueMembership, CliqueRetarget};
@@ -15,6 +15,7 @@ use crate::msg::{NwsMsg, SeriesKey, ServerKind};
 use crate::registry::{NameServer, RegistryHandle};
 use crate::sensor::{FreeRun, HostSense, Sensor, SensorConfig};
 use crate::series::Series;
+use crate::supervisor::{SupervisorConfig, SupervisorHandle, SupervisorProc, SupervisorState};
 
 /// Persistent forecasting state for one series: the battery that has
 /// observed every point fetched so far, the newest observed timestamp
@@ -54,6 +55,18 @@ pub struct ForecasterServer {
     ns: ProcessId,
     state: BTreeMap<SeriesKey, SeriesState>,
     waiting: BTreeMap<SeriesKey, Waiting>,
+    /// How long an in-flight lookup/fetch may go unanswered before the
+    /// waiting clients are served from the persistent battery, flagged
+    /// stale, instead of hanging (outage tolerance).
+    pub query_timeout: TimeDelta,
+    next_timeout_tag: u64,
+    /// In-flight request timeouts, both directions: key → armed timer and
+    /// timer tag → key (timer tags are plain u64s, so the reverse map
+    /// routes `on_timer` back to the series).
+    timeout_by_key: BTreeMap<SeriesKey, (TimerId, u64)>,
+    key_by_tag: BTreeMap<u64, SeriesKey>,
+    /// Stale forecasts served during outages (for tests/benches).
+    pub stale_served: u64,
 }
 
 impl ForecasterServer {
@@ -63,6 +76,29 @@ impl ForecasterServer {
             ns,
             state: BTreeMap::new(),
             waiting: BTreeMap::new(),
+            query_timeout: TimeDelta::from_secs(5.0),
+            next_timeout_tag: 0,
+            timeout_by_key: BTreeMap::new(),
+            key_by_tag: BTreeMap::new(),
+            stale_served: 0,
+        }
+    }
+
+    fn arm_timeout(&mut self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
+        if self.timeout_by_key.contains_key(key) {
+            return; // one timeout covers the whole lookup+fetch round trip
+        }
+        let tag = self.next_timeout_tag;
+        self.next_timeout_tag += 1;
+        let id = ctx.set_timer(self.query_timeout, tag);
+        self.timeout_by_key.insert(key.clone(), (id, tag));
+        self.key_by_tag.insert(tag, key.clone());
+    }
+
+    fn clear_timeout(&mut self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
+        if let Some((id, tag)) = self.timeout_by_key.remove(key) {
+            ctx.cancel_timer(id);
+            self.key_by_tag.remove(&tag);
         }
     }
 
@@ -102,6 +138,7 @@ impl Process<NwsMsg> for ForecasterServer {
                     } else {
                         self.send_where_is(ctx, &key);
                     }
+                    self.arm_timeout(ctx, &key);
                 }
             }
             NwsMsg::WhereIsReply { key, memory } => match memory {
@@ -132,6 +169,7 @@ impl Process<NwsMsg> for ForecasterServer {
                         }
                         if w.clients.is_empty() {
                             self.waiting.remove(&key);
+                            self.clear_timeout(ctx, &key);
                         } else {
                             w.asked = w.clients.len();
                             self.send_where_is(ctx, &key);
@@ -154,6 +192,7 @@ impl Process<NwsMsg> for ForecasterServer {
                     }
                 }
                 let forecast = st.battery.forecast();
+                self.clear_timeout(ctx, &key);
                 if let Some(w) = self.waiting.remove(&key) {
                     for c in w.clients {
                         let r = NwsMsg::QueryReply { key: key.clone(), forecast: forecast.clone() };
@@ -162,7 +201,40 @@ impl Process<NwsMsg> for ForecasterServer {
                     }
                 }
             }
+            NwsMsg::Ping => {
+                let pong = NwsMsg::Pong;
+                let size = pong.wire_size();
+                let _ = ctx.send(from, size, pong);
+            }
             _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, NwsMsg>, tag: u64) {
+        let Some(key) = self.key_by_tag.remove(&tag) else { return };
+        self.timeout_by_key.remove(&key);
+        // The series' memory (or the name server) went quiet mid-request.
+        // Answer the waiting clients from the persistent battery — a stale
+        // prediction beats an error during an outage — then re-resolve the
+        // series' home through the directory: a memory restarted by the
+        // supervisor re-registers under its new pid, so the lookup heals
+        // the cached `SeriesState::memory` for the next query.
+        let stale = self.state.get(&key).and_then(|st| st.battery.forecast()).map(|mut f| {
+            f.stale = true;
+            f
+        });
+        if let Some(w) = self.waiting.remove(&key) {
+            for c in w.clients {
+                if stale.is_some() {
+                    self.stale_served += 1;
+                }
+                let r = NwsMsg::QueryReply { key: key.clone(), forecast: stale.clone() };
+                let size = r.wire_size();
+                let _ = ctx.send(c, size, r);
+            }
+        }
+        if self.state.contains_key(&key) {
+            self.send_where_is(ctx, &key);
         }
     }
 }
@@ -324,6 +396,16 @@ pub struct NwsSystem {
     spec: NwsSystemSpec,
     /// Monotonic counter seeding newly added sensors.
     sensors_spawned: usize,
+    /// The heartbeat supervisor, when attached: its pid and the shared
+    /// liveness ledger [`NwsSystem::heal`] drains.
+    supervisor: Option<(ProcessId, SupervisorHandle)>,
+    /// Minimum spacing between restarts of the same host. A host that is
+    /// unreachable (link down) rather than dead keeps missing heartbeats
+    /// after a restart; throttling re-heals keeps the supervisor from
+    /// burning its outage buffer over and over in a restart storm.
+    pub reheal_backoff: TimeDelta,
+    /// host → instant of its last restart, for the re-heal throttle.
+    healed_at: BTreeMap<String, SimTime>,
 }
 
 impl NwsSystem {
@@ -453,6 +535,9 @@ impl NwsSystem {
             client_node: fc_node,
             spec: spec.clone(),
             sensors_spawned,
+            supervisor: None,
+            reheal_backoff: TimeDelta::from_secs(15.0),
+            healed_at: BTreeMap::new(),
         })
     }
 
@@ -626,6 +711,161 @@ impl NwsSystem {
     pub fn run_for(&self, eng: &mut Engine<NwsMsg>, d: TimeDelta) {
         let until = eng.now() + d;
         eng.run_until(until);
+    }
+
+    /// Spawn a heartbeat supervisor (on the name server's host) monitoring
+    /// every sensor and memory server. Returns the shared liveness ledger;
+    /// drain it with [`NwsSystem::heal`] (or let
+    /// [`NwsSystem::run_supervised`] do both). The forecaster is not
+    /// monitored: restarting it would discard battery state for no gain —
+    /// its failure mode is covered by the query-path staleness machinery.
+    pub fn attach_supervisor(
+        &mut self,
+        eng: &mut Engine<NwsMsg>,
+        cfg: SupervisorConfig,
+    ) -> SupervisorHandle {
+        let state: SupervisorHandle = Rc::new(RefCell::new(SupervisorState::default()));
+        {
+            let mut st = state.borrow_mut();
+            for pid in self.sensors.values() {
+                st.targets.insert(*pid);
+            }
+            for (pid, _) in self.memories.values() {
+                st.targets.insert(*pid);
+            }
+        }
+        let node = eng.process_node(self.nameserver);
+        let pid = eng.add_process(node, Box::new(SupervisorProc::new(cfg, state.clone())));
+        self.supervisor = Some((pid, state.clone()));
+        state
+    }
+
+    /// Restart every component the supervisor currently suspects dead.
+    /// Sensors are restarted through the reconfigure/Retarget machinery (a
+    /// bare replacement process joins its cliques in place, token
+    /// migration included); a memory server is rebuilt around its
+    /// surviving store ([`MemoryServer::with_store`]) and its sensors get
+    /// a `RetargetMemory` burst so their outage buffers drain to the new
+    /// pid. Returns the healed host names (one entry per restart).
+    pub fn heal(&mut self, eng: &mut Engine<NwsMsg>) -> NetResult<Vec<String>> {
+        let Some((_, handle)) = &self.supervisor else {
+            return Ok(Vec::new());
+        };
+        let handle = handle.clone();
+        let suspects: Vec<ProcessId> = handle.borrow().suspected.iter().copied().collect();
+        let mut healed = Vec::new();
+        let now = eng.now();
+        for pid in suspects {
+            let sensor_host = self.sensors.iter().find(|(_, p)| **p == pid).map(|(h, _)| h.clone());
+            if let Some(host) = sensor_host {
+                if let Some(&at) = self.healed_at.get(&host) {
+                    if now.since(at) < self.reheal_backoff {
+                        continue;
+                    }
+                }
+                let Some(spec) = self.spec.sensors.iter().find(|s| s.host == host).cloned() else {
+                    continue;
+                };
+                let cliques: Vec<CliqueSpec> = self
+                    .spec
+                    .cliques
+                    .iter()
+                    .filter(|c| c.members.contains(&host))
+                    .cloned()
+                    .collect();
+                let re = ReconfigSpec {
+                    sensors_to_remove: vec![host.clone()],
+                    sensors_to_add: vec![spec],
+                    cliques_to_upsert: cliques,
+                    ..ReconfigSpec::default()
+                };
+                self.reconfigure(eng, &re)?;
+                let new_pid = self.sensors[&host];
+                handle.borrow_mut().replace_target(pid, new_pid);
+                self.healed_at.insert(host.clone(), now);
+                healed.push(host);
+                continue;
+            }
+            let memory_host =
+                self.memories.iter().find(|(_, (p, _))| *p == pid).map(|(h, _)| h.clone());
+            if let Some(host) = memory_host {
+                if let Some(&at) = self.healed_at.get(&host) {
+                    if now.since(at) < self.reheal_backoff {
+                        continue;
+                    }
+                }
+                let new_pid = self.restart_memory(eng, &host)?;
+                handle.borrow_mut().replace_target(pid, new_pid);
+                self.healed_at.insert(host.clone(), now);
+                healed.push(host);
+            } else {
+                // Stale suspicion of a pid already swapped out: drop it.
+                handle.borrow_mut().suspected.remove(&pid);
+            }
+        }
+        Ok(healed)
+    }
+
+    /// Run for `d`, sweeping the supervisor's suspect list every
+    /// `check_every` and restarting whatever it flagged. Returns every
+    /// healed host name in restart order. Worst-case recovery is therefore
+    /// `miss_threshold × period + check_every` plus the Retarget /
+    /// `RetargetMemory` delivery.
+    pub fn run_supervised(
+        &mut self,
+        eng: &mut Engine<NwsMsg>,
+        d: TimeDelta,
+        check_every: TimeDelta,
+    ) -> NetResult<Vec<String>> {
+        let deadline = eng.now() + d;
+        let mut healed = Vec::new();
+        while eng.now() < deadline {
+            let next = (eng.now() + check_every).min(deadline);
+            eng.run_until(next);
+            healed.extend(self.heal(eng)?);
+        }
+        Ok(healed)
+    }
+
+    /// Restart the memory server on `host` around its surviving store and
+    /// re-point its sensors; returns the replacement pid.
+    fn restart_memory(&mut self, eng: &mut Engine<NwsMsg>, host: &str) -> NetResult<ProcessId> {
+        let (old_pid, store) = self
+            .memories
+            .get(host)
+            .cloned()
+            .ok_or_else(|| NetError::NameNotFound(format!("memory host {host}")))?;
+        eng.kill_process(old_pid); // no-op when it already crashed
+        let node = eng
+            .topo()
+            .node_by_name(host)
+            .or_else(|| host.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip)))
+            .ok_or_else(|| NetError::NameNotFound(host.to_string()))?;
+        let idx = self.spec.memory_hosts.iter().position(|h| h == host).unwrap_or(0);
+        let mem = MemoryServer::with_store(
+            &format!("memory{idx}@{host}"),
+            self.nameserver,
+            self.spec.series_capacity,
+            store.clone(),
+        );
+        let new_pid = eng.add_process(node, Box::new(mem));
+        self.memories.insert(host.to_string(), (new_pid, store));
+        // Every sensor that stores to this memory drains its buffer to the
+        // replacement.
+        let default_host = self.spec.memory_hosts.first().cloned().unwrap_or_default();
+        let mut sends: Vec<(ProcessId, NwsMsg)> = Vec::new();
+        for s in &self.spec.sensors {
+            let mh = s.memory.as_ref().unwrap_or(&default_host);
+            if mh == host {
+                if let Some(&spid) = self.sensors.get(&s.host) {
+                    sends.push((spid, NwsMsg::RetargetMemory { memory: new_pid }));
+                }
+            }
+        }
+        if !sends.is_empty() {
+            eng.add_process(self.client_node, Box::new(Reconfigurer { sends }));
+        }
+        Ok(new_pid)
     }
 
     /// Issue a client query through the full §2.1 path and wait (up to

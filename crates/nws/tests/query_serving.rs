@@ -75,7 +75,12 @@ impl Process<NwsMsg> for Script {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, NwsMsg>, tag: u64) {
         match &self.steps[tag as usize].1 {
             Action::Store { key, t, value } => {
-                send(ctx, self.memory, NwsMsg::Store { key: key.clone(), t: *t, value: *value });
+                let seq = tag + 1; // unique per step, which is all dedup needs
+                send(
+                    ctx,
+                    self.memory,
+                    NwsMsg::Store { key: key.clone(), seq, t: *t, value: *value },
+                );
             }
             Action::Query { key } => {
                 send(ctx, self.forecaster, NwsMsg::Query { key: key.clone() });
