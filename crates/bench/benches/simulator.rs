@@ -17,7 +17,7 @@ fn bench_allocator(c: &mut Criterion) {
             .map(|i| {
                 let a = net.hosts[i % 16];
                 let b = net.hosts[(i + 7) % 16];
-                let p = routes.path(a, b).unwrap();
+                let p = routes.path(&net.topo, a, b).unwrap();
                 FlowDemand { resources: path_resources(&net.topo, &p), rate_cap: None }
             })
             .collect();

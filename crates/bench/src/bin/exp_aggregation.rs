@@ -60,8 +60,8 @@ fn main() {
         let est = estimator.estimate(a, b, &sys).expect("estimable");
         let na = eng.topo().node_by_name(a).unwrap();
         let nb = eng.topo().node_by_name(b).unwrap();
-        let fwd = routes.path(na, nb).unwrap();
-        let back = routes.path(nb, na).unwrap();
+        let fwd = routes.path(eng.topo(), na, nb).unwrap();
+        let back = routes.path(eng.topo(), nb, na).unwrap();
         let cap = fwd.bottleneck(eng.topo()).as_mbps();
         let rtt_ms = (fwd.latency(eng.topo()).as_secs() + back.latency(eng.topo()).as_secs()) * 1e3;
         let ratio = est.bandwidth_mbps / cap;

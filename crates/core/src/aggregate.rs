@@ -89,6 +89,17 @@ impl<'a> Estimator<'a> {
         Estimator { compiled: CompiledView::new(view, plan) }
     }
 
+    /// [`Estimator::new`] over a pre-flattened forest — callers already
+    /// holding `view.flatten()` skip the re-flatten and re-intern (see
+    /// [`CompiledView::from_flat`]).
+    pub fn from_flat(
+        view: &'a EnvView,
+        flat: &[envmap::FlatNet<'a>],
+        plan: &'a DeploymentPlan,
+    ) -> Self {
+        Estimator { compiled: CompiledView::from_flat(view, flat, plan) }
+    }
+
     /// Estimate connectivity from `src` to `dst`.
     ///
     /// Returns `None` only when the pair cannot be located in the view at

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use envmap::{EnvView, NetKind};
+use envmap::{EnvView, FlatNet, NetKind};
 use nws::Resource;
 
 use crate::aggregate::{Estimate, Freshness, MeasurementSource};
@@ -162,20 +162,36 @@ pub struct CompiledView<'a> {
 
 impl<'a> CompiledView<'a> {
     pub fn new(view: &'a EnvView, plan: &'a DeploymentPlan) -> Self {
+        Self::from_flat(view, &view.flatten(), plan)
+    }
+
+    /// Compile from a pre-flattened forest. Callers that already hold
+    /// `view.flatten()` — the incremental mapper and the pipeline harness
+    /// both compute it — hand the dense view straight in, skipping the
+    /// re-flatten; every table is pre-sized from the forest and plan, so
+    /// interning never rehashes. [`CompiledView::new`] is this with a
+    /// fresh flatten.
+    pub fn from_flat(view: &'a EnvView, flat: &[FlatNet<'a>], plan: &'a DeploymentPlan) -> Self {
+        // Upper bound on distinct names: master + every member and `via`
+        // of every net + everything the plan names. Duplicates only make
+        // the tables slightly oversized, never undersized.
+        let name_cap = 1
+            + flat.iter().map(|f| f.net.hosts.len() + 1).sum::<usize>()
+            + plan.hosts.len()
+            + 1
+            + plan.cliques.iter().map(|cl| cl.members.len()).sum::<usize>();
         let mut c = CompiledView {
-            names: Vec::new(),
-            index: HashMap::new(),
+            names: Vec::with_capacity(name_cap),
+            index: HashMap::with_capacity(name_cap),
             master: 0,
-            nets: Vec::new(),
-            net_of: Vec::new(),
+            nets: Vec::with_capacity(flat.len()),
+            net_of: Vec::with_capacity(name_cap),
             clique_bits: Vec::new(),
             clique_words: 0,
         };
         c.master = c.intern(&view.master);
 
-        // Flatten the forest in pre-order and intern all member names.
-        let flat = view.flatten();
-        let mut label_to_net: HashMap<&'a str, u32> = HashMap::new();
+        let mut label_to_net: HashMap<&'a str, u32> = HashMap::with_capacity(flat.len());
         for (i, f) in flat.iter().enumerate() {
             let id = i as u32;
             let parent = f.parent.map(|p| p as u32).unwrap_or(NONE);

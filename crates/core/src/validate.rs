@@ -159,7 +159,7 @@ pub fn validate_plan_with_routes(
                     continue;
                 }
                 let Some(nb) = *idb else { continue };
-                let Ok(hops) = routes.hops_rev(na, nb) else { continue };
+                let Ok(hops) = routes.hops_rev(topo, na, nb) else { continue };
                 for (from, l) in hops {
                     let link = topo.link(l);
                     let bit = match link.mode {
@@ -330,7 +330,7 @@ pub fn validate_plan_naive(plan: &DeploymentPlan, view: &EnvView, topo: &Topolog
                 }
                 continue;
             };
-            if let Ok(path) = routes.path(na, nb) {
+            if let Ok(path) = routes.path(topo, na, nb) {
                 resources.extend(path_resources(topo, &path));
             }
         }

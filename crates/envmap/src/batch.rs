@@ -58,7 +58,7 @@ fn footprints<M>(eng: &Engine<M>, pairs: &[(NodeId, NodeId)]) -> Vec<Option<Vec<
             if !eng.topo().allows(*s, *d) {
                 return None;
             }
-            eng.routes().path(*s, *d).ok().map(|p| path_resources(eng.topo(), &p))
+            eng.routes().path(eng.topo(), *s, *d).ok().map(|p| path_resources(eng.topo(), &p))
         })
         .collect()
 }

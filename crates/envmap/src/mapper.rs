@@ -2,14 +2,15 @@
 //! *re*-runs under topology churn ([`EnvMapper::remap`]).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use gridml::Property;
 use netsim::prelude::*;
-use netsim::Engine;
+use netsim::{Engine, RouteTable};
 
 #[cfg(test)]
 use crate::net::NetKind;
-use crate::net::{EnvNet, EnvView};
+use crate::net::{EnvNet, EnvView, FlatNet};
 use crate::refine::{refine_cluster, RefHost, RefineParams, RefinedCluster};
 use crate::structural::{build_tree_from_chains, clusters_with_gateways, hop_key, StructNode};
 use crate::thresholds::EnvThresholds;
@@ -306,32 +307,167 @@ impl EnvMapper {
             }
         }
         let flat = self.refine_all(eng, &machines, &master_rec, &structural, &mut stats, |refs| {
-            if refs.iter().any(|h| dirty_set.contains(h.name.as_str())) {
-                return None;
-            }
-            let mut net_ids: Vec<usize> = Vec::new();
-            for h in refs {
-                match prev_net_of.get(h.name.as_str()) {
-                    Some(&i) => {
-                        if !net_ids.contains(&i) {
-                            net_ids.push(i);
-                        }
-                    }
-                    None => return None, // previously unplaced
-                }
-            }
-            // Exact cover: every ref is in some previous cluster, and
-            // those clusters hold no host outside this one (sizes
-            // match because a view's clusters partition its hosts).
-            let total: usize = net_ids.iter().map(|&i| prev_flat[i].net.hosts.len()).sum();
-            if total != refs.len() {
-                return None;
-            }
-            net_ids.sort_unstable(); // pre-order, deterministic
-            Some(net_ids.iter().map(|&i| splice_cluster(prev_flat[i].net, refs)).collect())
+            splice_decision(refs, &dirty_set, &prev_flat, &prev_net_of)
         });
         let networks = assemble_tree(flat);
         stats.mapping_seconds = eng.now().since(t_start).as_secs();
+
+        Ok(EnvRun::new(
+            EnvView { master: master_rec.name.clone(), networks },
+            structural,
+            machines,
+            stats,
+            master_rec.name,
+        ))
+    }
+
+    /// [`EnvMapper::map`] with the probe phases fanned out across
+    /// `threads` workers, each driving its own simulator instance over the
+    /// engine's shared immutable snapshot ([`Engine::snapshot`]).
+    /// Traceroute chains fan out per host; refinement fans out per
+    /// structural cluster, with [`crate::batch`] co-scheduling running
+    /// within each worker. The caller's engine is **not** advanced — the
+    /// run is a pure function of the snapshot, and the resulting view is
+    /// bit-identical for any `threads ≥ 1` (each cluster refines on a
+    /// fresh worker simulator at t = 0, so neither scheduling nor thread
+    /// count can reorder its probes). Against the serial oracle the view
+    /// agrees on [`EnvView::approx_eq`]: serial refinement runs clusters
+    /// back-to-back on one advancing clock, which perturbs measurement
+    /// arithmetic only at floating-point rounding level.
+    ///
+    /// `stats.mapping_seconds` models the parallel makespan: the maximum
+    /// over workers of their summed simulated probe times.
+    pub fn map_parallel<M>(
+        &self,
+        eng: &Engine<M>,
+        hosts: &[HostInput],
+        master: &str,
+        external: Option<&str>,
+        threads: usize,
+    ) -> NetResult<EnvRun> {
+        let mut stats = ProbeStats::default();
+
+        // ---- phase 1: lookup (serial, cheap) ------------------------------
+        let machines = resolve_inputs(eng.topo(), hosts)?;
+        let master_rec = master_record(&machines, master)?;
+        let external_node = resolve_external(eng.topo(), external)?;
+        let (topo, routes) = eng.snapshot();
+
+        // ---- phase 3: structural topology, per-host fan-out ---------------
+        let indices: Vec<usize> = (0..machines.len()).collect();
+        let traced = trace_parallel(
+            &topo,
+            &routes,
+            &machines,
+            &indices,
+            external_node,
+            master_rec.node,
+            threads,
+            &mut stats,
+        );
+        let chains: Vec<(String, Vec<String>)> =
+            traced.into_iter().map(|(i, chain)| (machines[i].name.clone(), chain)).collect();
+        let structural = build_tree_from_chains(&chains);
+
+        // ---- phases 4–7 + assembly, per-cluster fan-out -------------------
+        let jobs = plan_clusters(&machines, &master_rec, &structural, |_| None);
+        let (flat, makespan) =
+            self.refine_parallel(&topo, &routes, master_rec.node, jobs, threads, &mut stats);
+        let networks = assemble_tree(flat);
+        stats.mapping_seconds = makespan;
+
+        Ok(EnvRun::new(
+            EnvView { master: master_rec.name.clone(), networks },
+            structural,
+            machines,
+            stats,
+            master_rec.name,
+        ))
+    }
+
+    /// [`EnvMapper::remap`] with the same fan-out as
+    /// [`EnvMapper::map_parallel`]: the splice decisions are made serially
+    /// (pure planning over the previous run), then only the clusters that
+    /// actually need re-probing are dispatched to workers. Dirty hosts'
+    /// traceroutes fan out per host; clean hosts reuse their previous
+    /// chains at zero cost, exactly like the serial incremental path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn remap_parallel<M>(
+        &self,
+        eng: &Engine<M>,
+        prev: &EnvRun,
+        hosts: &[HostInput],
+        dirty: &[String],
+        master: &str,
+        external: Option<&str>,
+        threads: usize,
+    ) -> NetResult<EnvRun> {
+        let mut stats = ProbeStats::default();
+
+        let machines = resolve_inputs(eng.topo(), hosts)?;
+        let master_rec = master_record(&machines, master)?;
+        let external_node = resolve_external(eng.topo(), external)?;
+        let (topo, routes) = eng.snapshot();
+
+        let mut dirty_set: BTreeSet<&str> = dirty.iter().map(String::as_str).collect();
+        for m in &machines {
+            if prev.machine(&m.name).is_none() {
+                dirty_set.insert(m.name.as_str());
+            }
+        }
+
+        // ---- structural phase: reuse clean chains, re-trace dirty ones ----
+        let mut prev_chain: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (chain, cluster_hosts) in prev.structural.clusters() {
+            for h in cluster_hosts {
+                prev_chain.insert(h, chain.clone());
+            }
+        }
+        let mut chains: Vec<(String, Vec<String>)> =
+            machines.iter().map(|m| (m.name.clone(), Vec::new())).collect();
+        let mut fresh_idx: Vec<usize> = Vec::new();
+        for (i, m) in machines.iter().enumerate() {
+            let reused = !dirty_set.contains(m.name.as_str())
+                && match prev_chain.get(m.name.as_str()) {
+                    Some(c) => {
+                        chains[i].1 = c.clone();
+                        true
+                    }
+                    None => false,
+                };
+            if !reused {
+                fresh_idx.push(i);
+            }
+        }
+        for (i, chain) in trace_parallel(
+            &topo,
+            &routes,
+            &machines,
+            &fresh_idx,
+            external_node,
+            master_rec.node,
+            threads,
+            &mut stats,
+        ) {
+            chains[i].1 = chain;
+        }
+        let structural = build_tree_from_chains(&chains);
+
+        // ---- refinement: serial splice planning, parallel re-probing ------
+        let prev_flat = prev.view.flatten();
+        let mut prev_net_of: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, f) in prev_flat.iter().enumerate() {
+            for h in &f.net.hosts {
+                prev_net_of.insert(h.as_str(), i);
+            }
+        }
+        let jobs = plan_clusters(&machines, &master_rec, &structural, |refs| {
+            splice_decision(refs, &dirty_set, &prev_flat, &prev_net_of)
+        });
+        let (flat, makespan) =
+            self.refine_parallel(&topo, &routes, master_rec.node, jobs, threads, &mut stats);
+        let networks = assemble_tree(flat);
+        stats.mapping_seconds = makespan;
 
         Ok(EnvRun::new(
             EnvView { master: master_rec.name.clone(), networks },
@@ -353,49 +489,187 @@ impl EnvMapper {
         master_rec: &MachineRecord,
         structural: &StructNode,
         stats: &mut ProbeStats,
-        mut reuse: impl FnMut(&[RefHost]) -> Option<Vec<RefinedCluster>>,
-    ) -> Vec<(Vec<String>, Vec<String>, RefinedCluster)> {
-        let by_name: BTreeMap<&str, &MachineRecord> = machines
-            .iter()
-            .flat_map(|m| {
-                std::iter::once((m.name.as_str(), m))
-                    .chain(m.aliases.iter().map(move |a| (a.as_str(), m)))
-            })
-            .collect();
-        let clusters = clusters_with_gateways(structural, |hop| by_name.contains_key(hop));
-
+        reuse: impl FnMut(&[RefHost]) -> Option<Vec<RefinedCluster>>,
+    ) -> Vec<FlatCluster> {
+        let jobs = plan_clusters(machines, master_rec, structural, reuse);
         let params = self.config.refine_params();
-        let mut flat: Vec<(Vec<String>, Vec<String>, RefinedCluster)> = Vec::new();
-        for (gateways, routers, cluster_hosts) in clusters {
-            let refs: Vec<RefHost> = cluster_hosts
-                .iter()
-                .filter(|h| {
-                    // The master is part of the structural tree (Figure 2)
-                    // but not of any refined cluster (Figure 1b).
-                    by_name[h.as_str()].node != master_rec.node
-                })
-                .map(|h| RefHost { name: h.clone(), node: by_name[h.as_str()].node })
-                .collect();
-            if refs.is_empty() {
-                continue;
-            }
-            let refined = match reuse(&refs) {
+        let mut flat: Vec<FlatCluster> = Vec::new();
+        for job in jobs {
+            let refined = match job.spliced {
                 Some(spliced) => spliced,
-                None => refine_cluster(eng, master_rec.node, &refs, &params, stats),
+                None => refine_cluster(eng, master_rec.node, &job.refs, &params, stats),
             };
             for rc in refined {
-                flat.push((gateways.clone(), routers.clone(), rc));
+                flat.push((job.gateways.clone(), job.routers.clone(), rc));
             }
         }
         flat
     }
+
+    /// Parallel phases 4–7: refine every unanswered cluster job across
+    /// `threads` workers, each driving its own simulator over the shared
+    /// snapshot. Every cluster gets a **fresh** engine at t = 0, so its
+    /// refinement is a pure function of the quiescent platform — the
+    /// result is bit-identical for any thread count and any scheduling
+    /// order (the soundness argument of DESIGN.md §9). Jobs are assigned
+    /// round-robin (`idx % threads`); results merge back in cluster-index
+    /// order, and the modeled mapping time is the makespan: the maximum
+    /// over workers of their summed per-cluster simulated times.
+    fn refine_parallel(
+        &self,
+        topo: &Arc<Topology>,
+        routes: &Arc<RouteTable>,
+        master_node: NodeId,
+        jobs: Vec<ClusterJob>,
+        threads: usize,
+        stats: &mut ProbeStats,
+    ) -> (Vec<FlatCluster>, f64) {
+        let params = self.config.refine_params();
+        let threads = threads.max(1);
+        let n = jobs.len();
+        let mut refined: Vec<Option<Vec<RefinedCluster>>> = (0..n).map(|_| None).collect();
+        let mut makespan: f64 = 0.0;
+
+        let per_worker: Vec<Vec<RefineItem>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let topo = Arc::clone(topo);
+                    let routes = Arc::clone(routes);
+                    let jobs = &jobs;
+                    let params = &params;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut idx = w;
+                        while idx < n {
+                            if jobs[idx].spliced.is_none() {
+                                let mut eng: Sim =
+                                    Engine::from_snapshot(Arc::clone(&topo), Arc::clone(&routes));
+                                let mut st = ProbeStats::default();
+                                let rcs = refine_cluster(
+                                    &mut eng,
+                                    master_node,
+                                    &jobs[idx].refs,
+                                    params,
+                                    &mut st,
+                                );
+                                let elapsed = eng.now().since(SimTime::ZERO).as_secs();
+                                out.push((idx, rcs, st, elapsed));
+                            }
+                            idx += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("refine worker panicked")).collect()
+        });
+
+        // Merge deterministically: stats in cluster-index order, makespan
+        // as the max worker-local sum of simulated times.
+        let mut fresh: Vec<(usize, Vec<RefinedCluster>, ProbeStats)> = Vec::new();
+        for worker in per_worker {
+            let mut worker_secs = 0.0;
+            for (idx, rcs, st, elapsed) in worker {
+                worker_secs += elapsed;
+                fresh.push((idx, rcs, st));
+            }
+            makespan = makespan.max(worker_secs);
+        }
+        fresh.sort_unstable_by_key(|(idx, _, _)| *idx);
+        for (idx, rcs, st) in fresh {
+            stats.traceroutes += st.traceroutes;
+            stats.bw_probes += st.bw_probes;
+            stats.concurrent_experiments += st.concurrent_experiments;
+            refined[idx] = Some(rcs);
+        }
+
+        let mut flat: Vec<FlatCluster> = Vec::new();
+        for (job, slot) in jobs.into_iter().zip(refined) {
+            let rcs = match job.spliced {
+                Some(spliced) => spliced,
+                None => slot.expect("every fresh job was refined by a worker"),
+            };
+            for rc in rcs {
+                flat.push((job.gateways.clone(), job.routers.clone(), rc));
+            }
+        }
+        (flat, makespan)
+    }
 }
 
-/// Phase-1 lookup over all inputs.
+/// A refined net ready for assembly: the gateway/router chains it hangs
+/// under plus the refined cluster itself.
+type FlatCluster = (Vec<String>, Vec<String>, RefinedCluster);
+
+/// One worker's result for one cluster job: the job index, its refined
+/// nets, the probes it issued, and the simulated seconds it consumed.
+type RefineItem = (usize, Vec<RefinedCluster>, ProbeStats, f64);
+
+/// One structural cluster's refinement work order: the gateway/router
+/// chains it hangs under, the member hosts to probe, and — on the
+/// incremental path — a pre-answered result spliced from a previous run.
+struct ClusterJob {
+    gateways: Vec<String>,
+    routers: Vec<String>,
+    refs: Vec<RefHost>,
+    spliced: Option<Vec<RefinedCluster>>,
+}
+
+/// Turn the structural tree into an ordered list of refinement jobs.
+/// Pure planning — no probes are issued — so the serial and parallel
+/// executors consume the exact same job list in the exact same order.
+fn plan_clusters(
+    machines: &[MachineRecord],
+    master_rec: &MachineRecord,
+    structural: &StructNode,
+    mut reuse: impl FnMut(&[RefHost]) -> Option<Vec<RefinedCluster>>,
+) -> Vec<ClusterJob> {
+    let by_name: BTreeMap<&str, &MachineRecord> = machines
+        .iter()
+        .flat_map(|m| {
+            std::iter::once((m.name.as_str(), m))
+                .chain(m.aliases.iter().map(move |a| (a.as_str(), m)))
+        })
+        .collect();
+    let clusters = clusters_with_gateways(structural, |hop| by_name.contains_key(hop));
+
+    let mut jobs = Vec::with_capacity(clusters.len());
+    for (gateways, routers, cluster_hosts) in clusters {
+        let refs: Vec<RefHost> = cluster_hosts
+            .iter()
+            .filter(|h| {
+                // The master is part of the structural tree (Figure 2)
+                // but not of any refined cluster (Figure 1b).
+                by_name[h.as_str()].node != master_rec.node
+            })
+            .map(|h| RefHost { name: h.clone(), node: by_name[h.as_str()].node })
+            .collect();
+        if refs.is_empty() {
+            continue;
+        }
+        let spliced = reuse(&refs);
+        jobs.push(ClusterJob { gateways, routers, refs, spliced });
+    }
+    jobs
+}
+
+/// Phase-1 lookup over all inputs. Rather than failing on the first
+/// unknown host, every input is resolved and the failures are reported
+/// together — sorted and deduplicated, so the error message is a
+/// deterministic function of the input *set* regardless of list order.
 fn resolve_inputs(topo: &Topology, hosts: &[HostInput]) -> NetResult<Vec<MachineRecord>> {
     let mut machines = Vec::with_capacity(hosts.len());
+    let mut unresolved: Vec<&str> = Vec::new();
     for h in hosts {
-        machines.push(resolve_host(topo, &h.0)?);
+        match resolve_host(topo, &h.0) {
+            Ok(m) => machines.push(m),
+            Err(_) => unresolved.push(h.0.as_str()),
+        }
+    }
+    if !unresolved.is_empty() {
+        unresolved.sort_unstable();
+        unresolved.dedup();
+        return Err(NetError::NameNotFound(unresolved.join(", ")));
     }
     Ok(machines)
 }
@@ -460,6 +734,101 @@ fn trace_chain<M>(
     }
 }
 
+/// Fan traceroute chains out across `threads` workers, one shared-snapshot
+/// simulator per worker. Only the machines named by `indices` are traced
+/// (the incremental path passes just the dirty set). Traceroutes are pure
+/// path walks — they never advance the simulated clock — so per-worker
+/// engines and round-robin assignment yield chains bit-identical to the
+/// serial loop's, returned in machine-index order.
+#[allow(clippy::too_many_arguments)]
+fn trace_parallel(
+    topo: &Arc<Topology>,
+    routes: &Arc<RouteTable>,
+    machines: &[MachineRecord],
+    indices: &[usize],
+    external_node: Option<NodeId>,
+    master_node: NodeId,
+    threads: usize,
+    stats: &mut ProbeStats,
+) -> Vec<(usize, Vec<String>)> {
+    let threads = threads.max(1);
+    type TraceOut = (Vec<(usize, Vec<String>)>, ProbeStats);
+    let per_worker: Vec<TraceOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let topo = Arc::clone(topo);
+                let routes = Arc::clone(routes);
+                s.spawn(move || {
+                    let mut eng: Sim = Engine::from_snapshot(topo, routes);
+                    let mut st = ProbeStats::default();
+                    let mut out = Vec::new();
+                    let mut k = w;
+                    while k < indices.len() {
+                        let i = indices[k];
+                        out.push((
+                            i,
+                            trace_chain(
+                                &mut eng,
+                                &machines[i],
+                                external_node,
+                                master_node,
+                                &mut st,
+                            ),
+                        ));
+                        k += threads;
+                    }
+                    (out, st)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trace worker panicked")).collect()
+    });
+
+    let mut traced: Vec<(usize, Vec<String>)> = Vec::with_capacity(indices.len());
+    for (out, st) in per_worker {
+        stats.traceroutes += st.traceroutes;
+        traced.extend(out);
+    }
+    traced.sort_unstable_by_key(|&(i, _)| i);
+    traced
+}
+
+/// The incremental path's reuse rule, shared by [`EnvMapper::remap`] and
+/// [`EnvMapper::remap_parallel`]: a structural cluster is spliced from the
+/// previous view iff no member is dirty and its member set is exactly a
+/// union of previous refined clusters (each previous cluster fully inside
+/// it). Everything else re-refines from scratch.
+fn splice_decision(
+    refs: &[RefHost],
+    dirty_set: &BTreeSet<&str>,
+    prev_flat: &[FlatNet<'_>],
+    prev_net_of: &BTreeMap<&str, usize>,
+) -> Option<Vec<RefinedCluster>> {
+    if refs.iter().any(|h| dirty_set.contains(h.name.as_str())) {
+        return None;
+    }
+    let mut net_ids: Vec<usize> = Vec::new();
+    for h in refs {
+        match prev_net_of.get(h.name.as_str()) {
+            Some(&i) => {
+                if !net_ids.contains(&i) {
+                    net_ids.push(i);
+                }
+            }
+            None => return None, // previously unplaced
+        }
+    }
+    // Exact cover: every ref is in some previous cluster, and those
+    // clusters hold no host outside this one (sizes match because a
+    // view's clusters partition its hosts).
+    let total: usize = net_ids.iter().map(|&i| prev_flat[i].net.hosts.len()).sum();
+    if total != refs.len() {
+        return None;
+    }
+    net_ids.sort_unstable(); // pre-order, deterministic
+    Some(net_ids.iter().map(|&i| splice_cluster(prev_flat[i].net, refs)).collect())
+}
+
 /// Reconstruct a previous effective network as a refined cluster, so the
 /// incremental path can feed it through the same assembly as fresh
 /// refinements. Nodes are re-resolved from the current lookup; the
@@ -487,10 +856,11 @@ fn splice_cluster(net: &EnvNet, refs: &[RefHost]) -> RefinedCluster {
     }
 }
 
-/// Resolve one host input (name or bare IP) against the platform's DNS.
+/// Resolve one host input (name or bare IP) against the platform's
+/// interned name table (one hash lookup, covering interface names and
+/// extra aliases alike), falling back to a literal address.
 fn resolve_host(topo: &Topology, input: &str) -> NetResult<MachineRecord> {
-    // Try DNS first, then literal address.
-    let (node, ip) = match topo.node_by_name(input) {
+    let (node, ip) = match topo.names().resolve(input) {
         Some(n) => {
             let ip = topo
                 .node(n)

@@ -267,7 +267,7 @@ fn classify_component<M>(
                 if pairs.len() >= cap {
                     break 'outer;
                 }
-                if !(eng.topo().allows(a, b) && eng.routes().path(a, b).is_ok()) {
+                if !(eng.topo().allows(a, b) && eng.routes().path(eng.topo(), a, b).is_ok()) {
                     continue;
                 }
             }

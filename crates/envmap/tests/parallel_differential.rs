@@ -1,0 +1,185 @@
+//! Differential property suite for the parallel mapping engine: for all
+//! four synthetic families, `EnvMapper::map_parallel` at any thread count
+//! must produce an `EnvView` that agrees with the serial
+//! `EnvMapper::map` oracle on `EnvView::approx_eq`, and the parallel
+//! result itself must be **bit-identical** across thread counts (every
+//! cluster refines on a fresh worker simulator at t = 0, so neither
+//! scheduling nor thread count can reorder its probes — DESIGN.md §9).
+//! The remap analogue asserts the parallel incremental path splices
+//! identically to the serial one after random churn.
+
+use netsim::churn::{apply_churn, ChurnState};
+use netsim::synth::{synth, SynthFamily};
+use netsim::Sim;
+
+use envmap::{EnvConfig, EnvMapper, HostInput};
+use proptest::prelude::*;
+
+fn inputs(names: &[String]) -> Vec<HostInput> {
+    names.iter().map(|n| HostInput::new(n)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// map_parallel(threads ∈ {1,2,4,8}) == map_serial across families,
+    /// with the parallel views bit-identical to each other and the probe
+    /// bill identical to serial.
+    #[test]
+    fn map_parallel_matches_serial_oracle(
+        fam_idx in 0usize..4,
+        hosts in 40usize..90,
+        scenario_seed in 0u64..1000,
+        batched in proptest::bool::ANY,
+    ) {
+        let family = SynthFamily::ALL[fam_idx];
+        let sc = synth(family, scenario_seed, hosts);
+        let mut eng = Sim::new(sc.net.topo.clone());
+        let config = if batched { EnvConfig::fast_batched() } else { EnvConfig::fast() };
+        let mapper = EnvMapper::new(config);
+        let st = ChurnState::new(&sc, 0);
+        let master = st.master.clone();
+        let external = st.external.clone();
+        let hosts_in = inputs(st.hosts());
+
+        let serial = mapper
+            .map(&mut eng, &hosts_in, &master, external.as_deref())
+            .expect("serial map");
+
+        let mut first: Option<envmap::EnvRun> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let par = mapper
+                .map_parallel(&eng, &hosts_in, &master, external.as_deref(), threads)
+                .expect("parallel map");
+
+            // Against the serial oracle: same structure, measurements
+            // within float-noise tolerance (serial clusters share one
+            // advancing clock; parallel ones each start at t = 0).
+            prop_assert!(
+                par.view.approx_eq(&serial.view, 1e-9),
+                "{} threads={threads}: parallel diverged from serial\nparallel:\n{}\nserial:\n{}",
+                family.name(),
+                par.view.render(),
+                serial.view.render()
+            );
+            prop_assert_eq!(&par.structural, &serial.structural);
+
+            // Same probe bill as serial — parallelism reschedules the
+            // experiments, it must not add or drop any.
+            prop_assert_eq!(par.stats.traceroutes, serial.stats.traceroutes);
+            prop_assert_eq!(par.stats.bw_probes, serial.stats.bw_probes);
+            prop_assert_eq!(
+                par.stats.concurrent_experiments,
+                serial.stats.concurrent_experiments
+            );
+
+            // Across thread counts: bit-identical, stats and all (the
+            // modeled makespan depends on the assignment, which is
+            // deterministic per thread count, so only compare views).
+            match &first {
+                None => first = Some(par),
+                Some(base) => prop_assert_eq!(
+                    &base.view,
+                    &par.view,
+                    "{} threads={threads}: thread count changed the view",
+                    family.name()
+                ),
+            }
+        }
+    }
+
+    /// Parallel remap-after-churn splices identically to the serial remap:
+    /// same view (approx_eq vs the serial incremental run, bit-equal
+    /// across thread counts) and the same zero-cost reuse economics.
+    #[test]
+    fn remap_parallel_matches_serial_after_churn(
+        fam_idx in 0usize..4,
+        hosts in 40usize..90,
+        scenario_seed in 0u64..1000,
+        churn_seed in 0u64..1000,
+        events in 1usize..4,
+    ) {
+        let family = SynthFamily::ALL[fam_idx];
+        let sc = synth(family, scenario_seed, hosts);
+        let mut eng = Sim::new(sc.net.topo.clone());
+        let mapper = EnvMapper::new(EnvConfig::fast_batched());
+        let mut st = ChurnState::new(&sc, churn_seed);
+        let master = st.master.clone();
+        let external = st.external.clone();
+
+        let prev = mapper
+            .map(&mut eng, &inputs(st.hosts()), &master, external.as_deref())
+            .expect("initial map");
+
+        let evs = st.plan_epoch(events);
+        apply_churn(&mut eng, &evs).expect("churn applies");
+        let dirty = st.commit(&evs);
+        let current = inputs(st.hosts());
+
+        let serial = mapper
+            .remap(&mut eng, &prev, &current, &dirty, &master, external.as_deref())
+            .expect("serial remap");
+
+        let mut first: Option<envmap::EnvRun> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let par = mapper
+                .remap_parallel(
+                    &eng, &prev, &current, &dirty, &master, external.as_deref(), threads,
+                )
+                .expect("parallel remap");
+            prop_assert!(
+                par.view.approx_eq(&serial.view, 1e-9),
+                "{} threads={threads}: parallel remap diverged after {:?}\nparallel:\n{}\nserial:\n{}",
+                family.name(),
+                evs,
+                par.view.render(),
+                serial.view.render()
+            );
+            // Identical reuse decisions ⇒ identical probe bill.
+            prop_assert_eq!(par.stats.traceroutes, serial.stats.traceroutes);
+            prop_assert_eq!(par.stats.bw_probes, serial.stats.bw_probes);
+            prop_assert_eq!(
+                par.stats.concurrent_experiments,
+                serial.stats.concurrent_experiments
+            );
+            match &first {
+                None => first = Some(par),
+                Some(base) => prop_assert_eq!(
+                    &base.view,
+                    &par.view,
+                    "{} threads={threads}: thread count changed the remap view",
+                    family.name()
+                ),
+            }
+        }
+    }
+}
+
+/// A clean parallel remap over an unchanged platform is free and its view
+/// identical to the previous run's — the degenerate base case, pinned
+/// deterministically for every family.
+#[test]
+fn noop_remap_parallel_is_free_and_identical() {
+    for family in SynthFamily::ALL {
+        let sc = synth(family, 11, 60);
+        let mut eng = Sim::new(sc.net.topo.clone());
+        let mapper = EnvMapper::new(EnvConfig::fast_batched());
+        let st = ChurnState::new(&sc, 1);
+        let master = st.master.clone();
+        let prev =
+            mapper.map(&mut eng, &inputs(st.hosts()), &master, st.external.as_deref()).unwrap();
+        let again = mapper
+            .remap_parallel(
+                &eng,
+                &prev,
+                &inputs(st.hosts()),
+                &[],
+                &master,
+                st.external.as_deref(),
+                4,
+            )
+            .unwrap();
+        assert_eq!(prev.view, again.view, "{}", family.name());
+        assert_eq!(again.stats.total_experiments(), 0, "{}", family.name());
+    }
+}

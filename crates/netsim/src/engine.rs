@@ -16,6 +16,7 @@
 //! server) on this interface.
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -189,8 +190,12 @@ impl<M> PartialOrd for QEntry<M> {
 /// process callback can borrow the core mutably through [`Ctx`] while its
 /// own box is temporarily detached.
 pub struct Core<M> {
-    topo: Topology,
-    routes: RouteTable,
+    /// Shared snapshot of the platform. Workers mapping in parallel hold
+    /// clones of the same `Arc`s; mutation goes through copy-on-write
+    /// ([`Engine::topo_mut`]), so a worker's snapshot is never changed
+    /// under it.
+    topo: Arc<Topology>,
+    routes: Arc<RouteTable>,
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<QEntry<M>>,
@@ -361,12 +366,12 @@ impl<M> Core<M> {
         let mut fwd_secs = 0.0;
         let mut back_secs = 0.0;
         let walk = (|| -> NetResult<()> {
-            for (from, l) in self.routes.hops_rev(src, dst)? {
+            for (from, l) in self.routes.hops_rev(&self.topo, src, dst)? {
                 let link = self.topo.link(l);
                 fwd_secs += link.latency.as_secs();
                 res.push(self.fair.table().link_dir(l, link.a == from));
             }
-            for (_, l) in self.routes.hops_rev(dst, src)? {
+            for (_, l) in self.routes.hops_rev(&self.topo, dst, src)? {
                 back_secs += self.topo.link(l).latency.as_secs();
             }
             Ok(())
@@ -549,7 +554,7 @@ impl<'a, M> Ctx<'a, M> {
             let r_dup_delay = rng.next_f64();
             let mut eff = self.core.default_loss.unwrap_or(LossModel::NONE);
             if !self.core.link_loss.is_empty() {
-                if let Ok(hops) = self.core.routes.hops_rev(src, dst) {
+                if let Ok(hops) = self.core.routes.hops_rev(&self.core.topo, src, dst) {
                     for (_, l) in hops {
                         if let Some(lm) = self.core.link_loss.get(&l) {
                             eff = eff.and(lm);
@@ -628,6 +633,17 @@ impl<M> Engine<M> {
     /// here; call [`Engine::recompute_routes`] after link state changes.
     pub fn new(topo: Topology) -> Self {
         let routes = RouteTable::compute(&topo);
+        Self::from_snapshot(Arc::new(topo), Arc::new(routes))
+    }
+
+    /// Build an engine over an existing shared (topology, routes) snapshot
+    /// without recomputing anything heavy — the per-worker entry point of
+    /// the parallel mapper. Cost is O(links) (the allocator's resource
+    /// interner), versus the all-pairs route computation `new` performs.
+    /// The snapshot is immutable-by-contract: mutating through
+    /// [`Engine::topo_mut`] copies-on-write, so sibling engines sharing
+    /// the `Arc`s are unaffected.
+    pub fn from_snapshot(topo: Arc<Topology>, routes: Arc<RouteTable>) -> Self {
         let fair = FairEngine::new(&topo, FairnessModel::default());
         Engine {
             core: Core {
@@ -752,13 +768,21 @@ impl<M> Engine<M> {
     }
 
     /// Mutable topology access for failure injection; routes must be
-    /// recomputed afterwards.
+    /// recomputed afterwards. Copy-on-write: if the topology snapshot is
+    /// shared with other engines (parallel mapping workers), the first
+    /// mutation clones it — sharers keep the platform they started with.
     pub fn topo_mut(&mut self) -> &mut Topology {
-        &mut self.core.topo
+        Arc::make_mut(&mut self.core.topo)
+    }
+
+    /// The shared (topology, routes) snapshot — cheap `Arc` clones for
+    /// standing up per-worker engines via [`Engine::from_snapshot`].
+    pub fn snapshot(&self) -> (Arc<Topology>, Arc<RouteTable>) {
+        (Arc::clone(&self.core.topo), Arc::clone(&self.core.routes))
     }
 
     pub fn recompute_routes(&mut self) {
-        self.core.routes = RouteTable::compute(&self.core.topo);
+        self.core.routes = Arc::new(RouteTable::compute(&self.core.topo));
         // Capacity mutations through topo_mut() must reach the interned
         // tables too; like the old from-scratch allocator, they take
         // effect on the next reallocation. Structural growth (hosts and

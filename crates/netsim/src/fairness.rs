@@ -778,7 +778,7 @@ mod tests {
 
     impl Net {
         fn demand(&self, src: NodeId, dst: NodeId) -> FlowDemand {
-            let p = self.routes.path(src, dst).unwrap();
+            let p = self.routes.path(&self.topo, src, dst).unwrap();
             FlowDemand { resources: path_resources(&self.topo, &p), rate_cap: None }
         }
     }
@@ -986,7 +986,7 @@ mod tests {
         // ports; the 2 hub ports share the medium resource.
         assert_eq!(table.len(), 5);
         let routes = RouteTable::compute(&topo);
-        let path = routes.path(a, c).unwrap();
+        let path = routes.path(&topo, a, c).unwrap();
         let mut ids = Vec::new();
         table.intern_path(&topo, &path, &mut ids);
         let plain = path_resources(&topo, &path);
@@ -1009,7 +1009,7 @@ mod tests {
         let mut fe = FairEngine::new(&net.topo, FairnessModel::MaxMin);
         let table = ResourceTable::new(&net.topo);
         let mut ids = Vec::new();
-        let p = net.routes.path(h[0], h[1]).unwrap();
+        let p = net.routes.path(&net.topo, h[0], h[1]).unwrap();
         table.intern_path(&net.topo, &p, &mut ids);
         let k1 = fe.add_flow(&ids, None);
         let k2 = fe.add_flow(&ids, None);
@@ -1190,7 +1190,7 @@ mod tests {
                         if cap_pick > 0 {
                             demand.rate_cap = Some(mbps(cap_pick as f64 * rate / 8.0));
                         }
-                        let p = net.routes.path(hosts[s], hosts[d]).unwrap();
+                        let p = net.routes.path(&net.topo, hosts[s], hosts[d]).unwrap();
                         table.intern_path(&net.topo, &p, &mut ids);
                         let key = fe.add_flow(
                             &ids,
@@ -1235,7 +1235,7 @@ mod tests {
                         if a == b {
                             continue;
                         }
-                        let p = net.routes.path(a, b).unwrap();
+                        let p = net.routes.path(&net.topo, a, b).unwrap();
                         table.intern_path(&net.topo, &p, &mut ids);
                         let plain = path_resources(&net.topo, &p);
                         prop_assert_eq!(ids.len(), plain.len());

@@ -111,7 +111,7 @@ impl<M> Engine<M> {
         if !topo.allows(src, dst) {
             return Err(NetError::Firewalled { src, dst });
         }
-        let path = self.routes().path(src, dst)?;
+        let path = self.routes().path(self.topo(), src, dst)?;
         let mut hops = Vec::new();
         for (i, node_id) in path.nodes.iter().enumerate() {
             if i == 0 || i + 1 == path.nodes.len() {

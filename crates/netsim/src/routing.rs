@@ -97,63 +97,71 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Sentinel in the dense predecessor table: no predecessor (the source's
+/// own entry, or an unreachable node).
+const NONE: u32 = u32::MAX;
+
 /// All-sources shortest-path trees, precomputed at simulator start.
+///
+/// Storage is one flat `u32` per ordered node pair: the dense id of the
+/// last link on the best path `src → node` (`NONE` for the source itself
+/// and for unreachable nodes). The predecessor *node* is not stored — it is
+/// recovered as `link.peer(cur)`, which is why the walking accessors take
+/// the topology. At 12+ bytes per `Option<(NodeId, LinkId)>` plus a
+/// parallel `bool` matrix, the previous array-of-struct layout cost ~13×
+/// this; the flat table keeps the 10k-host tier in the hundreds of
+/// megabytes and lets per-source rows be computed on independent workers.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    /// `prev[src][node] = (previous node, link used)` on the best path
-    /// from `src` to `node`.
-    prev: Vec<Vec<Option<(NodeId, LinkId)>>>,
-    /// Whether `node` is reachable from `src` at all.
-    reach: Vec<Vec<bool>>,
+    n: usize,
+    /// `prev_link[src * n + node]` = dense link id, or `NONE`.
+    prev_link: Vec<u32>,
 }
 
 impl RouteTable {
     /// Run Dijkstra from every node. Weights are the links' directed
-    /// routing weights; intermediate nodes must be forwarders.
+    /// routing weights; intermediate nodes must be forwarders. Uses every
+    /// core the process is allowed (see
+    /// [`compute_with_threads`](Self::compute_with_threads)).
     pub fn compute(topo: &Topology) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self::compute_with_threads(topo, threads)
+    }
+
+    /// [`compute`](Self::compute) with an explicit worker count. Per-source
+    /// trees are independent, so the table is bit-identical for every
+    /// `threads` value — workers own disjoint row ranges of the flat table.
+    pub fn compute_with_threads(topo: &Topology, threads: usize) -> Self {
         let n = topo.node_count();
-        let mut prev = vec![vec![None; n]; n];
-        let mut reach = vec![vec![false; n]; n];
-
-        for src_idx in 0..n {
-            let src = NodeId(src_idx as u32);
-            let mut dist = vec![f64::INFINITY; n];
-            let mut heap = BinaryHeap::new();
-            dist[src_idx] = 0.0;
-            reach[src_idx][src_idx] = true;
-            heap.push(HeapEntry { dist: Dist(0.0), node: src });
-
-            while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-                if d.0 > dist[u.index()] {
-                    continue;
+        let mut prev_link = vec![NONE; n * n];
+        let threads = threads.clamp(1, n.max(1));
+        if n > 0 {
+            let rows_per = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (chunk_idx, rows) in prev_link.chunks_mut(rows_per * n).enumerate() {
+                    let first_src = chunk_idx * rows_per;
+                    s.spawn(move || {
+                        let mut dist = vec![f64::INFINITY; n];
+                        let mut heap = BinaryHeap::new();
+                        for (row_idx, row) in rows.chunks_mut(n).enumerate() {
+                            let src = NodeId((first_src + row_idx) as u32);
+                            dijkstra_row(topo, src, row, &mut dist, &mut heap);
+                        }
+                    });
                 }
-                // Traffic may only be relayed through forwarding nodes.
-                if u != src && !topo.node(u).forwards {
-                    continue;
-                }
-                for &(link_id, v) in topo.neighbours(u) {
-                    let link = topo.link(link_id);
-                    if !link.up {
-                        continue;
-                    }
-                    let w = link.weight_from(u);
-                    let nd = d.0 + w;
-                    if nd < dist[v.index()] {
-                        dist[v.index()] = nd;
-                        prev[src_idx][v.index()] = Some((u, link_id));
-                        reach[src_idx][v.index()] = true;
-                        heap.push(HeapEntry { dist: Dist(nd), node: v });
-                    }
-                }
-            }
+            });
         }
+        RouteTable { n, prev_link }
+    }
 
-        RouteTable { prev, reach }
+    #[inline]
+    fn entry(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.prev_link[src.index() * self.n + dst.index()]
     }
 
     /// Whether a physical route exists (ignores firewall rules).
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
-        self.reach[src.index()][dst.index()]
+        src == dst || self.entry(src, dst) != NONE
     }
 
     /// Walk the directed route from `src` to `dst` in reverse hop order
@@ -161,17 +169,27 @@ impl RouteTable {
     /// traversed link, starting at the destination. The engine's flow hot
     /// path extracts interned resource ids and latencies through this
     /// instead of materialising a [`Path`].
-    pub fn hops_rev(&self, src: NodeId, dst: NodeId) -> NetResult<HopsRev<'_>> {
+    pub fn hops_rev<'a>(
+        &'a self,
+        topo: &'a Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> NetResult<HopsRev<'a>> {
         if src != dst && !self.reachable(src, dst) {
             return Err(NetError::Unreachable { src, dst });
         }
-        Ok(HopsRev { prev: &self.prev[src.index()], src, cur: dst })
+        Ok(HopsRev {
+            topo,
+            row: &self.prev_link[src.index() * self.n..(src.index() + 1) * self.n],
+            src,
+            cur: dst,
+        })
     }
 
     /// One-way latency of the directed route, computed without allocating.
     pub fn latency(&self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Latency> {
         let mut secs = 0.0;
-        for (_, l) in self.hops_rev(src, dst)? {
+        for (_, l) in self.hops_rev(topo, src, dst)? {
             secs += topo.link(l).latency.as_secs();
         }
         Ok(Latency::secs(secs))
@@ -187,7 +205,7 @@ impl RouteTable {
     ) -> NetResult<(Latency, Bandwidth)> {
         let mut secs = 0.0;
         let mut min_cap: Option<Bandwidth> = None;
-        for (from, l) in self.hops_rev(src, dst)? {
+        for (from, l) in self.hops_rev(topo, src, dst)? {
             let link = topo.link(l);
             secs += link.latency.as_secs();
             let cap = link.capacity_from(from, topo.mediums_internal());
@@ -200,7 +218,7 @@ impl RouteTable {
     }
 
     /// The directed route from `src` to `dst`.
-    pub fn path(&self, src: NodeId, dst: NodeId) -> NetResult<Path> {
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Path> {
         if src == dst {
             return Ok(Path { nodes: vec![src], links: vec![] });
         }
@@ -209,13 +227,9 @@ impl RouteTable {
         }
         let mut nodes = vec![dst];
         let mut links = Vec::new();
-        let mut cur = dst;
-        while cur != src {
-            let (p, l) =
-                self.prev[src.index()][cur.index()].expect("reachable implies a predecessor chain");
+        for (p, l) in self.hops_rev(topo, src, dst)? {
             links.push(l);
             nodes.push(p);
-            cur = p;
         }
         nodes.reverse();
         links.reverse();
@@ -223,9 +237,48 @@ impl RouteTable {
     }
 }
 
+/// One source's Dijkstra tree, written into its flat row of the table.
+/// `dist` and `heap` are caller-owned scratch reused across rows.
+fn dijkstra_row(
+    topo: &Topology,
+    src: NodeId,
+    row: &mut [u32],
+    dist: &mut [f64],
+    heap: &mut BinaryHeap<HeapEntry>,
+) {
+    dist.fill(f64::INFINITY);
+    heap.clear();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: Dist(0.0), node: src });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d.0 > dist[u.index()] {
+            continue;
+        }
+        // Traffic may only be relayed through forwarding nodes.
+        if u != src && !topo.node(u).forwards {
+            continue;
+        }
+        for &(link_id, v) in topo.neighbours(u) {
+            let link = topo.link(link_id);
+            if !link.up {
+                continue;
+            }
+            let w = link.weight_from(u);
+            let nd = d.0 + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                row[v.index()] = link_id.raw();
+                heap.push(HeapEntry { dist: Dist(nd), node: v });
+            }
+        }
+    }
+}
+
 /// Allocation-free reverse walk of one route (see [`RouteTable::hops_rev`]).
 pub struct HopsRev<'a> {
-    prev: &'a [Option<(NodeId, LinkId)>],
+    topo: &'a Topology,
+    row: &'a [u32],
     src: NodeId,
     cur: NodeId,
 }
@@ -237,7 +290,10 @@ impl Iterator for HopsRev<'_> {
         if self.cur == self.src {
             return None;
         }
-        let (p, l) = self.prev[self.cur.index()].expect("reachable implies a predecessor chain");
+        let raw = self.row[self.cur.index()];
+        debug_assert!(raw != NONE, "reachable implies a predecessor chain");
+        let l = LinkId::from_raw(raw);
+        let p = self.topo.link(l).peer(self.cur).expect("route link touches its own node");
         self.cur = p;
         Some((p, l))
     }
@@ -269,7 +325,7 @@ mod tests {
     fn shortest_path_through_router() {
         let (t, a, r, c, _) = line();
         let rt = RouteTable::compute(&t);
-        let p = rt.path(a, c).unwrap();
+        let p = rt.path(&t, a, c).unwrap();
         assert_eq!(p.nodes, vec![a, r, c]);
         assert_eq!(p.hop_count(), 2);
         assert!((p.latency(&t).as_millis() - 3.0).abs() < 1e-9);
@@ -282,14 +338,14 @@ mod tests {
         let (t, a, _, _, d) = line();
         let rt = RouteTable::compute(&t);
         assert!(!rt.reachable(a, d));
-        assert!(matches!(rt.path(a, d), Err(NetError::Unreachable { .. })));
+        assert!(matches!(rt.path(&t, a, d), Err(NetError::Unreachable { .. })));
     }
 
     #[test]
     fn self_path_is_empty() {
         let (t, a, _, _, _) = line();
         let rt = RouteTable::compute(&t);
-        let p = rt.path(a, a).unwrap();
+        let p = rt.path(&t, a, a).unwrap();
         assert_eq!(p.nodes, vec![a]);
         assert!(p.links.is_empty());
         assert_eq!(p.bottleneck(&t), Bandwidth::ZERO);
@@ -317,7 +373,7 @@ mod tests {
         b.set_forwards(h, true);
         let t = b.build().unwrap();
         let rt = RouteTable::compute(&t);
-        let p = rt.path(a, c).unwrap();
+        let p = rt.path(&t, a, c).unwrap();
         assert_eq!(p.l3_hops(&t), vec![h]);
     }
 
@@ -341,8 +397,8 @@ mod tests {
         b.set_weights(l_r2_c, 50.0, 1.0);
         let t = b.build().unwrap();
         let rt = RouteTable::compute(&t);
-        let fwd = rt.path(a, c).unwrap();
-        let back = rt.path(c, a).unwrap();
+        let fwd = rt.path(&t, a, c).unwrap();
+        let back = rt.path(&t, c, a).unwrap();
         assert_eq!(fwd.l3_hops(&t), vec![r1]);
         assert_eq!(back.l3_hops(&t), vec![r2]);
         assert!((fwd.bottleneck(&t).as_mbps() - 10.0).abs() < 1e-9);
@@ -382,8 +438,8 @@ mod tests {
         b.link(a, r2, mbps(10.0), Latency::ZERO);
         b.link(r2, c, mbps(10.0), Latency::ZERO);
         let t = b.build().unwrap();
-        let p1 = RouteTable::compute(&t).path(a, c).unwrap();
-        let p2 = RouteTable::compute(&t).path(a, c).unwrap();
+        let p1 = RouteTable::compute(&t).path(&t, a, c).unwrap();
+        let p2 = RouteTable::compute(&t).path(&t, a, c).unwrap();
         assert_eq!(p1, p2);
     }
 }
@@ -426,7 +482,7 @@ mod properties {
             let c = hosts[j % hosts.len()];
             prop_assume!(a != c);
             let rt = RouteTable::compute(&topo);
-            let fwd = rt.path(a, c).unwrap();
+            let fwd = rt.path(&topo, a, c).unwrap();
 
             prop_assert_eq!(*fwd.nodes.first().unwrap(), a);
             prop_assert_eq!(*fwd.nodes.last().unwrap(), c);
@@ -446,7 +502,7 @@ mod properties {
             prop_assert_eq!(seen.len(), fwd.nodes.len());
 
             // Symmetric weights → same length both ways.
-            let back = rt.path(c, a).unwrap();
+            let back = rt.path(&topo, c, a).unwrap();
             prop_assert_eq!(back.hop_count(), fwd.hop_count());
 
             // Latency and bottleneck agree with manual recomputation.

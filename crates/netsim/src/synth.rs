@@ -165,9 +165,11 @@ pub fn synth_campus(seed: u64, hosts: usize) -> SynthScenario {
     b.link(backbone, border, Bandwidth::mbps(1000.0), Latency::micros(100.0));
 
     let sizes = group_sizes(&mut rng, hosts, 4, 10);
-    // LANs 0..248 live under 10/8 exactly as before; 249.. spill into 11/8
-    // (the 2000-host tier needs ~290 LANs).
-    assert!(sizes.len() < 500, "campus IP plan supports < 500 LANs");
+    // LANs 0..248 live under 10/8 exactly as before; each further block of
+    // 250 LANs spills into the next /8 (11/8, 12/8, …) — the 50k-host tier
+    // needs ~7.2k LANs, i.e. first octets up to ~39, far below the 192/198
+    // anchors the border and external target occupy.
+    assert!(sizes.len() < 45_000, "campus IP plan supports < 45k LANs");
     let mut all_hosts = Vec::new();
     let mut clusters = Vec::new();
     for (lan, &n) in sizes.iter().enumerate() {
@@ -220,13 +222,17 @@ pub fn synth_fat_tree(seed: u64, hosts: usize) -> SynthScenario {
     b.link(core, border, Bandwidth::mbps(1000.0), Latency::micros(100.0));
 
     // Pods of 8..=24 hosts, split internally over 100 Mbps edge switches.
+    // Pods 0..248 keep their historical `10.{p+1}` second octet; each
+    // further block of 250 pods spills into the next /8 (11/8, 12/8, …),
+    // so the second octet never reaches the core's 10.254 anchor.
     let pod_sizes = group_sizes(&mut rng, hosts, 8, 24);
-    assert!(pod_sizes.len() < 150, "fat-tree IP plan supports < 150 pods");
+    assert!(pod_sizes.len() < 45_000, "fat-tree IP plan supports < 45k pods");
     let rate = Bandwidth::mbps(100.0);
     let mut all_hosts = Vec::new();
     let mut clusters = Vec::new();
     for (p, &n) in pod_sizes.iter().enumerate() {
-        let pod_r = b.router(&format!("pod{p}.fat.synth"), &format!("10.{}.0.1", p + 1));
+        let (net8, oct) = (10 + (p + 1) / 250, (p + 1) % 250);
+        let pod_r = b.router(&format!("pod{p}.fat.synth"), &format!("{net8}.{oct}.0.1"));
         b.link(pod_r, core, Bandwidth::mbps(1000.0), Latency::micros(100.0));
         let edge_sizes = group_sizes(&mut rng, n, 4, 8);
         let mut members = Vec::new();
@@ -236,7 +242,7 @@ pub fn synth_fat_tree(seed: u64, hosts: usize) -> SynthScenario {
             for h in 0..en {
                 let host = b.host(
                     &format!("h{h}.e{e}.pod{p}.fat.synth"),
-                    &format!("10.{}.{}.{}", p + 1, e + 1, h + 2),
+                    &format!("{net8}.{oct}.{}.{}", e + 1, h + 2),
                 );
                 b.attach(host, sw);
                 members.push(host);
@@ -305,15 +311,20 @@ pub fn synth_grid(seed: u64, hosts: usize, firewalled: bool) -> SynthScenario {
         // Site 0 carries the mapped LANs; other sites a little scenery.
         let site_hosts = if s == 0 { hosts - SITES } else { 4 };
         let sizes = group_sizes(&mut rng, site_hosts, 4, 10);
-        // LANs 0..248 of a site keep their 172.{16+s} octet; 249.. spill
-        // into 172.{32+s} (only site 0 is ever big enough to need it).
-        assert!(sizes.len() < 500, "grid IP plan supports < 500 LANs per site");
+        // LANs 0..248 of a site keep their 172.{16+s} octet; each further
+        // block of 250 LANs steps the second octet by 16 (172.{32+s},
+        // 172.{48+s}, …, still disjoint across the <16 sites), and after
+        // 15 such blocks the *first* octet spills to 173, 174, … (only
+        // site 0 is ever big enough to need any of this; the 50k tier
+        // reaches o1 ≈ 175, far below the 192/198 anchors).
+        assert!(sizes.len() < 45_000, "grid IP plan supports < 45k LANs per site");
         let mut inner = Vec::new();
         for (lan, &n) in sizes.iter().enumerate() {
             let is_hub = rng.gen_range(0.0..1.0) < 0.5;
             let rate = Bandwidth::mbps([10.0, 100.0][rng.gen_range(0..2)]);
-            let (o2, o3) = (16 + s + 16 * ((lan + 1) / 250), (lan + 1) % 250);
-            let lr = b.router(&format!("r{lan}.site{s}.grid.synth"), &format!("172.{o2}.{o3}.1"));
+            let block = (lan + 1) / 250;
+            let (o1, o2, o3) = (172 + block / 15, 16 + s + 16 * (block % 15), (lan + 1) % 250);
+            let lr = b.router(&format!("r{lan}.site{s}.grid.synth"), &format!("{o1}.{o2}.{o3}.1"));
             b.link(lr, site_r, Bandwidth::mbps(1000.0), Latency::micros(100.0));
             let infra = if is_hub {
                 b.hub(&format!("s{s}lan{lan}"), rate, Latency::micros(50.0))
@@ -325,7 +336,7 @@ pub fn synth_grid(seed: u64, hosts: usize, firewalled: bool) -> SynthScenario {
             for h in 0..n {
                 let host = b.host(
                     &format!("h{h}.lan{lan}.site{s}.grid.synth"),
-                    &format!("172.{o2}.{o3}.{}", h + 2),
+                    &format!("{o1}.{o2}.{o3}.{}", h + 2),
                 );
                 b.attach(host, infra);
                 members.push(host);
@@ -404,8 +415,10 @@ pub fn synth_wan(seed: u64, hosts: usize) -> SynthScenario {
 
     // Sites of 3..=16 hosts (one or two LANs each), spread over the cores.
     let site_sizes = group_sizes(&mut rng, hosts, 3, 16);
-    // Cores live in 172.20/16, so sites own the whole 10.1–10.253 range.
-    assert!(site_sizes.len() < 253, "wan IP plan supports < 253 sites");
+    // Cores live in 172.20/16; sites 0..248 own the historical 10.1–10.249
+    // range and each further block of 250 sites spills into the next /8
+    // (11/8, 12/8, … — the 50k tier reaches ~77, below the anchors).
+    assert!(site_sizes.len() < 45_000, "wan IP plan supports < 45k sites");
     let n_cores = site_sizes.len().div_ceil(20).min(6);
     let mut cores = Vec::new();
     let mut prev = border;
@@ -423,7 +436,8 @@ pub fn synth_wan(seed: u64, hosts: usize) -> SynthScenario {
     let mut all_hosts = Vec::new();
     let mut clusters = Vec::new();
     for (s, &n) in site_sizes.iter().enumerate() {
-        let bb = b.router(&format!("bb{s}.wan.synth"), &format!("10.{}.0.254", s + 1));
+        let (net8, oct) = (10 + (s + 1) / 250, (s + 1) % 250);
+        let bb = b.router(&format!("bb{s}.wan.synth"), &format!("{net8}.{oct}.0.254"));
         // Site uplinks are asymmetric too (ADSL-like tails).
         let down = Bandwidth::mbps([34.0, 100.0, 155.0][rng.gen_range(0..3)]);
         let up = Bandwidth::mbps([100.0, 155.0, 622.0][rng.gen_range(0..3)]);
@@ -434,7 +448,7 @@ pub fn synth_wan(seed: u64, hosts: usize) -> SynthScenario {
             let is_hub = rng.gen_range(0.0..1.0) < 0.5;
             let rate = Bandwidth::mbps([10.0, 100.0][rng.gen_range(0..2)]);
             let gw =
-                b.router(&format!("gw{l}.site{s}.wan.synth"), &format!("10.{}.{}.1", s + 1, l + 1));
+                b.router(&format!("gw{l}.site{s}.wan.synth"), &format!("{net8}.{oct}.{}.1", l + 1));
             b.link(gw, bb, Bandwidth::mbps(1000.0), Latency::micros(100.0));
             let infra = if is_hub {
                 b.hub(&format!("w{s}lan{l}"), rate, Latency::micros(50.0))
@@ -446,7 +460,7 @@ pub fn synth_wan(seed: u64, hosts: usize) -> SynthScenario {
             for h in 0..ln {
                 let host = b.host(
                     &format!("h{h}.lan{l}.site{s}.wan.synth"),
-                    &format!("10.{}.{}.{}", s + 1, l + 1, h + 2),
+                    &format!("{net8}.{oct}.{}.{}", l + 1, h + 2),
                 );
                 b.attach(host, infra);
                 members.push(host);
@@ -494,6 +508,17 @@ mod tests {
                 mapped.sort_unstable();
                 assert_eq!(covered, mapped, "{} truth must partition the host set", family.name());
             }
+        }
+    }
+
+    /// The 10k tier's IP plans build for every family: the first-octet
+    /// spill keeps thousands of LANs/pods/sites collision-free
+    /// (`Topology::build` rejects duplicate addresses).
+    #[test]
+    fn families_build_at_ten_thousand_hosts() {
+        for family in SynthFamily::ALL {
+            let sc = synth(family, 2004, 10_000);
+            assert_eq!(sc.net.hosts.len(), 10_000, "{}", family.name());
         }
     }
 

@@ -54,6 +54,17 @@ impl LinkId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct from a raw index — only meaningful for ids belonging to a
+    /// [`Topology`]; used by the dense route table, which stores routes as
+    /// flat `u32` link ids.
+    pub fn from_raw(raw: u32) -> Self {
+        LinkId(raw)
+    }
+
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl MediumId {
@@ -202,25 +213,108 @@ pub struct Medium {
     pub label: String,
 }
 
+/// Dense id of an interned DNS-visible name (interface names and extra
+/// aliases) within a [`NameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The interned name table: every name a lookup can resolve — interface
+/// FQDNs *and* extra DNS aliases — is interned once at build into a dense
+/// [`NameId`], with the owning node in a flat array. Consumers that resolve
+/// the same names repeatedly (the mapper's input resolution, plan
+/// validation) can intern once and then work entirely on dense ids; one
+/// hash lookup per *distinct* string instead of one per call.
+#[derive(Debug, Clone, Default)]
+pub struct NameTable {
+    lookup: HashMap<String, NameId>,
+    names: Vec<String>,
+    owner: Vec<NodeId>,
+}
+
+impl NameTable {
+    fn with_capacity(n: usize) -> Self {
+        NameTable {
+            lookup: HashMap::with_capacity(n),
+            names: Vec::with_capacity(n),
+            owner: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `name` as owned by `node`. First registration wins, so ties
+    /// resolve to the lowest node id — the order the builder walks nodes.
+    fn insert(&mut self, name: &str, node: NodeId) {
+        if !self.lookup.contains_key(name) {
+            let id = NameId(self.names.len() as u32);
+            self.lookup.insert(name.to_string(), id);
+            self.names.push(name.to_string());
+            self.owner.push(node);
+        }
+    }
+
+    /// The dense id of a name, if it is registered.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The node owning an interned name.
+    pub fn owner(&self, id: NameId) -> NodeId {
+        self.owner[id.index()]
+    }
+
+    /// The interned string of a dense id.
+    pub fn name(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// One-shot resolution (`get` + `owner`).
+    pub fn resolve(&self, name: &str) -> Option<NodeId> {
+        self.get(name).map(|id| self.owner(id))
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// An immutable, validated network topology.
+///
+/// Hot-path storage is structure-of-arrays keyed by the dense ids:
+/// adjacency is one flat CSR array, addresses live in one sorted flat
+/// table, and names are interned into a [`NameTable`] — so a worker-shared
+/// snapshot is three contiguous allocations plus the node/link vectors,
+/// not a heap-fragmented map-of-maps.
 #[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     mediums: Vec<Medium>,
-    /// Per-node list of (link, neighbour).
-    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    /// CSR adjacency: node `n`'s (link, neighbour) pairs are
+    /// `adj[adj_off[n] .. adj_off[n + 1]]`.
+    adj_off: Vec<u32>,
+    adj: Vec<(LinkId, NodeId)>,
     dns: Dns,
     firewall: Firewall,
-    /// Interface DNS name → owning node, built at [`TopologyBuilder::build`].
-    /// The capacity-only mutators ([`Topology::link_mut`],
-    /// [`Topology::medium_mut`], [`Topology::set_link_up`]) never touch
-    /// names or addresses, and the structural mutators
-    /// ([`Topology::add_host_like`], [`Topology::isolate_node`]) maintain
-    /// the indexes themselves — so they never go stale.
-    name_index: HashMap<String, NodeId>,
-    /// Interface address → owning node (addresses are unique, enforced at build).
-    ip_index: HashMap<Ipv4, NodeId>,
+    /// Interned DNS-visible names (interface names and extra aliases) →
+    /// owning node, built at [`TopologyBuilder::build`]. The capacity-only
+    /// mutators ([`Topology::link_mut`], [`Topology::medium_mut`],
+    /// [`Topology::set_link_up`]) never touch names or addresses, and the
+    /// structural mutators ([`Topology::add_host_like`],
+    /// [`Topology::isolate_node`]) maintain the indexes themselves — so
+    /// they never go stale.
+    names: NameTable,
+    /// Interface address → owning node, sorted by address for binary
+    /// search (addresses are unique, enforced at build).
+    ip_table: Vec<(Ipv4, NodeId)>,
 }
 
 impl Topology {
@@ -272,7 +366,8 @@ impl Topology {
     }
 
     pub fn neighbours(&self, n: NodeId) -> &[(LinkId, NodeId)] {
-        &self.adjacency[n.index()]
+        let i = n.index();
+        &self.adj[self.adj_off[i] as usize..self.adj_off[i + 1] as usize]
     }
 
     pub fn dns(&self) -> &Dns {
@@ -288,18 +383,26 @@ impl Topology {
         self.nodes.iter().find(|n| n.label == label).map(|n| n.id)
     }
 
-    /// Find the node owning an interface with the given DNS name — O(1)
-    /// via the index built at construction (ties, if a name were ever
-    /// duplicated, resolve to the lowest node id, as the old linear scan
-    /// did).
+    /// Find the node owning an interface with the given DNS name — one
+    /// interner lookup (ties, if a name were ever duplicated, resolve to
+    /// the lowest node id, as the old linear scan did). Extra DNS aliases
+    /// resolve here too, since build interns them alongside interface
+    /// names.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.name_index.get(name).copied()
+        self.names.resolve(name)
     }
 
-    /// Find the node owning an interface with the given address — O(1)
-    /// (addresses are unique; duplicates are rejected at build).
+    /// The interned name table — callers that resolve many names (input
+    /// resolution, validation) should intern once and keep [`NameId`]s.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// Find the node owning an interface with the given address — binary
+    /// search in the flat sorted address table (addresses are unique;
+    /// duplicates are rejected at build).
     pub fn node_by_ip(&self, ip: Ipv4) -> Option<NodeId> {
-        self.ip_index.get(&ip).copied()
+        self.ip_table.binary_search_by_key(&ip, |&(i, _)| i).ok().map(|i| self.ip_table[i].1)
     }
 
     /// The interface of node `n` bound to link `l` (used by traceroute to
@@ -361,16 +464,21 @@ impl Topology {
     /// to the same hub/switch. This is how churn joins a host to an
     /// existing LAN without re-running the builder.
     pub fn add_host_like(&mut self, fqdn: &str, ip: Ipv4, sibling: NodeId) -> NetResult<NodeId> {
-        if self.name_index.contains_key(fqdn) {
+        if self.names.get(fqdn).is_some() {
             return Err(NetError::InvalidTopology(format!("name {fqdn} already in use")));
         }
-        if self.ip_index.contains_key(&ip) {
+        if self.node_by_ip(ip).is_some() {
             return Err(NetError::InvalidTopology(format!("address {ip} already in use")));
         }
+        if sibling.index() >= self.nodes.len() {
+            return Err(NetError::InvalidTopology(format!(
+                "sibling {sibling} has no live link to clone"
+            )));
+        }
         let &(sib_link, infra) = self
-            .adjacency
-            .get(sibling.index())
-            .and_then(|adj| adj.iter().find(|(l, _)| self.links[l.index()].up))
+            .neighbours(sibling)
+            .iter()
+            .find(|(l, _)| self.links[l.index()].up)
             .ok_or_else(|| {
                 NetError::InvalidTopology(format!("sibling {sibling} has no live link to clone"))
             })?;
@@ -411,11 +519,21 @@ impl Topology {
             weight_ba: 1.0,
             up: true,
         });
-        self.adjacency.push(vec![(lid, infra)]);
-        self.adjacency[infra.index()].push((lid, id));
+        // Splice the new entries into the flat CSR arrays: the new host's
+        // single entry appends at the end; the infra side's entry is
+        // inserted at the end of its existing range, shifting later ranges.
+        // O(E) per growth — churn joins are rare next to route queries.
+        let infra_end = self.adj_off[infra.index() + 1] as usize;
+        self.adj.insert(infra_end, (lid, id));
+        for off in &mut self.adj_off[infra.index() + 1..] {
+            *off += 1;
+        }
+        self.adj_off.push(self.adj.len() as u32 + 1);
+        self.adj.push((lid, infra));
         self.dns.register(fqdn, ip);
-        self.name_index.insert(fqdn.to_string(), id);
-        self.ip_index.insert(ip, id);
+        self.names.insert(fqdn, id);
+        let pos = self.ip_table.binary_search_by_key(&ip, |&(i, _)| i).unwrap_err();
+        self.ip_table.insert(pos, (ip, id));
         Ok(id)
     }
 
@@ -424,7 +542,7 @@ impl Topology {
     /// and its DNS entries remain: lookups still resolve, but nothing
     /// routes to it after `Engine::recompute_routes`.
     pub fn isolate_node(&mut self, n: NodeId) {
-        let links: Vec<LinkId> = self.adjacency[n.index()].iter().map(|(l, _)| *l).collect();
+        let links: Vec<LinkId> = self.neighbours(n).iter().map(|(l, _)| *l).collect();
         for l in links {
             self.links[l.index()].up = false;
         }
@@ -780,23 +898,46 @@ impl TopologyBuilder {
             }
         }
 
-        // Duplicate addresses are a construction bug.
-        let mut seen = HashMap::new();
+        // The flat sorted address table doubles as the duplicate-address
+        // check (duplicates are a construction bug): collect every
+        // interface once, sort, and scan adjacent entries. Pre-sized from
+        // the interface count — at 50k hosts the old grow-by-rehash maps
+        // spent more time rehashing than inserting.
+        let iface_count: usize = nodes.iter().map(|n| n.ifaces.len()).sum();
+        let mut ip_table: Vec<(Ipv4, NodeId)> = Vec::with_capacity(iface_count);
         for n in &nodes {
             for i in &n.ifaces {
-                if let Some(prev) = seen.insert(i.ip, n.label.clone()) {
-                    return Err(NetError::InvalidTopology(format!(
-                        "address {} assigned to both {} and {}",
-                        i.ip, prev, n.label
-                    )));
-                }
+                ip_table.push((i.ip, n.id));
+            }
+        }
+        ip_table.sort_unstable_by_key(|&(ip, _)| ip);
+        for w in ip_table.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(NetError::InvalidTopology(format!(
+                    "address {} assigned to both {} and {}",
+                    w[0].0,
+                    nodes[w[0].1.index()].label,
+                    nodes[w[1].1.index()].label
+                )));
             }
         }
 
-        let mut adjacency = vec![Vec::new(); nodes.len()];
+        // CSR adjacency: count-then-fill into one flat array.
+        let mut adj_off = vec![0u32; nodes.len() + 1];
         for l in &links {
-            adjacency[l.a.index()].push((l.id, l.b));
-            adjacency[l.b.index()].push((l.id, l.a));
+            adj_off[l.a.index() + 1] += 1;
+            adj_off[l.b.index() + 1] += 1;
+        }
+        for i in 1..adj_off.len() {
+            adj_off[i] += adj_off[i - 1];
+        }
+        let mut adj = vec![(LinkId(0), NodeId(0)); 2 * links.len()];
+        let mut cursor = adj_off.clone();
+        for l in &links {
+            adj[cursor[l.a.index()] as usize] = (l.id, l.b);
+            cursor[l.a.index()] += 1;
+            adj[cursor[l.b.index()] as usize] = (l.id, l.a);
+            cursor[l.b.index()] += 1;
         }
 
         let mut dns = Dns::new();
@@ -823,22 +964,29 @@ impl TopologyBuilder {
             dns.add_alias(alias, canonical);
         }
 
-        // Name / address indexes: `node_by_name` and `node_by_ip` used to
-        // scan every node × interface per call, which made every consumer
-        // that resolves host names per pair (plan validation, the
-        // structural phase) quadratic for no reason.
-        let mut name_index = HashMap::new();
-        let mut ip_index = HashMap::new();
+        // The interned name table: `node_by_name` used to scan every node
+        // × interface per call, which made every consumer that resolves
+        // host names per pair (plan validation, the structural phase)
+        // quadratic for no reason. Interface names are interned first
+        // (lowest node id wins), then extra aliases resolve through DNS to
+        // their owning node so alias lookups hit the same table.
+        let mut names = NameTable::with_capacity(iface_count + extra_aliases.len());
         for n in &nodes {
             for i in &n.ifaces {
                 if let Some(name) = &i.name {
-                    name_index.entry(name.clone()).or_insert(n.id);
+                    names.insert(name, n.id);
                 }
-                ip_index.insert(i.ip, n.id);
             }
         }
+        for (alias, _) in &extra_aliases {
+            let ip = dns.lookup(alias).expect("alias registered above");
+            let pos = ip_table
+                .binary_search_by_key(&ip, |&(i, _)| i)
+                .expect("alias canonical resolves to a built interface");
+            names.insert(alias, ip_table[pos].1);
+        }
 
-        Ok(Topology { nodes, links, mediums, adjacency, dns, firewall, name_index, ip_index })
+        Ok(Topology { nodes, links, mediums, adj_off, adj, dns, firewall, names, ip_table })
     }
 }
 

@@ -84,7 +84,7 @@ fn steady_state_reallocate_does_not_allocate() {
     let mut ids = Vec::new();
     let mut keys = Vec::new();
     for i in 0..128usize {
-        let p = routes.path(hosts[i % 32], hosts[(i + 7) % 32]).unwrap();
+        let p = routes.path(&topo, hosts[i % 32], hosts[(i + 7) % 32]).unwrap();
         table.intern_path(&topo, &p, &mut ids);
         let cap = (i % 5 == 0).then_some(2_000_000.0);
         keys.push(fe.add_flow(&ids, cap));
@@ -105,7 +105,7 @@ fn steady_state_reallocate_does_not_allocate() {
 
     // Churn (remove + re-add) must also be allocation-free: freed slots
     // keep their resource vectors and the live list shrinks in place.
-    let p = routes.path(hosts[3], hosts[19]).unwrap();
+    let p = routes.path(&topo, hosts[3], hosts[19]).unwrap();
     table.intern_path(&topo, &p, &mut ids);
     let n_keys = keys.len();
     // One warm-up round so the freelist vector exists (its first push is a
