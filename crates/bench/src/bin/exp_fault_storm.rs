@@ -254,7 +254,7 @@ fn median_recovery(crashes: &[(String, f64)], series: &[(SeriesKey, Vec<(f64, f6
     if recoveries.is_empty() {
         return 0.0;
     }
-    recoveries.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    recoveries.sort_by(f64::total_cmp);
     recoveries[recoveries.len() / 2]
 }
 
@@ -272,7 +272,7 @@ fn debug_gaps(series: &[(SeriesKey, Vec<(f64, f64)>)]) {
         let lost: f64 = pts.windows(2).map(|w| (w[1].0 - w[0].0 - allowed).max(0.0)).sum();
         worst.push((format!("{k}"), lost / span, maxgap, cadence));
     }
-    worst.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    worst.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (k, lostfrac, maxgap, cadence) in worst.iter().take(12) {
         println!("    GAP {k}: lost {lostfrac:.3}, maxgap {maxgap:.1}s, cadence {cadence:.1}s");
     }

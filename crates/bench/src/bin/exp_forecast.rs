@@ -99,7 +99,7 @@ fn main() {
         battery.observe(load.sample());
     }
     let mut table = battery.error_table();
-    table.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    table.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut t = Table::new(&["predictor", "MSE", "MAE"]);
     for (name, mse, mae) in table {
         t.row(vec![name, format!("{mse:.5}"), format!("{mae:.4}")]);

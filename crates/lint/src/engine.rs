@@ -1,0 +1,166 @@
+//! Workspace walking, crate scoping and reporting: the glue that turns
+//! the lexer + rule catalog + waivers into a CI gate.
+
+use crate::lexer;
+use crate::rules::{self, Finding, Rule, Scope};
+use crate::waiver::{self, Waiver};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything the lint pass produced for one file.
+pub struct FileReport {
+    /// Path relative to the workspace root (display form, `/`-separated).
+    pub path: String,
+    /// Findings that survived waivers — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Findings covered by a waiver, with the waiver's reason.
+    pub waived: Vec<(Finding, String)>,
+    /// Every waiver directive in the file (the audit list).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Determine which rules apply to a file from where it lives.
+///
+/// * `crates/{netsim,envmap,core,nws}` — determinism-critical output path:
+///   all rules including D2 (hash iteration) and D1 (wall clock).
+/// * `crates/gridml` and the root façade (`src/`, `tests/`, `examples/`) —
+///   simulation/model code: D1 applies, D2 does not.
+/// * `crates/bench`, `crates/shims`, `crates/lint` — harness code that
+///   measures wall time by design: D1/D2 off, D3–D6 still on.
+pub fn scope_for(rel: &Path) -> Scope {
+    let mut comps = rel.components().filter_map(|c| c.as_os_str().to_str());
+    match comps.next() {
+        Some("crates") => match comps.next() {
+            Some("netsim") | Some("envmap") | Some("core") | Some("nws") => {
+                Scope { sim: true, det: true }
+            }
+            Some("gridml") => Scope { sim: true, det: false },
+            _ => Scope { sim: false, det: false },
+        },
+        Some("src") | Some("tests") | Some("examples") => Scope { sim: true, det: true },
+        _ => Scope { sim: false, det: false },
+    }
+}
+
+/// Lint one file's source under the given scope. `path_label` is only
+/// used for the report.
+pub fn lint_source(path_label: &str, src: &str, scope: Scope) -> FileReport {
+    let lx = lexer::lex(src);
+    let raw = rules::run_rules(&lx, scope);
+    let parsed = waiver::parse_waivers(&lx);
+    let mut problems = parsed.problems;
+    let (unwaived, waived) = waiver::apply_waivers(raw, &parsed.waivers, &mut problems);
+    let mut findings = unwaived;
+    findings.extend(problems);
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    FileReport { path: path_label.to_string(), findings, waived, waivers: parsed.waivers }
+}
+
+/// Collect every workspace `.rs` file under `root`, sorted for
+/// deterministic report order. Skips build output (`target/`), VCS
+/// internals and the lint engine's own fixture corpus (`fixtures/`
+/// directories hold intentional violations as test data).
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> =
+            fs::read_dir(&dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().collect();
+        entries.sort_by_key(|e| e.file_name());
+        for e in entries {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            let path = e.path();
+            let ft = e.file_type()?;
+            if ft.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if ft.is_file() && name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every `.rs` file in the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<FileReport>> {
+    let mut reports = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let label =
+            rel.components().filter_map(|c| c.as_os_str().to_str()).collect::<Vec<_>>().join("/");
+        let src = fs::read_to_string(&path)?;
+        reports.push(lint_source(&label, &src, scope_for(rel)));
+    }
+    Ok(reports)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Totals across a workspace report set.
+pub struct Summary {
+    pub files: usize,
+    pub unwaived: usize,
+    pub waived: usize,
+    pub waivers: usize,
+}
+
+pub fn summarize(reports: &[FileReport]) -> Summary {
+    Summary {
+        files: reports.len(),
+        unwaived: reports.iter().map(|r| r.findings.len()).sum(),
+        waived: reports.iter().map(|r| r.waived.len()).sum(),
+        waivers: reports.iter().map(|r| r.waivers.len()).sum(),
+    }
+}
+
+/// Render unwaived findings in `path:line:col: RULE: msg` form.
+pub fn render_findings(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        for f in &r.findings {
+            out.push_str(&format!("{}:{}:{}: {}: {}\n", r.path, f.line, f.col, f.rule, f.msg));
+        }
+    }
+    out
+}
+
+/// Render the waiver audit list (`nws-lint --waivers`).
+pub fn render_waivers(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        for w in &r.waivers {
+            let rules = w.rules.iter().map(|x| x.id()).collect::<Vec<_>>().join(", ");
+            let kind = if w.file_level { " [file]" } else { "" };
+            out.push_str(&format!("{}:{}: {}{} — {}\n", r.path, w.line, rules, kind, w.reason));
+        }
+    }
+    out
+}
+
+/// Render the rule catalog (`nws-lint --rules`).
+pub fn render_catalog() -> String {
+    let mut out = String::new();
+    for r in Rule::CATALOG {
+        out.push_str(&format!("{}: {}\n", r.id(), r.invariant()));
+    }
+    out
+}

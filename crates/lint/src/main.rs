@@ -1,0 +1,76 @@
+//! `nws-lint` binary: lint the workspace, print findings, gate CI.
+//!
+//! ```text
+//! nws-lint [ROOT]       lint the workspace at ROOT (default: walk up from .)
+//! nws-lint --waivers    print the waiver audit list and exit 0
+//! nws-lint --rules      print the rule catalog and exit 0
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut list_waivers = false;
+    let mut list_rules = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--waivers" => list_waivers = true,
+            "--rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!(
+                    "nws-lint — workspace determinism & invariant lints\n\n\
+                     usage: nws-lint [--waivers | --rules] [ROOT]\n\n{}",
+                    nws_lint::engine::render_catalog()
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("nws-lint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+
+    if list_rules {
+        print!("{}", nws_lint::engine::render_catalog());
+        return ExitCode::SUCCESS;
+    }
+
+    let start =
+        root_arg.or_else(|| std::env::current_dir().ok()).unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = nws_lint::find_workspace_root(&start) else {
+        eprintln!("nws-lint: no workspace Cargo.toml found above {}", start.display());
+        return ExitCode::from(2);
+    };
+
+    let reports = match nws_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nws-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let s = nws_lint::engine::summarize(&reports);
+
+    if list_waivers {
+        print!("{}", nws_lint::engine::render_waivers(&reports));
+        println!("nws-lint: {} waiver(s) across {} files", s.waivers, s.files);
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", nws_lint::engine::render_findings(&reports));
+    println!(
+        "nws-lint: {} unwaived finding(s), {} waived, {} files checked",
+        s.unwaived, s.waived, s.files
+    );
+    if s.unwaived > 0 {
+        println!("nws-lint: run with --rules for the catalog, --waivers for the audit list");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

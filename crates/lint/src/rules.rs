@@ -1,0 +1,471 @@
+//! The rule catalog: the determinism and invariant contract the workspace
+//! established by convention over PRs 1–7, made machine-checkable.
+//!
+//! Every rule is a pattern over the token stream of one file (see
+//! [`crate::lexer`]), scoped by where the file lives (see
+//! [`Scope`]/[`crate::engine::scope_for`]). Rules are heuristic by design:
+//! they resolve names lexically within a file, not through the type
+//! system, so they can miss cross-file aliases — but they can never fire
+//! on strings or comments, and every firing points at a concrete token.
+//! False positives are handled by the waiver mechanism
+//! ([`crate::waiver`]), which requires a written justification.
+
+use crate::lexer::{Lexed, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Rule identifiers. D-rules are the determinism catalog; W-rules are
+/// meta-findings about the waivers themselves and cannot be waived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No wall-clock reads in simulation crates — sim time only.
+    D1,
+    /// No order-dependent iteration over `HashMap`/`HashSet` in
+    /// determinism-critical crates.
+    D2,
+    /// No float comparators built on `partial_cmp` where `total_cmp` is
+    /// mandated (sort/min/max/binary-search call sites).
+    D3,
+    /// No bare `thread::spawn` — `std::thread::scope` only.
+    D4,
+    /// No entropy-seeded RNG — every generator traces to an explicit seed.
+    D5,
+    /// Every `unsafe` requires an adjacent `// SAFETY:` justification.
+    D6,
+    /// A waiver is missing its reason string.
+    W1,
+    /// A waiver names an unknown rule id.
+    W2,
+    /// A waiver matched no finding (stale waiver).
+    W3,
+}
+
+impl Rule {
+    /// The waivable determinism rules, in catalog order.
+    pub const CATALOG: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::D6 => "D6",
+            Rule::W1 => "W1",
+            Rule::W2 => "W2",
+            Rule::W3 => "W3",
+        }
+    }
+
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
+            "D6" => Some(Rule::D6),
+            _ => None,
+        }
+    }
+
+    /// One-line statement of the invariant the rule protects.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "wall-clock reads (Instant::now / SystemTime::now) break replayability; \
+                         simulation crates use sim time only"
+            }
+            Rule::D2 => {
+                "HashMap/HashSet iteration order is seeded per-process; any output \
+                         derived from it breaks same-seed bit-identity"
+            }
+            Rule::D3 => {
+                "partial_cmp comparators panic or misorder on NaN; float orderings \
+                         must use total_cmp"
+            }
+            Rule::D4 => {
+                "bare thread::spawn detaches from the determinism harness; \
+                         std::thread::scope only"
+            }
+            Rule::D5 => {
+                "entropy-seeded RNGs make runs unreproducible; every generator must \
+                         trace to an explicit seed"
+            }
+            Rule::D6 => "unsafe blocks require an adjacent // SAFETY: justification",
+            Rule::W1 => "every waiver must carry a written reason",
+            Rule::W2 => "waivers must name known rules",
+            Rule::W3 => "waivers that no longer match a finding must be removed",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Where a file lives determines which rules apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    /// Simulation/model code: D1 (wall clock) applies.
+    pub sim: bool,
+    /// Determinism-critical output path (netsim/envmap/core/nws): D2
+    /// (hash iteration) applies.
+    pub det: bool,
+}
+
+impl Scope {
+    /// Everything on: the strictest scope (used for fixtures).
+    pub fn strict() -> Scope {
+        Scope { sim: true, det: true }
+    }
+
+    fn applies(self, r: Rule) -> bool {
+        match r {
+            Rule::D1 => self.sim,
+            Rule::D2 => self.det,
+            _ => true,
+        }
+    }
+}
+
+/// One rule firing, pre-waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub line: u32,
+    pub col: u32,
+    pub msg: String,
+    /// The offending token's source text.
+    pub snippet: String,
+}
+
+/// Run every applicable catalog rule over one lexed file.
+pub fn run_rules(lx: &Lexed<'_>, scope: Scope) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if scope.applies(Rule::D1) {
+        d1_wall_clock(lx, &mut out);
+    }
+    if scope.applies(Rule::D2) {
+        d2_hash_iteration(lx, &mut out);
+    }
+    d3_partial_cmp_sort(lx, &mut out);
+    d4_bare_spawn(lx, &mut out);
+    d5_entropy_rng(lx, &mut out);
+    d6_undocumented_unsafe(lx, &mut out);
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out
+}
+
+fn push(out: &mut Vec<Finding>, lx: &Lexed<'_>, i: usize, rule: Rule, msg: String) {
+    let t = &lx.toks[i];
+    out.push(Finding { rule, line: t.line, col: t.col, msg, snippet: lx.text(t).to_string() });
+}
+
+/// D1: `Instant::now()` / `SystemTime::now()` in simulation crates.
+fn d1_wall_clock(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        if let Some(ty) = lx.ident(i) {
+            if (ty == "Instant" || ty == "SystemTime")
+                && lx.path_sep(i + 1)
+                && lx.ident(i + 2) == Some("now")
+            {
+                push(
+                    out,
+                    lx,
+                    i,
+                    Rule::D1,
+                    format!("wall-clock read `{ty}::now` in a simulation crate — use sim time"),
+                );
+            }
+        }
+    }
+}
+
+/// Methods whose visit order follows the hash function's per-process seed.
+const ITER_METHODS: [&str; 11] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// D2: order-dependent iteration over `HashMap`/`HashSet`.
+///
+/// Pass 1 builds a per-file set of names that are lexically declared with a
+/// hash type (`name: HashMap<..>` annotations — bindings, fields, params —
+/// and `let name = HashMap::new()`-style constructor bindings). Pass 2
+/// flags iteration-method calls and `for .. in` loops whose receiver's
+/// final path segment is one of those names. Resolution is per-file and
+/// name-based: a type alias or a cross-file field can slip through, and a
+/// same-named `Vec` in the same file can over-trigger — the waiver
+/// mechanism covers the latter, the dynamic fingerprint suites the former.
+fn d2_hash_iteration(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    let names = d2_collect_hash_names(lx);
+    if names.is_empty() {
+        return;
+    }
+
+    // Pass 2a: `recv.method(` where recv's last segment is a hash name.
+    for i in 0..lx.toks.len() {
+        let Some(name) = lx.ident(i) else { continue };
+        if names.contains(name)
+            && lx.punct(i + 1, '.')
+            && lx.ident(i + 2).map(|m| ITER_METHODS.contains(&m)).unwrap_or(false)
+            && lx.punct(i + 3, '(')
+        {
+            let m = lx.ident(i + 2).unwrap();
+            push(
+                out,
+                lx,
+                i + 2,
+                Rule::D2,
+                format!(
+                    "order-dependent `.{m}()` over hash container `{name}` — use a \
+                     BTreeMap/sorted or dense-id walk"
+                ),
+            );
+        }
+    }
+
+    // Pass 2b: `for pat in [&][mut] path.to.name {` (plain path only;
+    // method-call receivers are covered by pass 2a).
+    for i in 0..lx.toks.len() {
+        if lx.ident(i) != Some("for") {
+            continue;
+        }
+        // Find `in` at bracket depth 0 within a bounded window.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut found_in = None;
+        while j < lx.toks.len() && j < i + 40 {
+            match lx.toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                TokKind::Punct('{') | TokKind::Punct(';') => break,
+                TokKind::Ident if depth == 0 && lx.ident(j) == Some("in") => {
+                    found_in = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_at) = found_in else { continue };
+        // Expression tokens up to the loop body `{`.
+        let mut k = in_at + 1;
+        if lx.punct(k, '&') {
+            k += 1;
+        }
+        if lx.ident(k) == Some("mut") {
+            k += 1;
+        }
+        // Plain path: Ident (('.' | '::') Ident)* then `{`.
+        let Some(mut last_ident) = (lx.ident(k).is_some()).then_some(k) else { continue };
+        let mut m = k + 1;
+        while m + 1 < lx.toks.len() && (lx.punct(m, '.') || lx.path_sep(m)) {
+            if lx.ident(m + 1).is_none() {
+                break;
+            }
+            last_ident = m + 1;
+            m += 2;
+        }
+        if !lx.punct(m, '{') {
+            continue; // not a plain path (call, index, range, ...)
+        }
+        let name = lx.ident(last_ident).unwrap();
+        if names.contains(name) {
+            push(
+                out,
+                lx,
+                last_ident,
+                Rule::D2,
+                format!(
+                    "order-dependent `for .. in` over hash container `{name}` — use a \
+                     BTreeMap/sorted or dense-id walk"
+                ),
+            );
+        }
+    }
+}
+
+/// Collect identifiers lexically bound to `HashMap`/`HashSet` in one file.
+fn d2_collect_hash_names<'a>(lx: &Lexed<'a>) -> BTreeSet<&'a str> {
+    let mut names = BTreeSet::new();
+    for i in 0..lx.toks.len() {
+        let Some(ty) = lx.ident(i) else { continue };
+        if ty != "HashMap" && ty != "HashSet" {
+            continue;
+        }
+        // Walk back over type-path context: `std::collections::`, wrapper
+        // generics (`Vec<`, `Option<`), references and `mut`.
+        let mut j = i;
+        while j > 0 {
+            let prev = j - 1;
+            let step_over = match lx.toks[prev].kind {
+                TokKind::ColonColon | TokKind::Lifetime => true,
+                TokKind::Punct('<') | TokKind::Punct('&') => true,
+                TokKind::Ident => {
+                    // Path segments and wrapper type names read through;
+                    // `let`/struct keywords do not.
+                    !matches!(
+                        lx.ident(prev).unwrap(),
+                        "let" | "struct" | "enum" | "fn" | "impl" | "for" | "in" | "pub" | "type"
+                    )
+                }
+                _ => false,
+            };
+            if !step_over {
+                break;
+            }
+            j = prev;
+        }
+        if j == 0 {
+            continue;
+        }
+        let stop = j - 1;
+        let bound = match lx.toks[stop].kind {
+            // `name: [&mut] [Wrapper<]HashMap` — annotation on a binding,
+            // field or parameter.
+            TokKind::Punct(':') if stop >= 1 => lx.ident(stop - 1),
+            // `let [mut] name = HashMap::new()` — constructor binding.
+            TokKind::Punct('=')
+                if stop >= 2 && matches!(lx.ident(stop - 2), Some("let") | Some("mut")) =>
+            {
+                lx.ident(stop - 1)
+            }
+            _ => None,
+        };
+        if let Some(name) = bound {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+/// Comparator-taking call sites where a float ordering may hide.
+const SORT_LIKE: [&str; 7] = [
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+    "select_nth_unstable_by",
+    "partition_point",
+];
+
+/// D3: `partial_cmp` inside a sort/min/max comparator.
+fn d3_partial_cmp_sort(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        let Some(m) = lx.ident(i) else { continue };
+        if !SORT_LIKE.contains(&m) || !lx.punct(i + 1, '(') {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < lx.toks.len() {
+            match lx.toks[j].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident if lx.ident(j) == Some("partial_cmp") => {
+                    push(
+                        out,
+                        lx,
+                        j,
+                        Rule::D3,
+                        format!(
+                            "NaN-unsafe `partial_cmp` comparator inside `{m}` — use \
+                             `total_cmp` (f64) or `Ord::cmp`"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// D4: bare `thread::spawn`.
+fn d4_bare_spawn(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        if lx.ident(i) == Some("thread") && lx.path_sep(i + 1) && lx.ident(i + 2) == Some("spawn") {
+            push(
+                out,
+                lx,
+                i + 2,
+                Rule::D4,
+                "bare `thread::spawn` — use `std::thread::scope` (the PR-1/7 precedent)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Identifiers that mean "this RNG was seeded from ambient entropy".
+const ENTROPY_IDENTS: [&str; 5] = ["from_entropy", "thread_rng", "OsRng", "ThreadRng", "getrandom"];
+
+/// D5: entropy-seeded RNG construction.
+fn d5_entropy_rng(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        if let Some(id) = lx.ident(i) {
+            if ENTROPY_IDENTS.contains(&id) {
+                push(
+                    out,
+                    lx,
+                    i,
+                    Rule::D5,
+                    format!(
+                        "entropy-seeded RNG `{id}` — construct via an explicit seed \
+                             (`SeedableRng::seed_from_u64`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may end
+/// and still count as "adjacent".
+const SAFETY_WINDOW: u32 = 3;
+
+/// D6: `unsafe` without an adjacent `// SAFETY:` comment.
+fn d6_undocumented_unsafe(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        if lx.ident(i) != Some("unsafe") {
+            continue;
+        }
+        let line = lx.toks[i].line;
+        let lo = line.saturating_sub(SAFETY_WINDOW);
+        let documented = lx.comments.iter().any(|c| {
+            c.end_line <= line && c.end_line >= lo && lx.comment_text(c).contains("SAFETY:")
+        });
+        if !documented {
+            push(
+                out,
+                lx,
+                i,
+                Rule::D6,
+                format!(
+                    "`unsafe` without an adjacent `// SAFETY:` justification (within \
+                     {SAFETY_WINDOW} lines above)"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Waiver directives: the escape hatch for rule firings that are provably
+//! benign, with an enforced paper trail.
+//!
+//! Syntax (inside any comment):
+//!
+//! ```text
+//! // lint: allow(D2) — reason the firing is benign
+//! // lint: allow(D2, D3) — one waiver may cover several rules
+//! // lint: allow-file(D3) — whole-file waiver, reason still mandatory
+//! ```
+//!
+//! The separator before the reason may be an em-dash (`—`), a hyphen
+//! (`-`) or a colon (`:`); the reason must be non-empty (rule `W1`
+//! otherwise). A standalone waiver comment applies to the **next line
+//! that contains code**; a trailing waiver applies to its own line; a
+//! file-level waiver applies everywhere in the file. Waivers that match
+//! no finding are themselves findings (`W3`), so the audit list printed
+//! by `nws-lint --waivers` never accumulates stale entries.
+
+use crate::lexer::{Comment, Lexed};
+use crate::rules::{Finding, Rule};
+
+/// One parsed waiver directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// The line the waiver applies to (`None` for file-level waivers).
+    pub target_line: Option<u32>,
+    pub rules: Vec<Rule>,
+    pub reason: String,
+    pub file_level: bool,
+}
+
+/// Waiver-syntax findings (missing reason, unknown rule) produced while
+/// parsing — these are W-rules and cannot themselves be waived.
+pub struct ParsedWaivers {
+    pub waivers: Vec<Waiver>,
+    pub problems: Vec<Finding>,
+}
+
+/// Extract waiver directives from a lexed file's comments.
+pub fn parse_waivers(lx: &Lexed<'_>) -> ParsedWaivers {
+    let mut waivers = Vec::new();
+    let mut problems = Vec::new();
+    for c in &lx.comments {
+        let body = comment_body(lx, c);
+        let Some(rest) = body.trim_start().strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            problems.push(problem(
+                c,
+                Rule::W2,
+                format!("unrecognized lint directive `{}`", body.trim()),
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            problems.push(problem(c, Rule::W2, "waiver missing `(RULE, ..)` list".to_string()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            problems.push(problem(c, Rule::W2, "waiver rule list not closed".to_string()));
+            continue;
+        };
+        let (list, after) = rest.split_at(close);
+        let after = &after[1..]; // drop ')'
+
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for id in list.split(',') {
+            let id = id.trim();
+            match Rule::from_id(id) {
+                Some(r) => rules.push(r),
+                None => {
+                    problems.push(problem(
+                        c,
+                        Rule::W2,
+                        format!("waiver names unknown rule `{id}`"),
+                    ));
+                    bad = true;
+                }
+            }
+        }
+        if bad || rules.is_empty() {
+            continue;
+        }
+
+        let reason = strip_separator(after).to_string();
+        if reason.is_empty() {
+            problems.push(problem(
+                c,
+                Rule::W1,
+                format!(
+                    "waiver for {} has no reason — every waiver must say why the firing \
+                     is benign",
+                    rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(", ")
+                ),
+            ));
+            continue;
+        }
+
+        let target_line = if file_level {
+            None
+        } else if c.standalone {
+            // Applies to the next line that contains a token.
+            lx.toks.iter().map(|t| t.line).find(|&l| l > c.end_line)
+        } else {
+            Some(c.line)
+        };
+        waivers.push(Waiver { line: c.line, target_line, rules, reason, file_level });
+    }
+    ParsedWaivers { waivers, problems }
+}
+
+/// Apply waivers to rule findings. Returns `(unwaived, waived)` where each
+/// waived entry carries the reason that covered it, and appends a `W3`
+/// finding for every waiver that covered nothing.
+pub fn apply_waivers(
+    findings: Vec<Finding>,
+    waivers: &[Waiver],
+    problems: &mut Vec<Finding>,
+) -> (Vec<Finding>, Vec<(Finding, String)>) {
+    let mut used = vec![false; waivers.len()];
+    let mut unwaived = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        let hit = waivers.iter().enumerate().find(|(_, w)| {
+            w.rules.contains(&f.rule)
+                && match w.target_line {
+                    None => true,
+                    Some(l) => l == f.line,
+                }
+        });
+        match hit {
+            Some((i, w)) => {
+                used[i] = true;
+                waived.push((f, w.reason.clone()));
+            }
+            None => unwaived.push(f),
+        }
+    }
+    for (w, used) in waivers.iter().zip(&used) {
+        if !used {
+            problems.push(Finding {
+                rule: Rule::W3,
+                line: w.line,
+                col: 1,
+                msg: format!(
+                    "stale waiver for {} — it matches no finding; remove it",
+                    w.rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(", ")
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    (unwaived, waived)
+}
+
+/// The comment's text with its delimiters stripped.
+fn comment_body<'a>(lx: &Lexed<'a>, c: &Comment) -> &'a str {
+    let text = lx.comment_text(c);
+    if c.block {
+        text.strip_prefix("/*").unwrap_or(text).strip_suffix("*/").unwrap_or(text)
+    } else {
+        let t = text.strip_prefix("//").unwrap_or(text);
+        // Doc-comment markers.
+        t.strip_prefix('/').or_else(|| t.strip_prefix('!')).unwrap_or(t)
+    }
+}
+
+/// Strip the reason separator (em-dash, hyphen or colon) and whitespace.
+fn strip_separator(s: &str) -> &str {
+    let s = s.trim();
+    for sep in ["—", "-", ":"] {
+        if let Some(r) = s.strip_prefix(sep) {
+            return r.trim();
+        }
+    }
+    s
+}
+
+fn problem(c: &Comment, rule: Rule, msg: String) -> Finding {
+    Finding { rule, line: c.line, col: 1, msg, snippet: String::new() }
+}

@@ -1,0 +1,9 @@
+// D1 negative: sim time only; `Instant::now` appears only in non-code
+// positions the lexer must see through.
+fn advance(clock: &mut f64, dt: f64) {
+    // A comment mentioning Instant::now() must not fire.
+    let banner = "calling Instant::now() here would break replay";
+    let raw = r#"SystemTime::now() inside a raw string"#;
+    *clock += dt;
+    let _ = (banner, raw);
+}

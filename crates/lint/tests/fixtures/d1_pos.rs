@@ -1,0 +1,8 @@
+// D1 positive: wall-clock reads in a simulation crate.
+use std::time::{Instant, SystemTime};
+
+fn epoch_timer() -> f64 {
+    let t0 = Instant::now(); // finding: line 5
+    let _wall = SystemTime::now(); // finding: line 6
+    t0.elapsed().as_secs_f64()
+}

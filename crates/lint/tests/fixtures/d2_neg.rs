@@ -1,0 +1,21 @@
+// D2 negative: ordered containers, point lookups into hash containers and
+// Vec iteration must not fire.
+use std::collections::{BTreeMap, HashMap};
+
+fn stable(order: &BTreeMap<u32, f64>, index: &HashMap<u32, f64>, items: &[u32]) -> f64 {
+    let mut acc = 0.0;
+    // BTreeMap iteration is canonically ordered — fine.
+    for (_, v) in order.iter() {
+        acc += v;
+    }
+    // Point lookups into a HashMap are order-free — fine.
+    for id in items.iter() {
+        acc += index.get(id).copied().unwrap_or(0.0);
+    }
+    // A Vec sharing no name with any hash binding — fine.
+    let weights = [1.0, 2.0];
+    for w in weights.iter() {
+        acc += w;
+    }
+    acc
+}

@@ -1,0 +1,29 @@
+// D2 positive: order-dependent iteration over hash containers, in every
+// form the rule recognizes.
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    by_id: HashMap<u32, String>,
+}
+
+fn emit(reg: &Registry, extra: HashSet<u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (_, name) in reg.by_id.iter() {
+        // finding: .iter() on line 11
+        out.push(name.clone());
+    }
+    for id in &extra {
+        // finding: for-in on line 15
+        out.push(format!("{id}"));
+    }
+    let mut scratch: HashMap<String, f64> = HashMap::new();
+    scratch.insert("x".into(), 1.0);
+    for k in scratch.keys() {
+        // finding: .keys() on line 21
+        out.push(k.clone());
+    }
+    let mut pending = HashSet::new();
+    pending.insert(3u32);
+    pending.drain().for_each(|v| out.push(format!("{v}"))); // finding: .drain() line 27
+    out
+}

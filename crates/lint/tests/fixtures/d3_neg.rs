@@ -1,0 +1,28 @@
+// D3 negative: total_cmp comparators, Ord::cmp sorts, and PartialOrd
+// impls (which legitimately mention partial_cmp outside any sort site).
+use std::cmp::Ordering;
+
+struct W(f64);
+
+impl PartialEq for W {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for W {}
+impl PartialOrd for W {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+impl Ord for W {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn rank(mut xs: Vec<f64>, mut names: Vec<String>) {
+    xs.sort_by(f64::total_cmp);
+    xs.sort_by(|a, b| a.total_cmp(b));
+    names.sort_by(|a, b| a.cmp(b));
+}

@@ -1,0 +1,6 @@
+// D3 positive: NaN-unsafe float comparators at sort-like call sites.
+fn rank(mut xs: Vec<f64>, pairs: &mut Vec<(String, f64)>) -> Option<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // finding: line 3
+    pairs.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap()); // finding: line 4
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap()) // finding: line 5
+}

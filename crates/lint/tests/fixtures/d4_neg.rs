@@ -1,0 +1,14 @@
+// D4 negative: scoped threads (the PR-1/7 precedent) are the sanctioned
+// parallelism primitive; a scope handle's `.spawn` must not fire.
+use std::thread;
+
+fn fan_out(items: &[u32]) -> u32 {
+    let mut total = 0;
+    thread::scope(|s| {
+        let handles: Vec<_> = items.iter().map(|i| s.spawn(move || i * 2)).collect();
+        for h in handles {
+            total += h.join().unwrap();
+        }
+    });
+    total
+}

@@ -1,0 +1,13 @@
+// D4 positive: bare thread::spawn detaches from the determinism harness.
+use std::thread;
+
+fn fan_out(n: usize) {
+    let mut handles = Vec::new();
+    for i in 0..n {
+        handles.push(thread::spawn(move || i * 2)); // finding: line 7
+    }
+    let _also = std::thread::spawn(|| ()); // finding: line 9
+    for h in handles {
+        let _ = h.join();
+    }
+}

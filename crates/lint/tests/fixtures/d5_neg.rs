@@ -1,0 +1,8 @@
+// D5 negative: explicitly seeded construction is the sanctioned path.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn jitter(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,7 @@
+// D5 positive: entropy-seeded RNG construction is unreproducible.
+fn jitter() -> f64 {
+    let mut rng = rand::rngs::SmallRng::from_entropy(); // finding: line 3
+    let mut tr = rand::thread_rng(); // finding: line 4
+    let _os = rand::rngs::OsRng; // finding: line 5
+    0.0
+}

@@ -1,0 +1,13 @@
+// D6 negative: every unsafe carries an adjacent SAFETY justification.
+fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *bytes.as_ptr() }
+}
+
+fn read_second(bytes: &[u8]) -> u8 {
+    assert!(bytes.len() > 1);
+    // SAFETY: length checked above, so index 1 is in bounds
+    // (comment may span lines within the adjacency window).
+    unsafe { *bytes.as_ptr().add(1) }
+}

@@ -1,0 +1,12 @@
+// D6 positive: unsafe without an adjacent SAFETY justification.
+fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() } // finding: line 3
+}
+
+// A comment that is not a safety argument, and too far away anyway.
+
+fn read_second(bytes: &[u8]) -> u8 {
+    assert!(bytes.len() > 1);
+
+    unsafe { *bytes.as_ptr().add(1) } // finding: line 11
+}

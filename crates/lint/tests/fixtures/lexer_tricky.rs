@@ -1,0 +1,21 @@
+// Lexer stress: every rule's trigger text appears below, but only inside
+// strings, raw strings, comments, char literals or lifetimes — a correct
+// lexer reports ZERO findings for this file.
+
+/* block comment: Instant::now() and thread::spawn()
+   /* nested block comment: for x in map.iter() */
+   still inside the outer comment: from_entropy() */
+
+fn tricky<'iter>(_marker: &'iter ()) -> String {
+    let s1 = "Instant::now() in a plain string";
+    let s2 = "escaped quote \" then SystemTime::now()";
+    let s3 = r#"raw string: map.keys() and "quoted" partial_cmp inside sort_by("#;
+    let s4 = r##"outer fence: r#"inner"# thread::spawn"##;
+    let b1 = b"byte string with OsRng";
+    let b2 = br#"raw byte string with unsafe { }"#;
+    let c1 = '"'; // a quote char must not open a string
+    let c2 = '\''; // escaped quote char
+    let c3 = '\u{1F600}';
+    let lifetime_not_char: &'static str = "sort_by(partial_cmp)";
+    format!("{s1}{s2}{s3}{s4}{:?}{:?}{c1}{c2}{c3}{lifetime_not_char}", b1, b2)
+}

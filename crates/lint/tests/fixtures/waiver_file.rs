@@ -1,0 +1,5 @@
+// lint: allow-file(D3) — diagnostic-only sorter; output never feeds a fingerprint
+fn noisy_rank(mut xs: Vec<f64>, mut ys: Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ys.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}

@@ -1,0 +1,16 @@
+// Waiver semantics: a standalone waiver covers the next code line, a
+// trailing waiver covers its own line; both carry mandatory reasons.
+use std::collections::HashMap;
+
+fn checksum(counts: &HashMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    // lint: allow(D2) — sum is commutative, visit order cannot change it
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+fn purge(counts: &mut HashMap<u32, u64>) {
+    counts.retain(|_, v| *v > 0); // lint: allow(D2) — pure predicate, order-free
+}

@@ -1,0 +1,5 @@
+// W1: a waiver without a reason is itself a finding, and does not waive.
+fn rank(mut xs: Vec<f64>) {
+    // lint: allow(D3)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,5 @@
+// W2: waivers must name rules that exist in the catalog.
+fn fine() {
+    // lint: allow(D9) — this rule id does not exist
+    let _x = 1;
+}

@@ -1,0 +1,148 @@
+//! Lexer edge-case tests: the classifications rules depend on. A rule can
+//! only be trusted to never fire inside a literal if the lexer gets raw
+//! strings, nested comments and the char-vs-lifetime ambiguity right.
+
+use nws_lint::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).toks.iter().map(|t| t.kind).collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    let lx = lex(src);
+    lx.toks.iter().map(|t| lx.text(t).to_string()).collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_fences() {
+    let src = r####"let x = r#"has "quotes" and // no comment"#;"####;
+    let lx = lex(src);
+    assert_eq!(
+        kinds(src),
+        vec![
+            TokKind::Ident,
+            TokKind::Ident,
+            TokKind::Punct('='),
+            TokKind::RawStrLit,
+            TokKind::Punct(';')
+        ]
+    );
+    assert!(lx.comments.is_empty(), "// inside a raw string is not a comment");
+    // The raw string token covers the whole literal including fences.
+    let raw = &lx.toks[3];
+    assert!(lx.text(raw).starts_with("r#\"") && lx.text(raw).ends_with("\"#"));
+}
+
+#[test]
+fn raw_string_with_higher_fence_contains_lower_fence() {
+    let src = r#####"let x = r##"inner r#"nested"# stays"##;"#####;
+    assert_eq!(kinds(src)[3], TokKind::RawStrLit);
+    assert_eq!(kinds(src).len(), 5);
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    let lx = lex(src);
+    assert_eq!(texts(src), vec!["a", "b"]);
+    assert_eq!(lx.comments.len(), 1);
+    assert!(lx.comment_text(&lx.comments[0]).contains("inner"));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str, y: &'static u8) -> &'a str { x }";
+    let lifetimes: Vec<_> = kinds(src).into_iter().filter(|k| *k == TokKind::Lifetime).collect();
+    assert_eq!(lifetimes.len(), 4);
+    assert!(!kinds(src).contains(&TokKind::CharLit));
+}
+
+#[test]
+fn char_literals_are_not_lifetimes() {
+    let src = r#"let a = 'x'; let q = '\''; let b = '\\'; let u = '\u{1F600}'; let d = '\n';"#;
+    let chars: Vec<_> = kinds(src).into_iter().filter(|k| *k == TokKind::CharLit).collect();
+    assert_eq!(chars.len(), 5);
+    assert!(!kinds(src).contains(&TokKind::Lifetime));
+    // None of the quote chars opened a string.
+    assert!(!kinds(src).contains(&TokKind::StrLit));
+}
+
+#[test]
+fn quote_char_literal_does_not_open_a_string() {
+    let src = "let c = '\"'; let s = \"after\";";
+    let k = kinds(src);
+    assert_eq!(k.iter().filter(|x| **x == TokKind::CharLit).count(), 1);
+    assert_eq!(k.iter().filter(|x| **x == TokKind::StrLit).count(), 1);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'x';"###;
+    let k = kinds(src);
+    assert!(k.contains(&TokKind::ByteStrLit));
+    assert!(k.contains(&TokKind::RawByteStrLit));
+    assert!(k.contains(&TokKind::ByteLit));
+}
+
+#[test]
+fn cooked_string_escapes() {
+    let src = r#"let s = "a \" b \\ c"; let t = 1;"#;
+    let k = kinds(src);
+    assert_eq!(k.iter().filter(|x| **x == TokKind::StrLit).count(), 1);
+    // `t` and `1` survive after the string closed at the right quote.
+    assert!(texts(src).contains(&"t".to_string()));
+}
+
+#[test]
+fn raw_identifiers_lex_as_identifiers() {
+    let src = "let r#type = 1;";
+    let t = texts(src);
+    assert!(t.contains(&"r#type".to_string()));
+    assert!(!kinds(src).contains(&TokKind::RawStrLit));
+}
+
+#[test]
+fn numbers_with_exponents_and_ranges() {
+    let src = "let a = 1.5e-9; let b = 0x1F; let c = 1_000u64; for i in 0..5 {}";
+    let nums: Vec<String> = {
+        let lx = lex(src);
+        lx.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::NumLit)
+            .map(|t| lx.text(t).to_string())
+            .collect()
+    };
+    assert_eq!(nums, vec!["1.5e-9", "0x1F", "1_000u64", "0", "5"]);
+}
+
+#[test]
+fn colon_colon_merges_but_single_colon_does_not() {
+    let src = "let x: std::u32 = 0;";
+    let k = kinds(src);
+    assert_eq!(k.iter().filter(|x| **x == TokKind::ColonColon).count(), 1);
+    assert_eq!(k.iter().filter(|x| **x == TokKind::Punct(':')).count(), 1);
+}
+
+#[test]
+fn standalone_vs_trailing_comments() {
+    let src = "// standalone\nlet x = 1; // trailing\n";
+    let lx = lex(src);
+    assert_eq!(lx.comments.len(), 2);
+    assert!(lx.comments[0].standalone);
+    assert!(!lx.comments[1].standalone);
+}
+
+#[test]
+fn line_and_column_positions() {
+    let src = "let a = 1;\n  let bb = 2;\n";
+    let lx = lex(src);
+    let bb = lx.toks.iter().find(|t| lx.text(t) == "bb").unwrap();
+    assert_eq!((bb.line, bb.col), (2, 7));
+}
+
+#[test]
+fn unterminated_literals_do_not_hang_or_panic() {
+    for src in ["let s = \"unterminated", "let s = r#\"unterminated", "/* unterminated", "'"] {
+        let _ = lex(src);
+    }
+}

@@ -1,0 +1,47 @@
+//! The self-gate: `cargo test` lints the real workspace, so the
+//! determinism contract is enforced on every test run, not only in the
+//! dedicated CI step. This is the acceptance criterion "nws-lint runs
+//! clean (zero unwaived findings) over the entire workspace" as a test.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let reports = nws_lint::lint_workspace(workspace_root()).expect("walk workspace");
+    assert!(reports.len() > 50, "workspace walk looks truncated: {} files", reports.len());
+    let mut failures = String::new();
+    for r in &reports {
+        for f in &r.findings {
+            failures.push_str(&format!("{}:{}:{}: {}: {}\n", r.path, f.line, f.col, f.rule, f.msg));
+        }
+    }
+    assert!(failures.is_empty(), "unwaived determinism-lint findings:\n{failures}");
+}
+
+#[test]
+fn every_workspace_waiver_carries_a_reason() {
+    let reports = nws_lint::lint_workspace(workspace_root()).expect("walk workspace");
+    for r in &reports {
+        for w in &r.waivers {
+            assert!(
+                !w.reason.is_empty(),
+                "{}:{}: waiver without a reason slipped past parsing",
+                r.path,
+                w.line
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_walk_skips_fixture_corpus() {
+    let reports = nws_lint::lint_workspace(workspace_root()).expect("walk workspace");
+    assert!(
+        reports.iter().all(|r| !r.path.contains("fixtures/")),
+        "fixtures (intentional violations) must be excluded from the gate"
+    );
+}

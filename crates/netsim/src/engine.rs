@@ -745,6 +745,7 @@ impl<M> Engine<M> {
         if let Some(slot) = self.procs.get_mut(pid.index()) {
             *slot = None;
         }
+        // lint: allow(D2) — retain's predicate is pure, so the surviving set is visit-order-independent
         self.core.last_delivery.retain(|&(s, r), _| s != pid && r != pid);
     }
 

@@ -12,7 +12,7 @@
 //! A flow may additionally carry a rate cap (e.g. a TCP-window/RTT bound),
 //! modelled as a private resource.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::routing::Path;
@@ -139,9 +139,14 @@ pub fn max_min_allocate(topo: &Topology, flows: &[FlowDemand]) -> Vec<Bandwidth>
         return Vec::new();
     }
 
-    // remaining capacity and unfrozen-flow count per resource
-    let mut remaining: HashMap<Resource, f64> = HashMap::new();
-    let mut users: HashMap<Resource, u32> = HashMap::new();
+    // Remaining capacity and unfrozen-flow count per resource. BTreeMap,
+    // not HashMap: the bottleneck scan below iterates this table, and the
+    // oracle's visit order must not depend on the hash seed (lint rule D2).
+    // `delta` is a pure min-fold so the result would be identical anyway,
+    // but the oracle is the yardstick every differential suite compares
+    // against — it stays canonically ordered.
+    let mut remaining: BTreeMap<Resource, f64> = BTreeMap::new();
+    let mut users: BTreeMap<Resource, u32> = BTreeMap::new();
     for f in flows {
         debug_assert!(
             !f.resources.is_empty() || f.rate_cap.is_some(),
@@ -1082,8 +1087,8 @@ mod tests {
                 prop_assume!(!flows.is_empty());
                 let rates = max_min_allocate(&net.topo, &flows);
 
-                let mut usage: std::collections::HashMap<Resource, f64> =
-                    std::collections::HashMap::new();
+                let mut usage: std::collections::BTreeMap<Resource, f64> =
+                    std::collections::BTreeMap::new();
                 for (f, r) in flows.iter().zip(&rates) {
                     prop_assert!(r.as_bytes_per_sec() > 0.0, "starved flow");
                     for res in &f.resources {
@@ -1118,8 +1123,8 @@ mod tests {
                 let rates = max_min_allocate(&net.topo, &flows);
 
                 // No resource oversubscribed.
-                let mut usage: std::collections::HashMap<Resource, f64> =
-                    std::collections::HashMap::new();
+                let mut usage: std::collections::BTreeMap<Resource, f64> =
+                    std::collections::BTreeMap::new();
                 for (f, r) in flows.iter().zip(&rates) {
                     for res in &f.resources {
                         *usage.entry(*res).or_insert(0.0) += r.as_bytes_per_sec();

@@ -30,22 +30,31 @@ fn count_here() -> bool {
     COUNTING.try_with(|c| c.get()).unwrap_or(false)
 }
 
+// SAFETY: pure pass-through to the `System` allocator — every contract
+// (layout validity, pointer provenance) is delegated unchanged; the only
+// addition is a side-effect-free atomic counter bump.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if count_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same layout the caller passed in.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching System allocation.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if count_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` come from a matching System allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

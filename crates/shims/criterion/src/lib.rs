@@ -48,7 +48,7 @@ impl Bencher {
             black_box(f());
             times.push(start.elapsed().as_nanos() as f64);
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are never NaN"));
+        times.sort_by(f64::total_cmp);
         self.result_ns = times[times.len() / 2];
     }
 }
