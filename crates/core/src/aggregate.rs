@@ -533,6 +533,7 @@ mod tests {
                 "s3".into(),
             ],
             memory_of: BTreeMap::new(),
+            wal_compact_kib: crate::plan::DEFAULT_WAL_COMPACT_KIB,
         }
     }
 

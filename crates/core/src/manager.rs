@@ -33,6 +33,7 @@ pub fn render_config(plan: &DeploymentPlan) -> String {
     s.push_str(&format!("forecaster = {}\n", plan.forecaster));
     s.push_str(&format!("memories = {}\n", plan.memories.join(", ")));
     s.push_str(&format!("gap_ms = {}\n", plan.gap.as_millis()));
+    s.push_str(&format!("wal_compact_kib = {}\n", plan.wal_compact_kib));
     s.push_str(&format!("hosts = {}\n", plan.hosts.join(", ")));
     s.push('\n');
     for c in &plan.cliques {
@@ -65,6 +66,7 @@ pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
     let mut forecaster = None;
     let mut memories = Vec::new();
     let mut gap_ms = 500.0f64;
+    let mut wal_compact_kib = crate::plan::DEFAULT_WAL_COMPACT_KIB;
     let mut hosts = Vec::new();
     let mut cliques: Vec<PlannedClique> = Vec::new();
     let mut representatives = BTreeMap::new();
@@ -121,6 +123,11 @@ pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
                     gap_ms =
                         value.parse().map_err(|_| format!("line {}: bad gap_ms", lineno + 1))?
                 }
+                "wal_compact_kib" => {
+                    wal_compact_kib = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad wal_compact_kib", lineno + 1))?
+                }
                 "hosts" => hosts = list(value),
                 _ => return Err(format!("line {}: unknown global key {key:?}", lineno + 1)),
             },
@@ -163,6 +170,7 @@ pub fn parse_config(text: &str) -> Result<DeploymentPlan, String> {
         gap: TimeDelta::from_millis(gap_ms),
         hosts,
         memory_of,
+        wal_compact_kib,
     })
 }
 
@@ -246,6 +254,7 @@ pub fn plan_to_spec_with(plan: &DeploymentPlan, host_locking: bool) -> NwsSystem
         host_sense_period: TimeDelta::from_secs(10.0),
         seed: 42,
         host_locking,
+        wal_compact_kib: plan.wal_compact_kib,
     }
 }
 
@@ -353,6 +362,7 @@ mod tests {
             gap: TimeDelta::from_millis(250.0),
             hosts: vec!["a.x".into(), "b.x".into(), "c.x".into()],
             memory_of: BTreeMap::from([("c.x".to_string(), "m.x".to_string())]),
+            wal_compact_kib: 128,
         }
     }
 

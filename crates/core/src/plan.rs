@@ -84,6 +84,10 @@ impl PlannedClique {
     }
 }
 
+/// Default durable-state WAL compaction threshold (KiB) carried by plans
+/// that do not override it.
+pub const DEFAULT_WAL_COMPACT_KIB: u64 = 64;
+
 /// A complete NWS deployment plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentPlan {
@@ -110,6 +114,10 @@ pub struct DeploymentPlan {
     /// hierarchy gains a level exactly where the paper says it may
     /// ("If needed, this hierarchy can contain more than two levels", §5).
     pub memory_of: BTreeMap<String, String>,
+    /// WAL compaction threshold (KiB) for the deployed durable state
+    /// plane (memory servers and the forecaster log to their host's
+    /// simulated disk; see `nws::persist`).
+    pub wal_compact_kib: u64,
 }
 
 impl DeploymentPlan {
@@ -212,6 +220,7 @@ mod tests {
             gap: TimeDelta::from_millis(500.0),
             hosts: vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()],
             memory_of: BTreeMap::new(),
+            wal_compact_kib: DEFAULT_WAL_COMPACT_KIB,
         }
     }
 
@@ -370,6 +379,7 @@ mod diff_tests {
             gap: TimeDelta::from_millis(500.0),
             hosts: vec!["a1".into(), "a2".into(), "b1".into(), "b2".into(), "b3".into()],
             memory_of: BTreeMap::new(),
+            wal_compact_kib: DEFAULT_WAL_COMPACT_KIB,
         }
     }
 

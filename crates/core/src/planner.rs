@@ -203,6 +203,7 @@ pub fn plan_deployment(view: &EnvView, config: &PlannerConfig) -> DeploymentPlan
         gap: config.gap,
         hosts,
         memory_of,
+        wal_compact_kib: crate::plan::DEFAULT_WAL_COMPACT_KIB,
     }
 }
 

@@ -32,6 +32,9 @@ pub enum Rule {
     D5,
     /// Every `unsafe` requires an adjacent `// SAFETY:` justification.
     D6,
+    /// No host filesystem access (`std::fs`, `File::open`, `io::Write`)
+    /// in simulation crates — durable state lives on the simulated disk.
+    D7,
     /// A waiver is missing its reason string.
     W1,
     /// A waiver names an unknown rule id.
@@ -42,7 +45,8 @@ pub enum Rule {
 
 impl Rule {
     /// The waivable determinism rules, in catalog order.
-    pub const CATALOG: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+    pub const CATALOG: [Rule; 7] =
+        [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6, Rule::D7];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -52,6 +56,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::W1 => "W1",
             Rule::W2 => "W2",
             Rule::W3 => "W3",
@@ -66,6 +71,7 @@ impl Rule {
             "D4" => Some(Rule::D4),
             "D5" => Some(Rule::D5),
             "D6" => Some(Rule::D6),
+            "D7" => Some(Rule::D7),
             _ => None,
         }
     }
@@ -94,6 +100,11 @@ impl Rule {
                          trace to an explicit seed"
             }
             Rule::D6 => "unsafe blocks require an adjacent // SAFETY: justification",
+            Rule::D7 => {
+                "host filesystem access bypasses the simulated disk: state written \
+                         through std::fs survives nothing the simulator models and isn't \
+                         replayed on recovery — simulation crates use netsim::disk::SimDisk"
+            }
             Rule::W1 => "every waiver must carry a written reason",
             Rule::W2 => "waivers must name known rules",
             Rule::W3 => "waivers that no longer match a finding must be removed",
@@ -125,7 +136,7 @@ impl Scope {
 
     fn applies(self, r: Rule) -> bool {
         match r {
-            Rule::D1 => self.sim,
+            Rule::D1 | Rule::D7 => self.sim,
             Rule::D2 => self.det,
             _ => true,
         }
@@ -156,6 +167,9 @@ pub fn run_rules(lx: &Lexed<'_>, scope: Scope) -> Vec<Finding> {
     d4_bare_spawn(lx, &mut out);
     d5_entropy_rng(lx, &mut out);
     d6_undocumented_unsafe(lx, &mut out);
+    if scope.applies(Rule::D7) {
+        d7_host_filesystem(lx, &mut out);
+    }
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
 }
@@ -436,6 +450,68 @@ fn d5_entropy_rng(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
                     ),
                 );
             }
+        }
+    }
+}
+
+/// `File::` constructors that open a path on the host filesystem.
+const D7_FILE_METHODS: [&str; 4] = ["create", "create_new", "open", "options"];
+
+/// D7: host filesystem access in a simulation crate. Flags `fs::<any>`
+/// paths (`std::fs` functions, `fs::File`, use-imports), bare
+/// `File::open`-family constructors, `OpenOptions::new`, and the
+/// `io::Write` trait (file-backed byte sinks). `File::`/`OpenOptions::`
+/// mid-path (preceded by `::`) is skipped — the `fs::` head of the same
+/// path already fired. Like every rule here this is lexical: a local
+/// module named `fs` over-triggers and takes a waiver.
+fn d7_host_filesystem(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        let Some(id) = lx.ident(i) else { continue };
+        if !lx.path_sep(i + 1) {
+            continue;
+        }
+        let Some(next) = lx.ident(i + 2) else { continue };
+        let head_of_path = i == 0 || !lx.path_sep(i - 1);
+        match id {
+            "fs" => push(
+                out,
+                lx,
+                i,
+                Rule::D7,
+                format!(
+                    "host filesystem access `fs::{next}` in a simulation crate — durable \
+                     state goes through netsim::disk::SimDisk"
+                ),
+            ),
+            "File" if head_of_path && D7_FILE_METHODS.contains(&next) => push(
+                out,
+                lx,
+                i,
+                Rule::D7,
+                format!(
+                    "host file handle `File::{next}` in a simulation crate — durable \
+                     state goes through netsim::disk::SimDisk"
+                ),
+            ),
+            "OpenOptions" if head_of_path && next == "new" => push(
+                out,
+                lx,
+                i,
+                Rule::D7,
+                "host file handle `OpenOptions::new` in a simulation crate — durable \
+                 state goes through netsim::disk::SimDisk"
+                    .to_string(),
+            ),
+            "io" if next == "Write" => push(
+                out,
+                lx,
+                i,
+                Rule::D7,
+                "`io::Write` (file-backed byte sink) in a simulation crate — durable \
+                 state goes through netsim::disk::SimDisk"
+                    .to_string(),
+            ),
+            _ => {}
         }
     }
 }

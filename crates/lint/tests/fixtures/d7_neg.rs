@@ -1,0 +1,17 @@
+// D7 negative: durable state through the simulated disk; `fs::` and
+// `File::open` appear only in non-code positions the lexer sees through.
+use netsim::disk::DiskHandle;
+
+fn persist(disk: &DiskHandle, bytes: &[u8]) {
+    // Writing via std::fs::write here would break crash replay.
+    let banner = "never call File::open or OpenOptions::new in sim code";
+    let mut d = disk.borrow_mut();
+    d.append("state.wal", bytes);
+    d.fsync("state.wal");
+    let _ = banner;
+}
+
+fn fmt_sink(out: &mut String) {
+    use std::fmt::Write; // fmt::Write is fine — no host file behind it
+    let _ = write!(out, "ok");
+}

@@ -1,0 +1,10 @@
+// D7 positive: host filesystem access in a simulation crate.
+use std::io::Write; // finding: line 2 (`io::Write` byte sink)
+
+fn persist_the_wrong_way(bytes: &[u8]) {
+    std::fs::write("state.wal", bytes).unwrap(); // finding: line 5 (`fs::write`)
+    let mut f = std::fs::File::create("snap.bin").unwrap(); // finding: line 6 (`fs::File` head only)
+    f.write_all(bytes).unwrap();
+    let _opts = OpenOptions::new().append(true); // finding: line 8
+    let _raw = File::open("state.wal"); // finding: line 9
+}

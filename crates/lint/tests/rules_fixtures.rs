@@ -74,6 +74,22 @@ fn d6_undocumented_unsafe_positive_and_negative() {
 }
 
 #[test]
+fn d7_host_filesystem_positive_and_negative() {
+    assert_eq!(
+        hits("d7_pos.rs"),
+        vec![(Rule::D7, 2), (Rule::D7, 5), (Rule::D7, 6), (Rule::D7, 8), (Rule::D7, 9)]
+    );
+    assert_eq!(hits("d7_neg.rs"), vec![]);
+}
+
+#[test]
+fn d7_is_scoped_to_simulation_crates() {
+    let src = fixture("d7_pos.rs");
+    let rep = lint_source("d7_pos.rs", &src, Scope { sim: false, det: false });
+    assert_eq!(rep.findings.len(), 0, "D7 must not fire in harness crates (benches write JSON)");
+}
+
+#[test]
 fn lexer_hostile_file_yields_zero_findings() {
     assert_eq!(
         hits("lexer_tricky.rs"),

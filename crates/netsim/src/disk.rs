@@ -1,0 +1,460 @@
+//! # Simulated durable storage — the disk under the durability plane
+//!
+//! Real NWS memory hosts persist their measurement record; a simulation
+//! that wants *true* crash-recovery (kill a process, rebuild it from what
+//! survived) needs a disk with the same failure semantics, not a `Vec` that
+//! conveniently survives because the harness kept a second `Rc` to it.
+//!
+//! [`SimDisk`] models one host's local filesystem as named byte files with
+//! the only distinction that matters for crash-recovery: bytes that have
+//! been **fsynced** (on stable storage, survive anything) versus bytes that
+//! are merely **written** (in the page cache, survive a *process* crash but
+//! not a *host* crash). The primitives are the ones a write-ahead log
+//! needs:
+//!
+//! * [`SimDisk::append`] — buffered write to the tail of a file,
+//! * [`SimDisk::fsync`] — flush a file's cached tail to stable storage,
+//! * [`SimDisk::read`] — read the full current contents (cache included),
+//! * [`SimDisk::truncate`] / [`SimDisk::rename`] / [`SimDisk::remove`] —
+//!   metadata operations, modeled atomic and immediately durable, as on a
+//!   journaled filesystem,
+//! * [`SimDisk::crash`] — a host/power failure: every file keeps its synced
+//!   bytes plus a **random prefix** of its cached tail (the torn tail /
+//!   partial flush a real kernel produces when power dies mid-writeback).
+//!
+//! ## Determinism: the fixed-draw discipline
+//!
+//! Torn tails follow the same rule as [`crate::faults`]: a crash consumes
+//! exactly **one uniform draw per file**, in sorted file-name order, whether
+//! or not the file has any unsynced bytes to tear. The fault stream is
+//! therefore a function of the crash sequence and the set of file names
+//! alone — never of buffer sizes or incidental call order — so two runs
+//! with the same seed produce bit-identical torn tails, and adding a
+//! fault-free file to a workload does not shift the draws of the others
+//! within a crash.
+//!
+//! ## Time
+//!
+//! The engine's processes handle each event atomically; a blocking disk
+//! would need coroutine machinery the actor model deliberately avoids.
+//! Instead the disk *accounts* time: every operation charges a
+//! [`DiskProfile`]-derived cost to [`DiskStats::busy_s`], so experiments
+//! can report how much I/O time a protocol would have spent (and compare
+//! fsync-heavy against lazy policies) without perturbing event order.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Cost model for the time accounting (seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskProfile {
+    /// Fixed cost per fsync (head seek + cache flush barrier).
+    pub fsync_s: f64,
+    /// Transfer cost per byte moved (append, read, or flush).
+    pub per_byte_s: f64,
+}
+
+impl Default for DiskProfile {
+    /// A commodity 2003-era IDE disk: ~5 ms per fsync barrier, ~40 MB/s
+    /// sequential transfer — the hardware under the paper's testbed hosts.
+    fn default() -> Self {
+        DiskProfile { fsync_s: 5e-3, per_byte_s: 1.0 / 40.0e6 }
+    }
+}
+
+/// Operation counters and accounted I/O time for one disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskStats {
+    pub appends: u64,
+    pub bytes_appended: u64,
+    pub fsyncs: u64,
+    pub bytes_synced: u64,
+    pub reads: u64,
+    pub bytes_read: u64,
+    pub truncates: u64,
+    pub renames: u64,
+    pub crashes: u64,
+    /// Unsynced bytes destroyed by crashes (the torn tails).
+    pub bytes_torn: u64,
+    /// Accounted I/O busy time, seconds (see module doc).
+    pub busy_s: f64,
+}
+
+/// One file: the durable prefix and the cached (unsynced) tail.
+#[derive(Debug, Default, Clone)]
+struct SimFile {
+    synced: Vec<u8>,
+    unsynced: Vec<u8>,
+}
+
+/// One host's simulated local filesystem. Usually handled through a
+/// [`DiskHandle`] shared between the owning process and the harness (the
+/// engine is single-threaded, so `Rc<RefCell<_>>` is the idiom — the same
+/// one the NWS memory handles use).
+#[derive(Debug)]
+pub struct SimDisk {
+    host: String,
+    files: BTreeMap<String, SimFile>,
+    profile: DiskProfile,
+    stats: DiskStats,
+    /// Armed fault stream for torn tails. `None` = crashes keep no
+    /// unsynced bytes at all (the conservative default).
+    rng: Option<SmallRng>,
+}
+
+/// Shared handle to a host's disk.
+pub type DiskHandle = Rc<RefCell<SimDisk>>;
+
+/// FNV-1a 64-bit, used to derive a per-host fault stream from one seed
+/// (and by the WAL layers above for record checksums).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SimDisk {
+    /// A fresh, empty disk for `host`, with the default cost profile and
+    /// no fault stream armed.
+    pub fn new(host: &str) -> DiskHandle {
+        Rc::new(RefCell::new(SimDisk {
+            host: host.to_string(),
+            files: BTreeMap::new(),
+            profile: DiskProfile::default(),
+            stats: DiskStats::default(),
+            rng: None,
+        }))
+    }
+
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    pub fn set_profile(&mut self, profile: DiskProfile) {
+        self.profile = profile;
+    }
+
+    /// Arm the torn-tail fault stream. The stream is derived from the
+    /// given seed *and* the host name, so every disk in a deployment gets
+    /// an independent — but seed-reproducible — sequence.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.rng = Some(SmallRng::seed_from_u64(seed ^ fnv1a64(self.host.as_bytes())));
+    }
+
+    /// Buffered write to the tail of `file` (created if absent). The bytes
+    /// land in the cache: they survive a process crash, not a host crash.
+    pub fn append(&mut self, file: &str, data: &[u8]) {
+        self.files.entry(file.to_string()).or_default().unsynced.extend_from_slice(data);
+        self.stats.appends += 1;
+        self.stats.bytes_appended += data.len() as u64;
+        self.stats.busy_s += data.len() as f64 * self.profile.per_byte_s;
+    }
+
+    /// Flush `file`'s cached tail to stable storage. A no-op (beyond the
+    /// barrier cost) when there is nothing to flush.
+    pub fn fsync(&mut self, file: &str) {
+        let f = self.files.entry(file.to_string()).or_default();
+        let n = f.unsynced.len();
+        f.synced.append(&mut f.unsynced);
+        self.stats.fsyncs += 1;
+        self.stats.bytes_synced += n as u64;
+        self.stats.busy_s += self.profile.fsync_s + n as f64 * self.profile.per_byte_s;
+    }
+
+    /// Full current contents of `file` — durable prefix plus cached tail —
+    /// or `None` if it does not exist.
+    pub fn read(&mut self, file: &str) -> Option<Vec<u8>> {
+        let f = self.files.get(file)?;
+        let mut out = f.synced.clone();
+        out.extend_from_slice(&f.unsynced);
+        self.stats.reads += 1;
+        self.stats.bytes_read += out.len() as u64;
+        self.stats.busy_s += out.len() as f64 * self.profile.per_byte_s;
+        Some(out)
+    }
+
+    /// Current length of `file` (0 if absent).
+    pub fn len(&self, file: &str) -> usize {
+        self.files.get(file).map_or(0, |f| f.synced.len() + f.unsynced.len())
+    }
+
+    pub fn exists(&self, file: &str) -> bool {
+        self.files.contains_key(file)
+    }
+
+    /// Is the whole disk empty (no files)?
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Truncate `file` to empty. Metadata operation: atomic and durable
+    /// (journaled-filesystem semantics), creates the file if absent.
+    pub fn truncate(&mut self, file: &str) {
+        let f = self.files.entry(file.to_string()).or_default();
+        f.synced.clear();
+        f.unsynced.clear();
+        self.stats.truncates += 1;
+    }
+
+    /// Atomically rename `from` over `to` (the `rename(2)` publish idiom).
+    /// Durable for the *name*; the caller must fsync the data first if it
+    /// wants the contents to survive a crash — exactly the real contract.
+    pub fn rename(&mut self, from: &str, to: &str) {
+        if let Some(f) = self.files.remove(from) {
+            self.files.insert(to.to_string(), f);
+        }
+        self.stats.renames += 1;
+    }
+
+    /// Delete `file` (atomic, durable).
+    pub fn remove(&mut self, file: &str) {
+        self.files.remove(file);
+    }
+
+    /// Sorted list of file names.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// Host/power failure: every file keeps its synced bytes plus a random
+    /// prefix of its cached tail. Consumes exactly one uniform draw per
+    /// file, in sorted name order, even for files with an empty cache —
+    /// see the module doc's fixed-draw discipline. With no fault stream
+    /// armed, the cache is lost entirely (keep-nothing is the conservative
+    /// deterministic default).
+    pub fn crash(&mut self) {
+        self.stats.crashes += 1;
+        for f in self.files.values_mut() {
+            let keep = match &mut self.rng {
+                // `+1` so "everything flushed" is drawable too.
+                Some(rng) => (rng.next_u64() % (f.unsynced.len() as u64 + 1)) as usize,
+                None => 0,
+            };
+            self.stats.bytes_torn += (f.unsynced.len() - keep) as u64;
+            f.synced.extend_from_slice(&f.unsynced[..keep]);
+            f.unsynced.clear();
+        }
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+}
+
+/// Per-host disk registry for a deployment: hands out [`DiskHandle`]s on
+/// demand and owns the shared fault seed, so that a disk created lazily at
+/// heal time gets the same stream it would have had at deploy time.
+#[derive(Debug, Default)]
+pub struct DiskRegistry {
+    disks: BTreeMap<String, DiskHandle>,
+    fault_seed: Option<u64>,
+}
+
+impl DiskRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm (or re-arm) every present and future disk's torn-tail stream.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_seed = Some(seed);
+        for d in self.disks.values() {
+            d.borrow_mut().set_fault_seed(seed);
+        }
+    }
+
+    /// The disk for `host`, created empty on first use.
+    pub fn disk(&mut self, host: &str) -> DiskHandle {
+        if let Some(d) = self.disks.get(host) {
+            return Rc::clone(d);
+        }
+        let d = SimDisk::new(host);
+        if let Some(seed) = self.fault_seed {
+            d.borrow_mut().set_fault_seed(seed);
+        }
+        self.disks.insert(host.to_string(), Rc::clone(&d));
+        d
+    }
+
+    /// The disk for `host` if one has been created.
+    pub fn get(&self, host: &str) -> Option<DiskHandle> {
+        self.disks.get(host).map(Rc::clone)
+    }
+
+    /// Host/power failure for `host`'s disk (no-op if it has no disk yet —
+    /// an empty disk has nothing to tear).
+    pub fn crash_host(&mut self, host: &str) {
+        if let Some(d) = self.disks.get(host) {
+            d.borrow_mut().crash();
+        }
+    }
+
+    /// Aggregate stats across every disk (for experiment reporting).
+    pub fn total_stats(&self) -> DiskStats {
+        let mut t = DiskStats::default();
+        for d in self.disks.values() {
+            let s = d.borrow().stats();
+            t.appends += s.appends;
+            t.bytes_appended += s.bytes_appended;
+            t.fsyncs += s.fsyncs;
+            t.bytes_synced += s.bytes_synced;
+            t.reads += s.reads;
+            t.bytes_read += s.bytes_read;
+            t.truncates += s.truncates;
+            t.renames += s.renames;
+            t.crashes += s.crashes;
+            t.bytes_torn += s.bytes_torn;
+            t.busy_s += s.busy_s;
+        }
+        t
+    }
+
+    pub fn hosts(&self) -> Vec<String> {
+        self.disks.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_then_read_round_trips_without_fsync() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.append("wal", b"hello ");
+        d.append("wal", b"world");
+        assert_eq!(d.read("wal").unwrap(), b"hello world");
+        assert_eq!(d.len("wal"), 11);
+        assert!(d.read("other").is_none());
+    }
+
+    #[test]
+    fn crash_without_fault_stream_keeps_only_synced_bytes() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.append("wal", b"durable");
+        d.fsync("wal");
+        d.append("wal", b" lost");
+        d.crash();
+        assert_eq!(d.read("wal").unwrap(), b"durable");
+        assert_eq!(d.stats().bytes_torn, 5);
+    }
+
+    #[test]
+    fn crash_with_fault_stream_keeps_a_prefix_of_the_tail() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.set_fault_seed(42);
+        d.append("wal", b"durable|");
+        d.fsync("wal");
+        d.append("wal", b"cached tail");
+        d.crash();
+        let got = d.read("wal").unwrap();
+        assert!(got.starts_with(b"durable|"), "synced prefix must survive");
+        let tail = &got[8..];
+        assert!(b"cached tail".starts_with(tail), "tail must be a prefix, got {tail:?}");
+    }
+
+    #[test]
+    fn crashes_are_deterministic_per_seed_and_host() {
+        let run = |seed: u64| {
+            let d = SimDisk::new("h0");
+            let mut d = d.borrow_mut();
+            d.set_fault_seed(seed);
+            let mut out = Vec::new();
+            for round in 0..20 {
+                d.append("a.wal", &[round; 13]);
+                d.append("b.wal", &[round; 7]);
+                if round % 3 == 0 {
+                    d.fsync("a.wal");
+                }
+                d.crash();
+                out.push((d.read("a.wal").unwrap(), d.read("b.wal").unwrap()));
+            }
+            out
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should tear differently");
+    }
+
+    #[test]
+    fn fixed_draw_discipline_draws_once_per_file_even_when_empty() {
+        // Two disks, same seed. Disk A crashes with an extra fully-synced
+        // file present; disk B without it. The torn tail of the shared
+        // file must be identical: the empty file still consumed its draw
+        // in name order, so the stream stays aligned by construction —
+        // and the draw for "a.wal" (first in sorted order) is unaffected
+        // by files sorting after it.
+        let mk = |with_extra: bool| {
+            let d = SimDisk::new("h0");
+            let mut d = d.borrow_mut();
+            d.set_fault_seed(1234);
+            d.append("a.wal", b"0123456789abcdef");
+            if with_extra {
+                d.append("z.snap", b"synced");
+                d.fsync("z.snap");
+            }
+            d.crash();
+            d.read("a.wal").unwrap()
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn rename_is_atomic_publish() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.append("snap.new", b"v2");
+        d.fsync("snap.new");
+        d.append("snap", b"v1");
+        d.fsync("snap");
+        d.rename("snap.new", "snap");
+        assert_eq!(d.read("snap").unwrap(), b"v2");
+        assert!(!d.exists("snap.new"));
+    }
+
+    #[test]
+    fn truncate_clears_both_layers() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.append("wal", b"synced");
+        d.fsync("wal");
+        d.append("wal", b"cached");
+        d.truncate("wal");
+        assert_eq!(d.len("wal"), 0);
+        assert!(d.exists("wal"));
+    }
+
+    #[test]
+    fn registry_hands_out_one_disk_per_host_and_crashes_by_host() {
+        let mut reg = DiskRegistry::new();
+        reg.set_fault_seed(9);
+        let a = reg.disk("a");
+        let a2 = reg.disk("a");
+        assert!(Rc::ptr_eq(&a, &a2));
+        a.borrow_mut().append("wal", b"tail");
+        reg.crash_host("a");
+        reg.crash_host("ghost"); // no disk yet: no-op
+        assert_eq!(a.borrow().stats().crashes, 1);
+        assert_eq!(reg.total_stats().crashes, 1);
+        assert_eq!(reg.hosts(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn time_accounting_accumulates() {
+        let d = SimDisk::new("h0");
+        let mut d = d.borrow_mut();
+        d.set_profile(DiskProfile { fsync_s: 1.0, per_byte_s: 0.5 });
+        d.append("wal", b"ab"); // 2 bytes * 0.5
+        d.fsync("wal"); // 1.0 + 2 * 0.5
+        assert!((d.stats().busy_s - 3.0).abs() < 1e-12);
+    }
+}

@@ -28,6 +28,7 @@
 //! * [`routing`] — per-direction shortest paths, overrides, reachability.
 //! * [`fairness`] + [`flow`] — max-min progressive-filling allocator.
 //! * [`engine`] — event queue, actor processes with mailboxes and timers.
+//! * [`disk`] — per-host simulated durable storage (append/fsync/crash).
 //! * [`probes`] — the user-level experiments ENV and NWS run.
 //! * [`traffic`] — background cross-traffic generators.
 //! * [`scenarios`] — canned platforms, including the paper's ENS-Lyon LAN.
@@ -52,6 +53,7 @@
 //! ```
 
 pub mod churn;
+pub mod disk;
 pub mod dot;
 pub mod engine;
 pub mod error;
@@ -70,6 +72,7 @@ pub mod topology;
 pub mod traffic;
 pub mod units;
 
+pub use disk::{DiskHandle, DiskProfile, DiskRegistry, DiskStats, SimDisk};
 pub use engine::{Ctx, Engine, NoMsg, Process, ProcessId, Sim};
 pub use error::{NetError, NetResult};
 pub use fairness::{FairEngine, FairnessModel, ResourceId, ResourceTable};

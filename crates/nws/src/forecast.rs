@@ -88,6 +88,15 @@ impl SortedWindow {
     pub fn sorted(&self) -> &[f64] {
         &self.sorted
     }
+
+    /// The window in arrival order — the persisted form. A restore
+    /// re-pushes the arrivals into a fresh window: the sorted mirror is a
+    /// deterministic function of the arrival sequence (bit-equal values
+    /// insert at bit-equal positions under `total_cmp`), so the rebuilt
+    /// window is bit-identical to the saved one.
+    pub fn arrivals(&self) -> impl Iterator<Item = f64> + '_ {
+        self.arrivals.iter().copied()
+    }
 }
 
 /// A single prediction method.
@@ -97,6 +106,31 @@ pub trait Predictor {
     /// Predict the next value, if enough data has been seen.
     fn predict(&self) -> Option<f64>;
     fn name(&self) -> &str;
+
+    /// Serialize the internal state into a flat `f64` vector, the inverse
+    /// of [`Predictor::restore`]. Counters ride along as raw bit patterns
+    /// (`f64::from_bits`) so the round trip is exact for any value; the
+    /// persistence layer ships the vector through `to_bits`, so every
+    /// word survives bit-for-bit. The default saves nothing — fine for
+    /// the naive oracle family, which is never persisted; every deployed
+    /// predictor overrides both methods.
+    fn save(&self, _out: &mut Vec<f64>) {}
+
+    /// Rebuild internal state from a [`Predictor::save`] vector. Must be
+    /// exact: a restored predictor continues the stream bit-identically
+    /// to one that never stopped. A short/garbled vector (impossible
+    /// after checksum verification, but decoders stay total) leaves the
+    /// predictor empty rather than panicking.
+    fn restore(&mut self, _state: &[f64]) {}
+}
+
+/// `u64` ↔ `f64` bit-pattern bridge for counters inside saved state.
+fn bits(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+fn unbits(v: f64) -> u64 {
+    v.to_bits()
 }
 
 /// Last observed value.
@@ -114,6 +148,15 @@ impl Predictor for LastValue {
     }
     fn name(&self) -> &str {
         "LAST"
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        match self.last {
+            Some(v) => out.extend_from_slice(&[1.0, v]),
+            None => out.push(0.0),
+        }
+    }
+    fn restore(&mut self, state: &[f64]) {
+        self.last = if state.first() == Some(&1.0) { state.get(1).copied() } else { None };
     }
 }
 
@@ -137,6 +180,13 @@ impl Predictor for RunningMean {
     }
     fn name(&self) -> &str {
         "RUN_AVG"
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&[self.mean, bits(self.n)]);
+    }
+    fn restore(&mut self, state: &[f64]) {
+        self.mean = state.first().copied().unwrap_or(0.0);
+        self.n = state.get(1).copied().map_or(0, unbits);
     }
 }
 
@@ -175,6 +225,17 @@ impl Predictor for SlidingMean {
     fn name(&self) -> &str {
         &self.name
     }
+    fn save(&self, out: &mut Vec<f64>) {
+        // The incrementally maintained `sum` is saved verbatim (not
+        // recomputed) so the restored accumulator carries the exact same
+        // add/subtract rounding history as the live one.
+        out.push(self.sum);
+        out.extend(self.window.iter());
+    }
+    fn restore(&mut self, state: &[f64]) {
+        self.sum = state.first().copied().unwrap_or(0.0);
+        self.window = state.get(1..).unwrap_or_default().iter().copied().collect();
+    }
 }
 
 /// Sliding-window median over a [`SortedWindow`]: O(log k) observe, O(1)
@@ -206,6 +267,16 @@ impl Predictor for SlidingMedian {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        out.extend(self.window.arrivals());
+    }
+    fn restore(&mut self, state: &[f64]) {
+        let mut w = SortedWindow::new(self.window.k);
+        for &v in state {
+            w.push(v);
+        }
+        self.window = w;
     }
 }
 
@@ -246,6 +317,16 @@ impl Predictor for TrimmedMean {
     fn name(&self) -> &str {
         &self.name
     }
+    fn save(&self, out: &mut Vec<f64>) {
+        out.extend(self.window.arrivals());
+    }
+    fn restore(&mut self, state: &[f64]) {
+        let mut w = SortedWindow::new(self.window.k);
+        for &v in state {
+            w.push(v);
+        }
+        self.window = w;
+    }
 }
 
 /// Exponential smoothing with gain `g`.
@@ -275,6 +356,15 @@ impl Predictor for ExpSmooth {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        match self.state {
+            Some(s) => out.extend_from_slice(&[1.0, s]),
+            None => out.push(0.0),
+        }
+    }
+    fn restore(&mut self, state: &[f64]) {
+        self.state = if state.first() == Some(&1.0) { state.get(1).copied() } else { None };
     }
 }
 
@@ -313,6 +403,21 @@ impl Predictor for HoltLinear {
     }
     fn name(&self) -> &str {
         &self.name
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        match self.level {
+            Some(l) => out.extend_from_slice(&[1.0, l, self.trend]),
+            None => out.push(0.0),
+        }
+    }
+    fn restore(&mut self, state: &[f64]) {
+        if state.first() == Some(&1.0) {
+            self.level = state.get(1).copied();
+            self.trend = state.get(2).copied().unwrap_or(0.0);
+        } else {
+            self.level = None;
+            self.trend = 0.0;
+        }
     }
 }
 
@@ -379,6 +484,18 @@ impl Predictor for AdaptiveMean {
     }
     fn name(&self) -> &str {
         "ADAPT_AVG"
+    }
+    fn save(&self, out: &mut Vec<f64>) {
+        // `sum` verbatim (accumulator rounding history) and the re-sum
+        // countdown, so the periodic exact re-sum fires at the same
+        // observation index it would have without the restart.
+        out.extend_from_slice(&[self.sum, bits(self.since_resum as u64)]);
+        out.extend(self.window.iter());
+    }
+    fn restore(&mut self, state: &[f64]) {
+        self.sum = state.first().copied().unwrap_or(0.0);
+        self.since_resum = state.get(1).copied().map_or(0, |v| unbits(v) as u32);
+        self.window = state.get(2..).unwrap_or_default().iter().copied().collect();
     }
 }
 
@@ -720,6 +837,56 @@ impl ForecasterBattery {
             samples: self.samples,
             stale: false,
         })
+    }
+
+    /// Per-predictor opaque state vectors, in battery order — the
+    /// persisted form of the battery (see [`crate::persist`]).
+    pub fn save_states(&self) -> Vec<Vec<f64>> {
+        self.predictors
+            .iter()
+            .map(|p| {
+                let mut s = Vec::new();
+                p.save(&mut s);
+                s
+            })
+            .collect()
+    }
+
+    /// Restore predictor states saved from a battery of the same family
+    /// (same predictors, same order). Extra or missing vectors are
+    /// ignored — a snapshot from a different family restores as much as
+    /// positions line up, which for the fixed classic family is all of it.
+    pub fn restore_states(&mut self, states: &[Vec<f64>]) {
+        for (p, s) in self.predictors.iter_mut().zip(states) {
+            p.restore(s);
+        }
+    }
+
+    /// The scoring state: `(sq_err, abs_err, n_scored, samples)`.
+    pub fn scores(&self) -> (&[f64], &[f64], &[u64], u64) {
+        (&self.sq_err, &self.abs_err, &self.n_scored, self.samples)
+    }
+
+    /// Restore the scoring state (counterpart of
+    /// [`ForecasterBattery::scores`]); slices shorter than the battery
+    /// leave the tail at its reset value.
+    pub fn restore_scores(
+        &mut self,
+        sq_err: &[f64],
+        abs_err: &[f64],
+        n_scored: &[u64],
+        samples: u64,
+    ) {
+        for (dst, src) in self.sq_err.iter_mut().zip(sq_err) {
+            *dst = *src;
+        }
+        for (dst, src) in self.abs_err.iter_mut().zip(abs_err) {
+            *dst = *src;
+        }
+        for (dst, src) in self.n_scored.iter_mut().zip(n_scored) {
+            *dst = *src;
+        }
+        self.samples = samples;
     }
 
     /// Cumulative mean squared error of every predictor, by name — the
@@ -1094,5 +1261,50 @@ mod tests {
         assert!(f.rmse > 0.0 && f.mae > 0.0);
         assert!(f.value < 120.0, "MSE winner {} = {}", f.method, f.value);
         assert!(f.mae_value < 120.0, "MAE winner {} = {}", f.mae_method, f.mae_value);
+    }
+
+    /// Save/restore is exact: a battery snapshotted mid-stream and
+    /// restored into a fresh family continues bit-identically to one
+    /// that never stopped — for every cut point, including the regime
+    /// jumps that reset ADAPT_AVG and the window-eviction boundaries.
+    #[test]
+    fn battery_save_restore_is_bit_identical_at_every_cut() {
+        let mut rng = SmallRng::seed_from_u64(2026);
+        let stream: Vec<f64> = (0..120)
+            .map(|i| {
+                if i % 37 == 36 {
+                    900.0 // jump: exercises the adaptive reset
+                } else {
+                    50.0 + rng.gen_range(-5.0..5.0)
+                }
+            })
+            .collect();
+        for cut in [0usize, 1, 4, 31, 32, 36, 37, 38, 100, 120] {
+            let mut live = ForecasterBattery::classic();
+            live.observe_all(stream.iter().copied());
+
+            let mut first = ForecasterBattery::classic();
+            first.observe_all(stream[..cut].iter().copied());
+            let states = first.save_states();
+            let (sq, ab, ns, samples) = first.scores();
+            let (sq, ab, ns) = (sq.to_vec(), ab.to_vec(), ns.to_vec());
+
+            let mut resumed = ForecasterBattery::classic();
+            resumed.restore_states(&states);
+            resumed.restore_scores(&sq, &ab, &ns, samples);
+            resumed.observe_all(stream[cut..].iter().copied());
+
+            let a = live.forecast().unwrap();
+            let b = resumed.forecast().unwrap();
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "cut at {cut}");
+            assert_eq!(a.rmse.to_bits(), b.rmse.to_bits(), "cut at {cut}");
+            assert_eq!(a, b, "cut at {cut}");
+            // The whole scoring state matches, not just the winner.
+            assert_eq!(
+                live.save_states(),
+                resumed.save_states(),
+                "predictor state diverged at cut {cut}"
+            );
+        }
     }
 }

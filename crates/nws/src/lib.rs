@@ -30,15 +30,18 @@ pub mod forecast;
 pub mod hostload;
 pub mod memory;
 pub mod msg;
+pub mod persist;
 pub mod registry;
 pub mod sensor;
 pub mod series;
 pub mod supervisor;
 pub mod system;
+pub mod wal;
 
 pub use clique::CliqueRetarget;
 pub use forecast::{Forecast, ForecasterBattery};
 pub use msg::{NwsMsg, Resource, SeriesKey};
+pub use persist::{ForecastLog, MemoryLog, RecoveredSeries};
 pub use series::{Series, SeriesPoint};
 pub use supervisor::{SupervisorConfig, SupervisorHandle, SupervisorState};
 pub use system::{CliqueSpec, NwsSystem, NwsSystemSpec, ReconfigSpec, SensorMode, SensorSpec};

@@ -10,18 +10,26 @@
 //! per-sender sequence number, the memory acks it (even when the point is
 //! rejected — an ack means *received*), and a seq seen before is counted
 //! in [`MemoryStore::dup_stores`] without touching `stores` or the series.
-//! The dedup ledger lives inside [`MemoryStore`] — the "disk" — so a
-//! supervisor restart via [`MemoryServer::with_store`] keeps it, and a
-//! retry that straddles the crash still cannot double-count.
+//!
+//! A memory built via [`MemoryServer::recover`] is **durable**: every
+//! store is written to a checksummed WAL on the host's [`SimDisk`] and
+//! fsynced *before* the ack goes out, so an acked store is on stable
+//! storage by the time the sensor releases its buffer slot — a crash plus
+//! a sensor retry still cannot double-count, because the dedup ledger is
+//! replayed along with the points (see [`crate::persist`]).
+//!
+//! [`SimDisk`]: netsim::disk::SimDisk
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+use netsim::disk::DiskHandle;
 use netsim::engine::{Ctx, Process, ProcessId};
 use netsim::error::NetError;
 
 use crate::msg::{NwsMsg, SeriesKey, ServerKind};
+use crate::persist::MemoryLog;
 use crate::series::Series;
 
 /// Per-sender record of which store sequence numbers have been received:
@@ -44,6 +52,29 @@ impl SeenSeqs {
         }
         true
     }
+
+    /// The contiguous watermark: every seq `<= watermark` has been seen.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// The sparse seqs above the watermark, ascending.
+    pub fn above(&self) -> impl Iterator<Item = u64> + '_ {
+        self.above.iter().copied()
+    }
+
+    /// Reassemble a ledger from its persisted parts (snapshot decode).
+    pub fn from_parts(watermark: u64, above: impl IntoIterator<Item = u64>) -> Self {
+        SeenSeqs { watermark, above: above.into_iter().collect() }
+    }
+}
+
+/// What [`MemoryStore::apply_store`] did with one store record.
+pub struct StoreOutcome {
+    /// First time this (sender, seq) was seen — the point was counted.
+    pub first_time: bool,
+    /// The store created the series (its key should be registered).
+    pub new_key: bool,
 }
 
 /// The stored series, shared with the harness for direct inspection.
@@ -76,6 +107,50 @@ impl MemoryStore {
     pub fn series_len(&self, key: &SeriesKey) -> usize {
         self.series.get(key).map(Series::len).unwrap_or(0)
     }
+
+    /// Apply one store: dedup via the per-sender seq ledger, then count
+    /// and push. This is the **single** mutation path for stores — the
+    /// live message handler and the WAL replay both call it, which is
+    /// what makes replayed state bit-identical to live state by
+    /// construction.
+    pub fn apply_store(
+        &mut self,
+        sender: ProcessId,
+        seq: u64,
+        key: &SeriesKey,
+        t: f64,
+        value: f64,
+        capacity: usize,
+    ) -> StoreOutcome {
+        let first_time = self.seen.entry(sender).or_default().note(seq);
+        let mut new_key = false;
+        if first_time {
+            self.stores += 1;
+            new_key = !self.series.contains_key(key);
+            let stored = self
+                .series
+                .entry(key.clone())
+                .or_insert_with(|| Series::new(capacity))
+                .push(t, value);
+            if !stored {
+                self.rejected += 1;
+            }
+        } else {
+            self.dup_stores += 1;
+        }
+        StoreOutcome { first_time, new_key }
+    }
+
+    /// Account one fetch that served `served` points (live and replay).
+    pub fn apply_fetch(&mut self, served: u64) {
+        self.fetches += 1;
+        self.points_served += served;
+    }
+
+    /// Account one bounced reply (live and replay).
+    pub fn apply_reply_failure(&mut self) {
+        self.reply_failures += 1;
+    }
 }
 
 /// Shared handle onto a memory server's store.
@@ -87,20 +162,68 @@ pub struct MemoryServer {
     ns: ProcessId,
     capacity: usize,
     store: MemoryHandle,
+    /// Durable WAL + snapshot state, when the server owns a disk. `None`
+    /// for volatile servers ([`MemoryServer::new`] / test seams).
+    log: Option<MemoryLog>,
 }
 
 impl MemoryServer {
+    /// A volatile memory server: state lives in RAM only and dies with
+    /// the process. Unit tests and single-epoch experiments use this;
+    /// supervised deployments use [`MemoryServer::recover`].
     pub fn new(name: &str, ns: ProcessId, capacity: usize) -> (Self, MemoryHandle) {
         let store = Rc::new(RefCell::new(MemoryStore::default()));
-        (MemoryServer { name: name.to_string(), ns, capacity, store: store.clone() }, store)
+        (
+            MemoryServer { name: name.to_string(), ns, capacity, store: store.clone(), log: None },
+            store,
+        )
     }
 
-    /// Rebuild a memory server around an existing store — the supervised
-    /// restart path: the process died but its disk (the [`MemoryHandle`])
-    /// survived, so the replacement resumes with every series, counter and
-    /// dedup watermark intact and re-registers them on start.
+    /// **Test seam only.** Rebuild a volatile server around a store the
+    /// caller already holds — useful for staging a specific pre-state
+    /// (e.g. a deliberately rolled-back store for the forecaster-rewind
+    /// regression test). Production recovery must go through
+    /// [`MemoryServer::recover`]: a real restart has no surviving RAM to
+    /// smuggle a [`MemoryHandle`] out of.
     pub fn with_store(name: &str, ns: ProcessId, capacity: usize, store: MemoryHandle) -> Self {
-        MemoryServer { name: name.to_string(), ns, capacity, store }
+        MemoryServer { name: name.to_string(), ns, capacity, store, log: None }
+    }
+
+    /// A durable memory server: rebuild the store from `disk` (snapshot +
+    /// WAL replay, empty disk ⇒ empty store) and keep logging to it. This
+    /// is both the cold-start and the crash-recovery constructor — the
+    /// two are the same code path on purpose.
+    ///
+    /// The on-disk file names are fixed (`memory.wal` / `memory.snap`),
+    /// not derived from `name`: display names embed a deployment index
+    /// that can shift across reconfigurations, and a renamed server must
+    /// still find its own files.
+    pub fn recover(
+        name: &str,
+        ns: ProcessId,
+        capacity: usize,
+        disk: DiskHandle,
+    ) -> (Self, MemoryHandle) {
+        let (store, log) = MemoryLog::recover(disk, "memory", capacity);
+        let store = Rc::new(RefCell::new(store));
+        (
+            MemoryServer {
+                name: name.to_string(),
+                ns,
+                capacity,
+                store: store.clone(),
+                log: Some(log),
+            },
+            store,
+        )
+    }
+
+    /// Tune the durable WAL's compaction threshold (bytes). No-op on a
+    /// volatile server.
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        if let Some(log) = &mut self.log {
+            log.set_compact_threshold(bytes);
+        }
     }
 }
 
@@ -122,27 +245,16 @@ impl Process<NwsMsg> for MemoryServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
         match msg {
             NwsMsg::Store { key, seq, t, value } => {
-                let mut st = self.store.borrow_mut();
-                let first_time = st.seen.entry(from).or_default().note(seq);
-                let mut register = None;
-                if first_time {
-                    st.stores += 1;
-                    let is_new = !st.series.contains_key(&key);
-                    let stored = st
-                        .series
-                        .entry(key.clone())
-                        .or_insert_with(|| Series::new(self.capacity))
-                        .push(t, value);
-                    if !stored {
-                        st.rejected += 1;
-                    }
-                    if is_new {
-                        register = Some(key);
-                    }
-                } else {
-                    st.dup_stores += 1;
+                let out =
+                    self.store.borrow_mut().apply_store(from, seq, &key, t, value, self.capacity);
+                if let Some(log) = &mut self.log {
+                    // Log every copy — duplicates included, so replay
+                    // reproduces `dup_stores` — and fsync before the ack:
+                    // an acked store is on stable storage, which is what
+                    // keeps a crash + sensor retry from double-counting.
+                    log.log_store(from, seq, &key, t, value);
+                    log.maybe_compact(&self.store.borrow());
                 }
-                drop(st);
                 // Ack in every case — including duplicates and rejected
                 // points — so the sender releases its buffer slot; without
                 // the dup-ack a sensor whose first ack was lost would
@@ -150,7 +262,7 @@ impl Process<NwsMsg> for MemoryServer {
                 let ack = NwsMsg::StoreAck { seq };
                 let size = ack.wire_size();
                 let _ = ctx.send(from, size, ack);
-                if let Some(key) = register {
+                if out.first_time && out.new_key {
                     let reg = NwsMsg::RegisterSeries { key, memory: ctx.me() };
                     let size = reg.wire_size();
                     let _ = ctx.send(self.ns, size, reg);
@@ -162,27 +274,41 @@ impl Process<NwsMsg> for MemoryServer {
                 let _ = ctx.send(from, size, pong);
             }
             NwsMsg::Fetch { key } => {
-                let points = {
+                let (points, latest) = {
                     let mut st = self.store.borrow_mut();
-                    st.fetches += 1;
                     let points = st.series.get(&key).map(Series::to_pairs).unwrap_or_default();
-                    st.points_served += points.len() as u64;
-                    points
+                    let latest = st
+                        .series
+                        .get(&key)
+                        .and_then(Series::last)
+                        .map_or(f64::NEG_INFINITY, |p| p.t);
+                    st.apply_fetch(points.len() as u64);
+                    (points, latest)
                 };
-                let reply = NwsMsg::FetchReply { key, points };
+                if let Some(log) = &mut self.log {
+                    log.log_fetch(points.len() as u64);
+                }
+                let reply = NwsMsg::FetchReply { key, points, latest };
                 let size = reply.wire_size();
                 let _ = ctx.send(from, size, reply);
             }
             NwsMsg::FetchSince { key, after } => {
-                let points = {
+                let (points, latest) = {
                     let mut st = self.store.borrow_mut();
-                    st.fetches += 1;
                     let points =
                         st.series.get(&key).map(|s| s.pairs_since(after)).unwrap_or_default();
-                    st.points_served += points.len() as u64;
-                    points
+                    let latest = st
+                        .series
+                        .get(&key)
+                        .and_then(Series::last)
+                        .map_or(f64::NEG_INFINITY, |p| p.t);
+                    st.apply_fetch(points.len() as u64);
+                    (points, latest)
                 };
-                let reply = NwsMsg::FetchReply { key, points };
+                if let Some(log) = &mut self.log {
+                    log.log_fetch(points.len() as u64);
+                }
+                let reply = NwsMsg::FetchReply { key, points, latest };
                 let size = reply.wire_size();
                 let _ = ctx.send(from, size, reply);
             }
@@ -196,7 +322,10 @@ impl Process<NwsMsg> for MemoryServer {
         // gone — but the loss is accounted rather than silent; a retried
         // Store from a restarted sensor arrives under a fresh pid and seq
         // space, so dropping this reply cannot wedge anyone.
-        self.store.borrow_mut().reply_failures += 1;
+        self.store.borrow_mut().apply_reply_failure();
+        if let Some(log) = &mut self.log {
+            log.log_reply_failure();
+        }
     }
 }
 

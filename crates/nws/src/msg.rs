@@ -183,9 +183,15 @@ pub enum NwsMsg {
         after: f64,
     },
     /// Reply to both `Fetch` (full ring) and `FetchSince` (suffix).
+    /// `latest` is the timestamp of the newest point the memory holds for
+    /// this series (`NEG_INFINITY` when it holds none): a forecaster whose
+    /// delta-fetch watermark is *ahead* of `latest` is talking to a store
+    /// that was restored to an older state, and must rewind rather than
+    /// silently serve across the gap.
     FetchReply {
         key: SeriesKey,
         points: Vec<(f64, f64)>,
+        latest: f64,
     },
 
     // ---- clique token ring (paper §2.3, [23]) -----------------------------
@@ -238,7 +244,7 @@ impl NwsMsg {
             NwsMsg::Ping | NwsMsg::Pong => 16,
             NwsMsg::Fetch { .. } => 64,
             NwsMsg::FetchSince { .. } => 72,
-            NwsMsg::FetchReply { points, .. } => 64 + 16 * points.len(),
+            NwsMsg::FetchReply { points, .. } => 72 + 16 * points.len(),
             NwsMsg::Token { .. } => 32,
             NwsMsg::Retarget { add, remove } => {
                 64 + add.iter().map(|a| 48 + 24 * a.ring.len()).sum::<usize>() + 24 * remove.len()
@@ -274,11 +280,15 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_history() {
-        let small =
-            NwsMsg::FetchReply { key: SeriesKey::host(Resource::CpuLoad, "a"), points: vec![] };
+        let small = NwsMsg::FetchReply {
+            key: SeriesKey::host(Resource::CpuLoad, "a"),
+            points: vec![],
+            latest: f64::NEG_INFINITY,
+        };
         let big = NwsMsg::FetchReply {
             key: SeriesKey::host(Resource::CpuLoad, "a"),
             points: vec![(0.0, 0.0); 100],
+            latest: 99.0,
         };
         assert!(big.wire_size() > small.wire_size());
         assert_eq!(

@@ -60,6 +60,12 @@ impl Series {
         self.points.len()
     }
 
+    /// The ring bound this series was created with (persisted by the
+    /// durability plane so a recovered ring evicts identically).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }

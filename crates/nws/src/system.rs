@@ -5,6 +5,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
+use netsim::disk::{DiskHandle, DiskRegistry};
 use netsim::engine::{Ctx, Engine, Process, ProcessId, TimerId};
 use netsim::prelude::*;
 
@@ -12,6 +13,7 @@ use crate::clique::{CliqueMembership, CliqueRetarget};
 use crate::forecast::{Forecast, ForecasterBattery};
 use crate::memory::{MemoryHandle, MemoryServer};
 use crate::msg::{NwsMsg, SeriesKey, ServerKind};
+use crate::persist::ForecastLog;
 use crate::registry::{NameServer, RegistryHandle};
 use crate::sensor::{FreeRun, HostSense, Sensor, SensorConfig};
 use crate::series::Series;
@@ -20,11 +22,14 @@ use crate::supervisor::{SupervisorConfig, SupervisorHandle, SupervisorProc, Supe
 /// Persistent forecasting state for one series: the battery that has
 /// observed every point fetched so far, the newest observed timestamp
 /// (the delta-fetch watermark) and the memory server that stores the
-/// series (cached from the first directory lookup).
+/// series (cached from the first directory lookup). The memory pid is
+/// `None` right after a recovery from disk — pids do not survive
+/// restarts, so a recovered series re-resolves its home through the
+/// name server on the next query.
 struct SeriesState {
     battery: ForecasterBattery,
     last_t: f64,
-    memory: ProcessId,
+    memory: Option<ProcessId>,
 }
 
 /// Clients waiting for one key, plus how many of them are covered by the
@@ -67,6 +72,13 @@ pub struct ForecasterServer {
     key_by_tag: BTreeMap<u64, SeriesKey>,
     /// Stale forecasts served during outages (for tests/benches).
     pub stale_served: u64,
+    /// Watermark rewinds: times a fetch reply revealed a memory restored
+    /// to an *older* state than this forecaster had already observed, and
+    /// the battery was reset + the series re-fetched from scratch instead
+    /// of silently forecasting across the gap.
+    pub rewinds: u64,
+    /// Durable observation log, when the forecaster owns a disk.
+    log: Option<ForecastLog>,
 }
 
 impl ForecasterServer {
@@ -81,6 +93,32 @@ impl ForecasterServer {
             timeout_by_key: BTreeMap::new(),
             key_by_tag: BTreeMap::new(),
             stale_served: 0,
+            rewinds: 0,
+            log: None,
+        }
+    }
+
+    /// A durable forecaster: battery state and delta-fetch watermarks are
+    /// recovered from `disk` (snapshot + WAL replay, empty disk ⇒ cold
+    /// start) and every observation is logged back to it. Memory pids are
+    /// not part of the durable state — recovered series re-resolve their
+    /// memory through the name server on the next query.
+    pub fn durable(name: &str, ns: ProcessId, disk: DiskHandle) -> Self {
+        let (recovered, log) = ForecastLog::recover(disk, "forecaster");
+        let mut fc = ForecasterServer::new(name, ns);
+        fc.state = recovered
+            .into_iter()
+            .map(|(k, r)| (k, SeriesState { battery: r.battery, last_t: r.last_t, memory: None }))
+            .collect();
+        fc.log = Some(log);
+        fc
+    }
+
+    /// Tune the durable WAL's compaction threshold (bytes). No-op on a
+    /// volatile forecaster.
+    pub fn set_compact_threshold(&mut self, bytes: u64) {
+        if let Some(log) = &mut self.log {
+            log.set_compact_threshold(bytes);
         }
     }
 
@@ -104,9 +142,10 @@ impl ForecasterServer {
 
     fn send_fetch_since(&self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
         let st = &self.state[key];
+        let Some(memory) = st.memory else { return };
         let f = NwsMsg::FetchSince { key: key.clone(), after: st.last_t };
         let size = f.wire_size();
-        let _ = ctx.send(st.memory, size, f);
+        let _ = ctx.send(memory, size, f);
     }
 
     fn send_where_is(&self, ctx: &mut Ctx<'_, NwsMsg>, key: &SeriesKey) {
@@ -130,10 +169,11 @@ impl Process<NwsMsg> for ForecasterServer {
                 w.clients.push_back(from);
                 if w.asked == 0 {
                     // No request in flight for this key: start one. A known
-                    // series goes straight to its memory for the delta; only
-                    // a never-seen key pays the directory round trip.
+                    // series goes straight to its memory for the delta; a
+                    // never-seen key — or one recovered from disk with no
+                    // cached memory pid — pays the directory round trip.
                     w.asked = w.clients.len();
-                    if self.state.contains_key(&key) {
+                    if self.state.get(&key).is_some_and(|st| st.memory.is_some()) {
                         self.send_fetch_since(ctx, &key);
                     } else {
                         self.send_where_is(ctx, &key);
@@ -146,13 +186,14 @@ impl Process<NwsMsg> for ForecasterServer {
                     // No prefix accounting here: the eventual FetchReply
                     // forecast is fresh enough for every waiting client,
                     // including post-lookup joiners, and answers them all.
-                    self.state.entry(key.clone()).and_modify(|st| st.memory = mem).or_insert_with(
-                        || SeriesState {
+                    self.state
+                        .entry(key.clone())
+                        .and_modify(|st| st.memory = Some(mem))
+                        .or_insert_with(|| SeriesState {
                             battery: ForecasterBattery::classic(),
                             last_t: f64::NEG_INFINITY,
-                            memory: mem,
-                        },
-                    );
+                            memory: Some(mem),
+                        });
                     self.send_fetch_since(ctx, &key);
                 }
                 None => {
@@ -177,21 +218,62 @@ impl Process<NwsMsg> for ForecasterServer {
                     }
                 }
             },
-            NwsMsg::FetchReply { key, points } => {
-                let st = self.state.entry(key.clone()).or_insert_with(|| SeriesState {
-                    battery: ForecasterBattery::classic(),
-                    last_t: f64::NEG_INFINITY,
-                    memory: from,
-                });
-                for (t, v) in points {
-                    // Guard the watermark even against a duplicate or
-                    // reordered reply: each point is observed exactly once.
-                    if t > st.last_t {
-                        st.last_t = t;
-                        st.battery.observe(v);
+            NwsMsg::FetchReply { key, points, latest } => {
+                let rewound = {
+                    let st = self.state.entry(key.clone()).or_insert_with(|| SeriesState {
+                        battery: ForecasterBattery::classic(),
+                        last_t: f64::NEG_INFINITY,
+                        memory: Some(from),
+                    });
+                    st.memory = Some(from);
+                    if st.last_t > latest {
+                        // The memory holds *less* than we have already
+                        // observed: it was restored to an older state (a
+                        // crash lost the unsynced tail). Our battery has
+                        // consumed points the store no longer remembers, so
+                        // the delta-fetch watermark is a lie — rewind the
+                        // series (reset battery + watermark) and re-fetch
+                        // from scratch rather than silently serving
+                        // forecasts across the gap. Terminates: after the
+                        // reset, `last_t` can never again exceed `latest`.
+                        st.battery = ForecasterBattery::classic();
+                        st.last_t = f64::NEG_INFINITY;
+                        true
+                    } else {
+                        for (t, v) in points {
+                            // Guard the watermark even against a duplicate
+                            // or reordered reply: each point is observed
+                            // exactly once, and only watermark-advancing
+                            // points are logged (replay fidelity).
+                            if t > st.last_t {
+                                st.last_t = t;
+                                st.battery.observe(v);
+                                if let Some(log) = self.log.as_mut() {
+                                    log.log_observe(&key, t, v);
+                                }
+                            }
+                        }
+                        false
+                    }
+                };
+                if rewound {
+                    self.rewinds += 1;
+                    if let Some(log) = self.log.as_mut() {
+                        log.log_rewind(&key);
+                        log.sync();
+                    }
+                    // Timeout stays armed; the full re-fetch's reply will
+                    // answer the waiting clients.
+                    self.send_fetch_since(ctx, &key);
+                    return;
+                }
+                if let Some(log) = self.log.as_mut() {
+                    log.sync();
+                    if log.needs_compact() {
+                        log.compact(self.state.iter().map(|(k, s)| (k, &s.battery, s.last_t)));
                     }
                 }
-                let forecast = st.battery.forecast();
+                let forecast = self.state[&key].battery.forecast();
                 self.clear_timeout(ctx, &key);
                 if let Some(w) = self.waiting.remove(&key) {
                     for c in w.clients {
@@ -323,6 +405,11 @@ pub struct NwsSystemSpec {
     pub seed: u64,
     /// Enable the §6 host-locking extension on every sensor.
     pub host_locking: bool,
+    /// WAL compaction threshold (KiB) for the durable state plane: a
+    /// memory server or forecaster whose write-ahead log outgrows this
+    /// snapshots its state and truncates the log. Small values bound
+    /// replay work at recovery; large values amortize snapshot writes.
+    pub wal_compact_kib: u64,
 }
 
 impl NwsSystemSpec {
@@ -343,6 +430,7 @@ impl NwsSystemSpec {
             host_sense_period: TimeDelta::from_secs(10.0),
             seed: 42,
             host_locking: false,
+            wal_compact_kib: 64,
         }
     }
 }
@@ -406,6 +494,10 @@ pub struct NwsSystem {
     pub reheal_backoff: TimeDelta,
     /// host → instant of its last restart, for the re-heal throttle.
     healed_at: BTreeMap<String, SimTime>,
+    /// Per-host simulated disks: the durable state plane. Every memory
+    /// server and the forecaster log to their host's disk; recovery after
+    /// a crash reads **only** from here — there is no in-RAM handoff.
+    pub disks: DiskRegistry,
 }
 
 impl NwsSystem {
@@ -419,17 +511,29 @@ impl NwsSystem {
                 .ok_or_else(|| NetError::NameNotFound(name.to_string()))
         };
 
+        // Per-host disks: crash-fault draws share the spec seed so two
+        // identically seeded deployments tear identical file tails.
+        let mut disks = DiskRegistry::new();
+        disks.set_fault_seed(spec.seed);
+
         // Name server.
         let ns_node = resolve(eng, &spec.nameserver_host)?;
         let (ns, registry) = NameServer::new();
         let ns_pid = eng.add_process(ns_node, Box::new(ns));
 
-        // Memory servers.
+        // Memory servers — durable from the start: an empty disk recovers
+        // to an empty store, so cold start and crash recovery are the same
+        // code path.
         let mut memories = BTreeMap::new();
         for (i, host) in spec.memory_hosts.iter().enumerate() {
             let node = resolve(eng, host)?;
-            let (mem, handle) =
-                MemoryServer::new(&format!("memory{i}@{host}"), ns_pid, spec.series_capacity);
+            let (mut mem, handle) = MemoryServer::recover(
+                &format!("memory{i}@{host}"),
+                ns_pid,
+                spec.series_capacity,
+                disks.disk(host),
+            );
+            mem.set_compact_threshold(spec.wal_compact_kib * 1024);
             let pid = eng.add_process(node, Box::new(mem));
             memories.insert(host.clone(), (pid, handle));
         }
@@ -438,15 +542,15 @@ impl NwsSystem {
             .map(|(p, _)| *p)
             .ok_or_else(|| NetError::NameNotFound("no memory hosts".to_string()))?;
 
-        // Forecaster.
+        // Forecaster (durable, same disk plane).
         let fc_node = resolve(eng, &spec.forecaster_host)?;
-        let fc_pid = eng.add_process(
-            fc_node,
-            Box::new(ForecasterServer::new(
-                &format!("forecaster@{}", spec.forecaster_host),
-                ns_pid,
-            )),
+        let mut fc = ForecasterServer::durable(
+            &format!("forecaster@{}", spec.forecaster_host),
+            ns_pid,
+            disks.disk(&spec.forecaster_host),
         );
+        fc.set_compact_threshold(spec.wal_compact_kib * 1024);
+        let fc_pid = eng.add_process(fc_node, Box::new(fc));
 
         // Sensors: first allocate pids in spec order (two passes so cliques
         // can reference every member's pid).
@@ -538,6 +642,7 @@ impl NwsSystem {
             supervisor: None,
             reheal_backoff: TimeDelta::from_secs(15.0),
             healed_at: BTreeMap::new(),
+            disks,
         })
     }
 
@@ -603,11 +708,15 @@ impl NwsSystem {
                 continue;
             }
             let node = resolve(eng, host)?;
-            let (mem, handle) = MemoryServer::new(
+            // Durable like deploy-time memories; re-adding a host that
+            // held a memory before recovers its surviving series.
+            let (mut mem, handle) = MemoryServer::recover(
                 &format!("memory{}@{host}", self.memories.len()),
                 self.nameserver,
                 self.spec.series_capacity,
+                self.disks.disk(host),
             );
+            mem.set_compact_threshold(self.spec.wal_compact_kib * 1024);
             let pid = eng.add_process(node, Box::new(mem));
             self.memories.insert(host.clone(), (pid, handle));
             self.spec.memory_hosts.push(host.clone());
@@ -743,10 +852,11 @@ impl NwsSystem {
     /// Restart every component the supervisor currently suspects dead.
     /// Sensors are restarted through the reconfigure/Retarget machinery (a
     /// bare replacement process joins its cliques in place, token
-    /// migration included); a memory server is rebuilt around its
-    /// surviving store ([`MemoryServer::with_store`]) and its sensors get
-    /// a `RetargetMemory` burst so their outage buffers drain to the new
-    /// pid. Returns the healed host names (one entry per restart).
+    /// migration included); a memory server is **recovered from its
+    /// host's disk** ([`MemoryServer::recover`] — snapshot + WAL replay,
+    /// no in-RAM handoff) and its sensors get a `RetargetMemory` burst so
+    /// their outage buffers drain to the new pid. Returns the healed host
+    /// names (one entry per restart).
     pub fn heal(&mut self, eng: &mut Engine<NwsMsg>) -> NetResult<Vec<String>> {
         let Some((_, handle)) = &self.supervisor else {
             return Ok(Vec::new());
@@ -827,10 +937,13 @@ impl NwsSystem {
         Ok(healed)
     }
 
-    /// Restart the memory server on `host` around its surviving store and
-    /// re-point its sensors; returns the replacement pid.
+    /// Restart the memory server on `host` by recovering its state from
+    /// the host's simulated disk — the dead process's RAM (and its old
+    /// [`MemoryHandle`]) is gone; what the replacement knows is exactly
+    /// what the snapshot + WAL replay reconstructs — and re-point its
+    /// sensors; returns the replacement pid.
     fn restart_memory(&mut self, eng: &mut Engine<NwsMsg>, host: &str) -> NetResult<ProcessId> {
-        let (old_pid, store) = self
+        let (old_pid, _) = self
             .memories
             .get(host)
             .cloned()
@@ -842,12 +955,13 @@ impl NwsSystem {
             .or_else(|| host.parse::<Ipv4>().ok().and_then(|ip| eng.topo().node_by_ip(ip)))
             .ok_or_else(|| NetError::NameNotFound(host.to_string()))?;
         let idx = self.spec.memory_hosts.iter().position(|h| h == host).unwrap_or(0);
-        let mem = MemoryServer::with_store(
+        let (mut mem, store) = MemoryServer::recover(
             &format!("memory{idx}@{host}"),
             self.nameserver,
             self.spec.series_capacity,
-            store.clone(),
+            self.disks.disk(host),
         );
+        mem.set_compact_threshold(self.spec.wal_compact_kib * 1024);
         let new_pid = eng.add_process(node, Box::new(mem));
         self.memories.insert(host.to_string(), (new_pid, store));
         // Every sensor that stores to this memory drains its buffer to the
@@ -866,6 +980,19 @@ impl NwsSystem {
             eng.add_process(self.client_node, Box::new(Reconfigurer { sends }));
         }
         Ok(new_pid)
+    }
+
+    /// Crash the memory on `host` at the host/power level: the process
+    /// dies **and** its disk loses a seeded-random suffix of each file's
+    /// unsynced page cache ([`netsim::disk::SimDisk::crash`]). By
+    /// contrast, `eng.kill_process(pid)` alone models a process crash —
+    /// the page cache survives and recovery loses nothing. Pair with
+    /// [`NwsSystem::heal`] / a supervisor sweep to bring the host back.
+    pub fn crash_memory(&mut self, eng: &mut Engine<NwsMsg>, host: &str) {
+        if let Some((pid, _)) = self.memories.get(host) {
+            eng.kill_process(*pid);
+        }
+        self.disks.crash_host(host);
     }
 
     /// Issue a client query through the full §2.1 path and wait (up to

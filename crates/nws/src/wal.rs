@@ -1,0 +1,311 @@
+//! Record framing for the durable state plane: checksummed append-only-log
+//! records and snapshot containers, plus the little-endian primitive codec
+//! both share.
+//!
+//! ## Log record layout
+//!
+//! ```text
+//! | len: u32 LE | seq: u64 LE | crc: u64 LE | payload (len bytes) |
+//! ```
+//!
+//! `len` counts payload bytes only; `crc` is FNV-1a 64 over `seq` (LE
+//! bytes) followed by the payload, so a record torn anywhere — length
+//! header, seq, checksum or body — fails verification. [`scan_wal`] walks
+//! records front to back and stops at the first short or corrupt one:
+//! a crash-torn tail is *detected and cleanly truncated on replay*, never
+//! half-applied. Everything before the tear is intact by induction (each
+//! record's frame is self-delimiting and self-checking).
+//!
+//! ## Snapshot container layout
+//!
+//! ```text
+//! | magic: "NWSSNAP1" | log_seq: u64 LE | len: u32 LE | crc: u64 LE | body |
+//! ```
+//!
+//! `log_seq` is the sequence number of the last log record folded into the
+//! snapshot: replay applies only records with `seq > log_seq`, which makes
+//! the pair (snapshot, log suffix) insensitive to a crash *after* snapshot
+//! publication but *before* log truncation — the stale prefix is skipped
+//! by seq, not by luck. A snapshot that fails magic/len/crc verification
+//! (torn by a crash mid-write, before the atomic rename published it) is
+//! treated as absent.
+
+use netsim::disk::fnv1a64;
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian codec
+// ---------------------------------------------------------------------------
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// f64 via its IEEE-754 bit pattern: round-trips NaN payloads and signed
+/// zeros exactly, which the replay-equals-live bit-identity suites require.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Length-prefixed UTF-8.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over an encoded buffer. Every accessor returns `None` on
+/// underrun instead of panicking: a decoder fed a torn or hostile buffer
+/// reports failure and the caller falls back (skip the record, ignore the
+/// snapshot).
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).ok()
+    }
+
+    /// All input consumed, nothing left over?
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log records
+// ---------------------------------------------------------------------------
+
+fn record_crc(seq: u64, payload: &[u8]) -> u64 {
+    let mut pre = Vec::with_capacity(8 + payload.len());
+    pre.extend_from_slice(&seq.to_le_bytes());
+    pre.extend_from_slice(payload);
+    fnv1a64(&pre)
+}
+
+/// Frame one record onto the end of `buf`. Returns the framed length in
+/// bytes (header + payload), for the caller's log-size accounting.
+pub fn append_record(buf: &mut Vec<u8>, seq: u64, payload: &[u8]) -> usize {
+    put_u32(buf, payload.len() as u32);
+    put_u64(buf, seq);
+    put_u64(buf, record_crc(seq, payload));
+    buf.extend_from_slice(payload);
+    20 + payload.len()
+}
+
+/// Result of walking a log image front to back.
+pub struct WalScan {
+    /// The verified records, in log order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of the verified prefix (the tear point, if any).
+    pub valid_len: usize,
+    /// Were trailing bytes discarded (torn tail / corrupt record)?
+    pub torn: bool,
+}
+
+/// Walk `bytes` as a sequence of framed records, stopping cleanly at the
+/// first short or checksum-failing one (see module doc).
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return WalScan { records, valid_len: pos, torn: false };
+        }
+        if rest.len() < 20 {
+            return WalScan { records, valid_len: pos, torn: true };
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let seq = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let crc = u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes"));
+        if rest.len() < 20 + len {
+            return WalScan { records, valid_len: pos, torn: true };
+        }
+        let payload = &rest[20..20 + len];
+        if record_crc(seq, payload) != crc {
+            return WalScan { records, valid_len: pos, torn: true };
+        }
+        records.push((seq, payload.to_vec()));
+        pos += 20 + len;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+// ---------------------------------------------------------------------------
+
+const SNAP_MAGIC: &[u8; 8] = b"NWSSNAP1";
+
+fn snapshot_crc(log_seq: u64, body: &[u8]) -> u64 {
+    let mut pre = Vec::with_capacity(8 + body.len());
+    pre.extend_from_slice(&log_seq.to_le_bytes());
+    pre.extend_from_slice(body);
+    fnv1a64(&pre)
+}
+
+/// Wrap a snapshot body in the verified container.
+pub fn encode_snapshot(log_seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + body.len());
+    out.extend_from_slice(SNAP_MAGIC);
+    put_u64(&mut out, log_seq);
+    put_u32(&mut out, body.len() as u32);
+    put_u64(&mut out, snapshot_crc(log_seq, body));
+    out.extend_from_slice(body);
+    out
+}
+
+/// Verify and unwrap a snapshot image. `None` means "no usable snapshot"
+/// — missing, truncated, or corrupt — and the caller starts empty.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
+    if bytes.len() < 28 || &bytes[0..8] != SNAP_MAGIC {
+        return None;
+    }
+    let log_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let crc = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    if bytes.len() != 28 + len {
+        return None;
+    }
+    let body = &bytes[28..];
+    if snapshot_crc(log_seq, body) != crc {
+        return None;
+    }
+    Some((log_seq, body.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NEG_INFINITY);
+        put_str(&mut buf, "bandwidthTcp:a.x/b.x");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xdead_beef));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.f64(), Some(f64::NEG_INFINITY));
+        assert_eq!(r.str().as_deref(), Some("bandwidthTcp:a.x/b.x"));
+        assert!(r.done());
+        assert_eq!(r.u8(), None, "underrun reports None");
+    }
+
+    #[test]
+    fn wal_round_trips_and_reports_clean_end() {
+        let mut log = Vec::new();
+        append_record(&mut log, 1, b"alpha");
+        append_record(&mut log, 2, b"");
+        append_record(&mut log, 3, b"gamma");
+        let scan = scan_wal(&log);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, log.len());
+        assert_eq!(
+            scan.records,
+            vec![(1, b"alpha".to_vec()), (2, Vec::new()), (3, b"gamma".to_vec())]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let mut log = Vec::new();
+        append_record(&mut log, 1, b"first");
+        let keep = log.len();
+        append_record(&mut log, 2, b"second record payload");
+        // A cut exactly on the record boundary is a clean end, not a tear.
+        let at_boundary = scan_wal(&log[..keep]);
+        assert!(!at_boundary.torn);
+        assert_eq!(at_boundary.records.len(), 1);
+        // Cut the log at every byte position strictly inside the second
+        // record: the first must always survive, the second never
+        // half-apply.
+        for cut in keep + 1..log.len() {
+            let scan = scan_wal(&log[..cut]);
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len, keep, "cut at {cut}");
+            assert!(scan.torn, "cut at {cut}");
+        }
+        assert!(!scan_wal(&log).torn);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_scan() {
+        let mut log = Vec::new();
+        append_record(&mut log, 1, b"first");
+        let keep = log.len();
+        append_record(&mut log, 2, b"second");
+        let flip = keep + 22; // inside the second record's payload
+        log[flip] ^= 0x40;
+        let scan = scan_wal(&log);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_damage() {
+        let body = b"snapshot body bytes".to_vec();
+        let img = encode_snapshot(41, &body);
+        assert_eq!(decode_snapshot(&img), Some((41, body.clone())));
+        // Truncated image: rejected.
+        assert_eq!(decode_snapshot(&img[..img.len() - 1]), None);
+        // Flipped body byte: rejected.
+        let mut bad = img.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert_eq!(decode_snapshot(&bad), None);
+        // Wrong magic: rejected.
+        let mut wrong = img;
+        wrong[0] = b'X';
+        assert_eq!(decode_snapshot(&wrong), None);
+        // Empty: rejected.
+        assert_eq!(decode_snapshot(b""), None);
+    }
+}

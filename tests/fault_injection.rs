@@ -217,6 +217,126 @@ fn supervisor_restarts_a_memory_and_buffers_drain() {
     assert_eq!(st.stores, in_series + st.rejected, "stores double-counted");
 }
 
+/// Kill a memory at the host/power level mid-epoch, under 5% message
+/// loss: the replacement is rebuilt from its host's simulated disk alone
+/// (snapshot + WAL replay — no in-RAM handoff exists any more), the
+/// witness series' pre-crash prefixes come back byte-identical, nothing
+/// is double counted, and the whole crash-recovery run is a
+/// deterministic function of its seeds.
+#[test]
+fn memory_host_crash_recovers_from_disk_alone() {
+    let run = || {
+        let (mut eng, mut sys, names) = deploy(4, 7);
+        eng.set_fault_seed(41);
+        eng.set_default_loss(Some(LossModel::lossy(0.05)));
+        sys.attach_supervisor(
+            &mut eng,
+            SupervisorConfig { period: TimeDelta::from_secs(2.0), miss_threshold: 3 },
+        );
+        sys.run_supervised(&mut eng, TimeDelta::from_secs(90.0), TimeDelta::from_secs(2.0))
+            .unwrap();
+
+        let mem_host = names[0].clone();
+        let old_pid = sys.memories[&mem_host].0;
+        let witness: Vec<(SeriesKey, Vec<(f64, f64)>)> =
+            sys.series_keys().into_iter().map(|k| (k.clone(), sys.series(&k).unwrap())).collect();
+        assert!(witness.iter().any(|(_, pts)| !pts.is_empty()), "witness must have data");
+
+        // Host crash: process dies AND the disk tears its unsynced tail.
+        sys.crash_memory(&mut eng, &mem_host);
+
+        let healed = sys
+            .run_supervised(&mut eng, TimeDelta::from_secs(120.0), TimeDelta::from_secs(2.0))
+            .unwrap();
+        assert!(healed.contains(&mem_host), "memory host restarted: {healed:?}");
+        assert_ne!(sys.memories[&mem_host].0, old_pid);
+
+        // Recovery really read the disk: the crash was recorded and the
+        // replay consumed bytes.
+        let dstats = sys.disks.disk(&mem_host).borrow().stats();
+        assert_eq!(dstats.crashes, 1);
+        assert!(dstats.bytes_read > 0, "recovery must replay from disk");
+
+        // Every acked store was fsynced before its ack, so the witness
+        // prefix survives the torn page cache byte for byte.
+        for (key, before) in &witness {
+            let after = sys.series(key).expect("series survives the host crash");
+            assert!(after.len() >= before.len(), "{key:?}: durable points lost");
+            assert_eq!(&after[..before.len()], &before[..], "{key:?}: prefix rewritten");
+        }
+        assert!(sys.total_stores() > witness.iter().map(|(_, p)| p.len() as u64).sum::<u64>());
+
+        // No measurement counted twice across crash + retry + replay.
+        let (_, handle) = &sys.memories[&mem_host];
+        let st = handle.borrow();
+        let in_series: u64 = st.series.values().map(|s| s.len() as u64).sum();
+        assert_eq!(st.stores, in_series + st.rejected, "stores double-counted");
+        drop(st);
+
+        observe(&eng, &sys)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "crash + disk recovery must be deterministic per seed");
+}
+
+/// Regression test for the forecaster watermark-desync bug: a memory
+/// restored to an *older* state than the forecaster has already observed
+/// (staged here by swapping a rolled-back store into the live server's
+/// shared [`nws::memory::MemoryHandle`] — see the
+/// `MemoryServer::with_store` test seam) must trigger a watermark rewind
+/// — battery reset + full re-fetch — instead of silently forecasting
+/// across the gap from a stale watermark.
+#[test]
+fn forecaster_rewinds_after_memory_restores_older_state() {
+    use nws::memory::MemoryStore;
+
+    let (mut eng, sys, names) = deploy(4, 7);
+    eng.run_until(SimTime::from_secs(90.0));
+
+    let key = SeriesKey::link(Resource::Bandwidth, &names[1], &names[2]);
+    let primed = sys
+        .query(&mut eng, key.clone(), TimeDelta::from_secs(10.0))
+        .expect("healthy system answers");
+    assert!(!primed.stale);
+    assert!(primed.samples > 3, "priming must observe a real history");
+
+    // Freeze the measurement record, then roll the memory's store back to
+    // a three-point prehistory — every timestamp older than anything the
+    // forecaster has observed.
+    for &pid in sys.sensors.values() {
+        eng.kill_process(pid);
+    }
+    let old_values = [12.0, 14.0, 13.0];
+    let mut rolled_back = MemoryStore::default();
+    let sensor = sys.sensors[&names[1]];
+    for (i, v) in old_values.iter().enumerate() {
+        rolled_back.apply_store(sensor, i as u64 + 1, &key, 10.0 * (i as f64 + 1.0), *v, 64);
+    }
+    *sys.memories[&names[0]].1.borrow_mut() = rolled_back;
+
+    // The next query's delta fetch returns `latest` = 30 s, far behind the
+    // forecaster's watermark: it must rewind and re-fetch from scratch.
+    let rewound = sys
+        .query(&mut eng, key.clone(), TimeDelta::from_secs(10.0))
+        .expect("rewind must still answer the client");
+    assert!(!rewound.stale, "rewind is a detour, not an outage");
+    assert_eq!(
+        rewound.samples,
+        old_values.len() as u64,
+        "battery must be rebuilt from exactly the restored store"
+    );
+
+    // Bit-identical oracle: a fresh battery fed the same three points.
+    let mut oracle = nws::ForecasterBattery::classic();
+    for v in old_values {
+        oracle.observe(v);
+    }
+    let expected = oracle.forecast().expect("three points forecast");
+    assert_eq!(rewound.value.to_bits(), expected.value.to_bits());
+    assert_eq!(rewound.method, expected.method);
+}
+
 /// With its memory dead and no supervisor attached, the forecaster's
 /// query path times out and serves the last-known prediction, tagged
 /// stale — degraded answers beat no answers.
