@@ -35,6 +35,10 @@ pub enum Rule {
     /// No host filesystem access (`std::fs`, `File::open`, `io::Write`)
     /// in simulation crates — durable state lives on the simulated disk.
     D7,
+    /// No shared-state locks (`Mutex`/`RwLock`) in determinism-critical
+    /// crates — concurrency uses `std::thread::scope` over disjoint
+    /// `&mut` chunks and immutable `Arc` snapshots only.
+    D8,
     /// A waiver is missing its reason string.
     W1,
     /// A waiver names an unknown rule id.
@@ -45,8 +49,8 @@ pub enum Rule {
 
 impl Rule {
     /// The waivable determinism rules, in catalog order.
-    pub const CATALOG: [Rule; 7] =
-        [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6, Rule::D7];
+    pub const CATALOG: [Rule; 8] =
+        [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6, Rule::D7, Rule::D8];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -57,6 +61,7 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::D8 => "D8",
             Rule::W1 => "W1",
             Rule::W2 => "W2",
             Rule::W3 => "W3",
@@ -72,6 +77,7 @@ impl Rule {
             "D5" => Some(Rule::D5),
             "D6" => Some(Rule::D6),
             "D7" => Some(Rule::D7),
+            "D8" => Some(Rule::D8),
             _ => None,
         }
     }
@@ -105,6 +111,12 @@ impl Rule {
                          through std::fs survives nothing the simulator models and isn't \
                          replayed on recovery — simulation crates use netsim::disk::SimDisk"
             }
+            Rule::D8 => {
+                "Mutex/RwLock serialize access in whatever order threads arrive, which \
+                         the scheduler — not the seed — decides; determinism-critical crates \
+                         share state via immutable Arc snapshots and disjoint &mut chunks \
+                         under std::thread::scope"
+            }
             Rule::W1 => "every waiver must carry a written reason",
             Rule::W2 => "waivers must name known rules",
             Rule::W3 => "waivers that no longer match a finding must be removed",
@@ -124,7 +136,7 @@ pub struct Scope {
     /// Simulation/model code: D1 (wall clock) applies.
     pub sim: bool,
     /// Determinism-critical output path (netsim/envmap/core/nws): D2
-    /// (hash iteration) applies.
+    /// (hash iteration) and D8 (shared-state locks) apply.
     pub det: bool,
 }
 
@@ -137,7 +149,7 @@ impl Scope {
     fn applies(self, r: Rule) -> bool {
         match r {
             Rule::D1 | Rule::D7 => self.sim,
-            Rule::D2 => self.det,
+            Rule::D2 | Rule::D8 => self.det,
             _ => true,
         }
     }
@@ -169,6 +181,9 @@ pub fn run_rules(lx: &Lexed<'_>, scope: Scope) -> Vec<Finding> {
     d6_undocumented_unsafe(lx, &mut out);
     if scope.applies(Rule::D7) {
         d7_host_filesystem(lx, &mut out);
+    }
+    if scope.applies(Rule::D8) {
+        d8_shared_lock(lx, &mut out);
     }
     out.sort_by_key(|f| (f.line, f.col, f.rule));
     out
@@ -512,6 +527,34 @@ fn d7_host_filesystem(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
                     .to_string(),
             ),
             _ => {}
+        }
+    }
+}
+
+/// Lock types whose acquisition order the OS scheduler decides.
+const D8_LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
+
+/// D8: shared-state locks in a determinism-critical crate. Flags every
+/// `Mutex`/`RwLock` identifier — imports, type positions and constructor
+/// calls alike: the ban is on the primitive, not a particular use of it.
+/// Lexical like every rule here; mentions in strings and comments never
+/// fire, and a same-named local type takes a waiver.
+fn d8_shared_lock(lx: &Lexed<'_>, out: &mut Vec<Finding>) {
+    for i in 0..lx.toks.len() {
+        if let Some(id) = lx.ident(i) {
+            if D8_LOCK_TYPES.contains(&id) {
+                push(
+                    out,
+                    lx,
+                    i,
+                    Rule::D8,
+                    format!(
+                        "shared-state lock `{id}` in a determinism-critical crate — share \
+                         immutable Arc snapshots or disjoint &mut chunks under \
+                         `std::thread::scope` instead"
+                    ),
+                );
+            }
         }
     }
 }

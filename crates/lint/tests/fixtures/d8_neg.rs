@@ -1,0 +1,32 @@
+// D8 negative: the sanctioned concurrency shapes — immutable Arc
+// snapshots shared read-only, disjoint `&mut` chunks under a scope, and
+// per-worker local counters merged in worker order. A Mutex or RwLock
+// mentioned in comments or strings never fires.
+use std::sync::Arc;
+
+fn serve(snapshot: &Arc<Vec<u64>>, shards: &mut [Vec<u64>]) -> u64 {
+    let banner = "never wrap shard state in a Mutex or RwLock";
+    let mut totals = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .chunks_mut(2)
+            .map(|chunk| {
+                let snap = Arc::clone(snapshot);
+                s.spawn(move || {
+                    // Local counter, merged after join — no lock needed.
+                    let mut local = 0u64;
+                    for shard in chunk {
+                        shard.push(snap.len() as u64);
+                        local += shard.len() as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            totals.push(h.join().unwrap());
+        }
+    });
+    let _ = banner;
+    totals.iter().sum()
+}

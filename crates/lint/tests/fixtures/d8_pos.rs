@@ -1,0 +1,14 @@
+// D8 positive: shared-state locks in a determinism-critical crate.
+use std::sync::{Arc, Mutex, RwLock}; // findings: line 2 (Mutex, RwLock)
+
+struct Shared {
+    counters: RwLock<Vec<u64>>, // finding: line 5
+}
+
+fn tally(shared: &Arc<Shared>) -> u64 {
+    let guard = shared.counters.read().unwrap();
+    let hits = Mutex::new(0u64); // finding: line 10
+    *hits.lock().unwrap() += guard.iter().sum::<u64>();
+    let total = *hits.lock().unwrap();
+    total
+}

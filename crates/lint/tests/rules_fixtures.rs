@@ -90,6 +90,22 @@ fn d7_is_scoped_to_simulation_crates() {
 }
 
 #[test]
+fn d8_shared_lock_positive_and_negative() {
+    assert_eq!(
+        hits("d8_pos.rs"),
+        vec![(Rule::D8, 2), (Rule::D8, 2), (Rule::D8, 5), (Rule::D8, 10)]
+    );
+    assert_eq!(hits("d8_neg.rs"), vec![]);
+}
+
+#[test]
+fn d8_is_scoped_to_determinism_critical_crates() {
+    let src = fixture("d8_pos.rs");
+    let rep = lint_source("d8_pos.rs", &src, Scope { sim: true, det: false });
+    assert_eq!(rep.findings.len(), 0, "D8 must not fire outside determinism-critical crates");
+}
+
+#[test]
 fn lexer_hostile_file_yields_zero_findings() {
     assert_eq!(
         hits("lexer_tricky.rs"),

@@ -34,6 +34,8 @@ pub mod persist;
 pub mod registry;
 pub mod sensor;
 pub mod series;
+pub mod serve;
+pub mod shard;
 pub mod supervisor;
 pub mod system;
 pub mod wal;
@@ -43,5 +45,7 @@ pub use forecast::{Forecast, ForecasterBattery};
 pub use msg::{NwsMsg, Resource, SeriesKey};
 pub use persist::{ForecastLog, MemoryLog, RecoveredSeries};
 pub use series::{Series, SeriesPoint};
+pub use serve::{MetricsSnapshot, ServingPlane, ShardSnapshot};
+pub use shard::ShardMap;
 pub use supervisor::{SupervisorConfig, SupervisorHandle, SupervisorState};
 pub use system::{CliqueSpec, NwsSystem, NwsSystemSpec, ReconfigSpec, SensorMode, SensorSpec};

@@ -229,6 +229,22 @@ pub enum NwsMsg {
         key: SeriesKey,
         forecast: Option<Forecast>,
     },
+    /// Batched multi-series query: one message, one shard-fanout on the
+    /// forecaster, one reply. `id` is a client-chosen correlation handle
+    /// echoed in the reply; duplicate keys are allowed and each slot is
+    /// answered. Keys resolving to the same unresolved series share one
+    /// in-flight directory lookup/fetch (single flight) with every other
+    /// pending query, batched or single.
+    QueryBatch {
+        id: u64,
+        keys: Vec<SeriesKey>,
+    },
+    /// Reply to [`NwsMsg::QueryBatch`]: forecasts in slot order, aligned
+    /// with the request's `keys`.
+    QueryBatchReply {
+        id: u64,
+        forecasts: Vec<(SeriesKey, Option<Forecast>)>,
+    },
 }
 
 impl NwsMsg {
@@ -252,6 +268,8 @@ impl NwsMsg {
             NwsMsg::LockRequest | NwsMsg::LockGrant | NwsMsg::LockRelease => 16,
             NwsMsg::Query { .. } => 64,
             NwsMsg::QueryReply { .. } => 128,
+            NwsMsg::QueryBatch { keys, .. } => 24 + 64 * keys.len(),
+            NwsMsg::QueryBatchReply { forecasts, .. } => 24 + 128 * forecasts.len(),
         };
         Bytes::new(b as u64)
     }

@@ -32,15 +32,35 @@ struct SeriesState {
     memory: Option<ProcessId>,
 }
 
-/// Clients waiting for one key, plus how many of them are covered by the
-/// lookup/fetch currently in flight. Only that prefix may be answered from
-/// a negative directory reply: a client that queued *after* the `WhereIs`
+/// One party waiting for a key to resolve: a single-query client (owed a
+/// `QueryReply`) or one slot of a pending [`NwsMsg::QueryBatch`].
+enum Waiter {
+    Client(ProcessId),
+    BatchSlot { batch: u64, slot: usize },
+}
+
+/// The single-flight table entry for one key: every pending query —
+/// single or batched — parks here while at most **one** lookup/fetch
+/// round trip is in flight for the key. `asked` is the waiter prefix
+/// covered by that round trip; only that prefix may be answered from a
+/// negative directory reply — a waiter that queued *after* the `WhereIs`
 /// left may be asking about a series registered in the meantime, so its
 /// lookup is re-issued instead of reusing the stale negative.
 #[derive(Default)]
 struct Waiting {
-    clients: VecDeque<ProcessId>,
+    waiters: VecDeque<Waiter>,
     asked: usize,
+}
+
+/// A client's in-progress `QueryBatch`: answer slots fill in as each key
+/// resolves (shared with any concurrent single queries through the
+/// single-flight table); when `remaining` hits zero, one
+/// `QueryBatchReply` carries every slot back.
+struct PendingBatch {
+    client: ProcessId,
+    id: u64,
+    answers: Vec<(SeriesKey, Option<Forecast>)>,
+    remaining: usize,
 }
 
 /// The forecaster process: answers `Query` by locating the series' memory
@@ -72,6 +92,16 @@ pub struct ForecasterServer {
     key_by_tag: BTreeMap<u64, SeriesKey>,
     /// Stale forecasts served during outages (for tests/benches).
     pub stale_served: u64,
+    /// Queries that joined an already in-flight lookup/fetch instead of
+    /// issuing their own (the single-flight coalescing win, for
+    /// tests/benches).
+    pub coalesced: u64,
+    /// Completed `QueryBatch` replies.
+    pub batches_served: u64,
+    /// In-progress batches by internal handle (client pids may collide on
+    /// their `id`s; the handle is ours).
+    batches: BTreeMap<u64, PendingBatch>,
+    next_batch: u64,
     /// Watermark rewinds: times a fetch reply revealed a memory restored
     /// to an *older* state than this forecaster had already observed, and
     /// the battery was reset + the series re-fetched from scratch instead
@@ -93,6 +123,10 @@ impl ForecasterServer {
             timeout_by_key: BTreeMap::new(),
             key_by_tag: BTreeMap::new(),
             stale_served: 0,
+            coalesced: 0,
+            batches_served: 0,
+            batches: BTreeMap::new(),
+            next_batch: 0,
             rewinds: 0,
             log: None,
         }
@@ -153,6 +187,58 @@ impl ForecasterServer {
         let size = q.wire_size();
         let _ = ctx.send(self.ns, size, q);
     }
+
+    /// Park a waiter on `key`, starting a lookup/fetch round trip only if
+    /// none is in flight (the single-flight discipline). A known series
+    /// goes straight to its memory for the delta; a never-seen key — or
+    /// one recovered from disk with no cached memory pid — pays the
+    /// directory round trip.
+    fn enqueue(&mut self, ctx: &mut Ctx<'_, NwsMsg>, key: SeriesKey, waiter: Waiter) {
+        let w = self.waiting.entry(key.clone()).or_default();
+        w.waiters.push_back(waiter);
+        if w.asked == 0 {
+            w.asked = w.waiters.len();
+            if self.state.get(&key).is_some_and(|st| st.memory.is_some()) {
+                self.send_fetch_since(ctx, &key);
+            } else {
+                self.send_where_is(ctx, &key);
+            }
+            self.arm_timeout(ctx, &key);
+        } else {
+            self.coalesced += 1;
+        }
+    }
+
+    /// Deliver one key's answer to one waiter: a client gets its
+    /// `QueryReply` immediately; a batch slot fills in, and the batch
+    /// replies once its last slot resolves.
+    fn answer(
+        &mut self,
+        ctx: &mut Ctx<'_, NwsMsg>,
+        key: &SeriesKey,
+        w: Waiter,
+        f: &Option<Forecast>,
+    ) {
+        match w {
+            Waiter::Client(c) => {
+                let r = NwsMsg::QueryReply { key: key.clone(), forecast: f.clone() };
+                let size = r.wire_size();
+                let _ = ctx.send(c, size, r);
+            }
+            Waiter::BatchSlot { batch, slot } => {
+                let Some(b) = self.batches.get_mut(&batch) else { return };
+                b.answers[slot].1 = f.clone();
+                b.remaining -= 1;
+                if b.remaining == 0 {
+                    let b = self.batches.remove(&batch).expect("pending batch");
+                    let r = NwsMsg::QueryBatchReply { id: b.id, forecasts: b.answers };
+                    let size = r.wire_size();
+                    let _ = ctx.send(b.client, size, r);
+                    self.batches_served += 1;
+                }
+            }
+        }
+    }
 }
 
 impl Process<NwsMsg> for ForecasterServer {
@@ -165,20 +251,27 @@ impl Process<NwsMsg> for ForecasterServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, NwsMsg>, from: ProcessId, msg: NwsMsg) {
         match msg {
             NwsMsg::Query { key } => {
-                let w = self.waiting.entry(key.clone()).or_default();
-                w.clients.push_back(from);
-                if w.asked == 0 {
-                    // No request in flight for this key: start one. A known
-                    // series goes straight to its memory for the delta; a
-                    // never-seen key — or one recovered from disk with no
-                    // cached memory pid — pays the directory round trip.
-                    w.asked = w.clients.len();
-                    if self.state.get(&key).is_some_and(|st| st.memory.is_some()) {
-                        self.send_fetch_since(ctx, &key);
-                    } else {
-                        self.send_where_is(ctx, &key);
-                    }
-                    self.arm_timeout(ctx, &key);
+                self.enqueue(ctx, key, Waiter::Client(from));
+            }
+            NwsMsg::QueryBatch { id, keys } => {
+                if keys.is_empty() {
+                    let r = NwsMsg::QueryBatchReply { id, forecasts: Vec::new() };
+                    let size = r.wire_size();
+                    let _ = ctx.send(from, size, r);
+                    self.batches_served += 1;
+                    return;
+                }
+                let batch = self.next_batch;
+                self.next_batch += 1;
+                let remaining = keys.len();
+                let answers: Vec<(SeriesKey, Option<Forecast>)> =
+                    keys.iter().map(|k| (k.clone(), None)).collect();
+                self.batches.insert(batch, PendingBatch { client: from, id, answers, remaining });
+                // Duplicate keys in one batch share a single-flight entry
+                // (and any in-flight fetch from other queries) like every
+                // other waiter.
+                for (slot, key) in keys.into_iter().enumerate() {
+                    self.enqueue(ctx, key, Waiter::BatchSlot { batch, slot });
                 }
             }
             NwsMsg::WhereIsReply { key, memory } => match memory {
@@ -197,24 +290,26 @@ impl Process<NwsMsg> for ForecasterServer {
                     self.send_fetch_since(ctx, &key);
                 }
                 None => {
-                    // Unknown series: the negative only answers the clients
+                    // Unknown series: the negative only answers the waiters
                     // whose query preceded the lookup. Anyone who queued
                     // afterwards re-asks — the series may have been
                     // registered while the reply was in flight.
+                    let mut covered = Vec::new();
                     if let Some(w) = self.waiting.get_mut(&key) {
                         for _ in 0..w.asked {
-                            let Some(c) = w.clients.pop_front() else { break };
-                            let r = NwsMsg::QueryReply { key: key.clone(), forecast: None };
-                            let size = r.wire_size();
-                            let _ = ctx.send(c, size, r);
+                            let Some(c) = w.waiters.pop_front() else { break };
+                            covered.push(c);
                         }
-                        if w.clients.is_empty() {
+                        if w.waiters.is_empty() {
                             self.waiting.remove(&key);
                             self.clear_timeout(ctx, &key);
                         } else {
-                            w.asked = w.clients.len();
+                            w.asked = w.waiters.len();
                             self.send_where_is(ctx, &key);
                         }
+                    }
+                    for c in covered {
+                        self.answer(ctx, &key, c, &None);
                     }
                 }
             },
@@ -276,10 +371,8 @@ impl Process<NwsMsg> for ForecasterServer {
                 let forecast = self.state[&key].battery.forecast();
                 self.clear_timeout(ctx, &key);
                 if let Some(w) = self.waiting.remove(&key) {
-                    for c in w.clients {
-                        let r = NwsMsg::QueryReply { key: key.clone(), forecast: forecast.clone() };
-                        let size = r.wire_size();
-                        let _ = ctx.send(c, size, r);
+                    for c in w.waiters {
+                        self.answer(ctx, &key, c, &forecast);
                     }
                 }
             }
@@ -306,13 +399,11 @@ impl Process<NwsMsg> for ForecasterServer {
             f
         });
         if let Some(w) = self.waiting.remove(&key) {
-            for c in w.clients {
+            for c in w.waiters {
                 if stale.is_some() {
                     self.stale_served += 1;
                 }
-                let r = NwsMsg::QueryReply { key: key.clone(), forecast: stale.clone() };
-                let size = r.wire_size();
-                let _ = ctx.send(c, size, r);
+                self.answer(ctx, &key, c, &stale);
             }
         }
         if self.state.contains_key(&key) {
@@ -338,6 +429,31 @@ impl Process<NwsMsg> for Client {
     fn on_message(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, _from: ProcessId, msg: NwsMsg) {
         if let NwsMsg::QueryReply { forecast, .. } = msg {
             *self.result.borrow_mut() = Some(forecast);
+        }
+    }
+}
+
+/// The answer list carried by a `QueryBatchReply`, slot-aligned with the
+/// request's keys.
+pub type BatchAnswers = Vec<(SeriesKey, Option<Forecast>)>;
+
+/// A one-shot batch client: sends one `QueryBatch` and stashes the reply.
+pub struct BatchClient {
+    forecaster: ProcessId,
+    keys: Vec<SeriesKey>,
+    result: Rc<RefCell<Option<BatchAnswers>>>,
+}
+
+impl Process<NwsMsg> for BatchClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, NwsMsg>) {
+        let q = NwsMsg::QueryBatch { id: 0, keys: self.keys.clone() };
+        let size = q.wire_size();
+        let _ = ctx.send(self.forecaster, size, q);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, NwsMsg>, _from: ProcessId, msg: NwsMsg) {
+        if let NwsMsg::QueryBatchReply { forecasts, .. } = msg {
+            *self.result.borrow_mut() = Some(forecasts);
         }
     }
 }
@@ -410,6 +526,12 @@ pub struct NwsSystemSpec {
     /// snapshots its state and truncates the log. Small values bound
     /// replay work at recovery; large values amortize snapshot writes.
     pub wal_compact_kib: u64,
+    /// Shard count for the out-of-sim query-serving plane
+    /// ([`crate::serve::ServingPlane`]): series are routed clique-aligned
+    /// across this many forecaster shards. Answers are shard-count
+    /// invariant; the knob trades publication parallelism against
+    /// fan-out. 0 is treated as 1.
+    pub serve_shards: usize,
 }
 
 impl NwsSystemSpec {
@@ -431,6 +553,7 @@ impl NwsSystemSpec {
             seed: 42,
             host_locking: false,
             wal_compact_kib: 64,
+            serve_shards: 1,
         }
     }
 }
@@ -1012,6 +1135,48 @@ impl NwsSystem {
         eng.run_until(deadline);
         let out = result.borrow().clone();
         out.flatten()
+    }
+
+    /// Issue one batched multi-series query through the full §2.1 path —
+    /// one `QueryBatch` message, one reply — and wait (up to `patience`
+    /// simulated seconds) for it. Answers come back in request order.
+    pub fn query_batch(
+        &self,
+        eng: &mut Engine<NwsMsg>,
+        keys: Vec<SeriesKey>,
+        patience: TimeDelta,
+    ) -> Vec<(SeriesKey, Option<Forecast>)> {
+        let result = Rc::new(RefCell::new(None));
+        eng.add_process(
+            self.client_node,
+            Box::new(BatchClient { forecaster: self.forecaster, keys, result: result.clone() }),
+        );
+        let deadline = eng.now() + patience;
+        eng.run_until(deadline);
+        let out = result.borrow_mut().take();
+        out.unwrap_or_default()
+    }
+
+    /// A fresh out-of-sim serving plane for this system: `serve_shards`
+    /// forecaster shards, clique-aligned so a clique's series co-locate.
+    /// Feed it epochs with [`NwsSystem::publish_epoch`].
+    pub fn serving_plane(&self) -> crate::serve::ServingPlane {
+        let map = crate::shard::ShardMap::clique_aligned(
+            self.spec.serve_shards.max(1),
+            &self.spec.cliques,
+        );
+        crate::serve::ServingPlane::new(map)
+    }
+
+    /// Publish one serving epoch: pull every memory's new points into the
+    /// plane (single-threaded — memory stores are actor-local), then
+    /// observe + snapshot the shards in parallel on `workers` scoped
+    /// threads. Returns the published epoch number.
+    pub fn publish_epoch(&self, plane: &mut crate::serve::ServingPlane, workers: usize) -> u64 {
+        for (_, handle) in self.memories.values() {
+            plane.ingest_store(&handle.borrow());
+        }
+        plane.publish(workers)
     }
 
     /// Direct (out-of-band) view of a stored series, across all memories.
